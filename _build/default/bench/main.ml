@@ -1,0 +1,310 @@
+(* The benchmark and experiment harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's evaluation (E1 = Section 2 / Figure 2 running example, E2 =
+   Section 3.1 cloud study, E3 = Section 3.2 campus study, E4 = Section
+   5 / Figures 3-4), prints the disambiguation-mode ablation, and then
+   times the substrate with Bechamel microbenchmarks.
+
+   Usage: dune exec bench/main.exe [-- --fast]
+   --fast runs the campus corpus at 10% scale (the full 11,088-ACL
+   corpus takes about half a minute). *)
+
+open Bechamel
+
+let fast = Array.exists (fun a -> a = "--fast") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Experiments                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments () =
+  let fmt = Format.std_formatter in
+  Evaluation.E1_running_example.(print fmt (run ()));
+  Format.fprintf fmt "@.";
+  Evaluation.E23_overlap_study.(
+    print ~title:"E2: cloud WAN overlap study (Section 3.1)" fmt (cloud ()));
+  let scale = if fast then 0.1 else 1.0 in
+  Format.fprintf fmt "(campus corpus scale: %.2f%s)@.@." scale
+    (if fast then "; drop --fast for full size" else "");
+  Evaluation.E23_overlap_study.(
+    print ~title:"E3: campus overlap study (Section 3.2)" fmt
+      (campus ~scale ()));
+  Evaluation.E4_lightyear.(print fmt (run ()))
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: disambiguation question counts per mode                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A target map with [n] mutually overlapping permit stanzas (nested
+   prefix windows) and a new stanza overlapping all of them: the number
+   of user questions is what each mode pays. *)
+let ablation_scenario n =
+  let db = ref Config.Database.empty in
+  (* n stanzas on pairwise-disjoint /16s: the catch-all new stanza
+     overlaps each one on that stanza's own routes, so every position is
+     a boundary. *)
+  let stanzas =
+    List.init n (fun i ->
+        let name = Printf.sprintf "AB%d" i in
+        db :=
+          Config.Database.add_prefix_list !db
+            (Config.Prefix_list.make name
+               [
+                 Config.Prefix_list.entry ~seq:10 ~action:Config.Action.Permit
+                   (Netaddr.Prefix_range.make
+                      (Netaddr.Prefix.make
+                         (Netaddr.Ipv4.of_octets 10 i 0 0)
+                         16)
+                      ~ge:None ~le:(Some 24));
+               ]);
+        Config.Route_map.stanza ~seq:((i + 1) * 10)
+          ~matches:[ Config.Route_map.Match_prefix_list [ name ] ]
+          ~sets:[ Config.Route_map.Set_metric i ]
+          Config.Action.Permit)
+  in
+  let target = Config.Route_map.make "AB" stanzas in
+  db := Config.Database.add_route_map !db target;
+  let new_list = "ABNEW" in
+  db :=
+    Config.Database.add_prefix_list !db
+      (Config.Prefix_list.make new_list
+         [
+           Config.Prefix_list.entry ~seq:10 ~action:Config.Action.Permit
+             (Netaddr.Prefix_range.make
+                (Netaddr.Prefix.of_string_exn "10.0.0.0/8")
+                ~ge:None ~le:(Some 32));
+         ]);
+  let stanza =
+    Config.Route_map.stanza ~seq:999
+      ~matches:[ Config.Route_map.Match_prefix_list [ new_list ] ]
+      ~sets:[ Config.Route_map.Set_metric 99 ]
+      Config.Action.Permit
+  in
+  (!db, target, stanza)
+
+let run_ablation () =
+  Format.printf "=== Ablation: user questions per disambiguation mode ===@.";
+  Format.printf
+    "(new stanza overlapping all n existing stanzas; user wants position 0)@.";
+  Format.printf "%-6s %14s %10s %12s@." "n" "binary-search" "linear"
+    "top-bottom";
+  List.iter
+    (fun n ->
+      let db, target, stanza = ablation_scenario n in
+      let desired_map = Config.Route_map.insert_at target 0 stanza in
+      let desired r = Config.Semantics.eval_route_map db desired_map r in
+      let count mode =
+        match
+          Clarify.Disambiguator.run ~mode ~db ~target ~stanza
+            ~oracle:(Clarify.Disambiguator.intent_driven desired)
+            ()
+        with
+        | Ok o -> string_of_int (List.length o.Clarify.Disambiguator.questions)
+        | Error _ -> "fail"
+      in
+      Format.printf "%-6d %14s %10s %12s@." n
+        (count Clarify.Disambiguator.Binary_search)
+        (count Clarify.Disambiguator.Linear)
+        (count Clarify.Disambiguator.Top_bottom))
+    [ 2; 4; 8; 16 ];
+  Format.printf
+    "(top-bottom is the paper prototype's restricted mode: one question but \
+     only two candidate positions)@.@."
+
+(* ------------------------------------------------------------------ *)
+(* Density sweep: overlap pairs vs generation density                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_density_sweep () =
+  Format.printf "=== Density sweep: mean overlap/conflict pairs in random 40-rule ACLs ===@.";
+  Format.printf "%-10s %10s %10s@." "density" "overlaps" "conflicts";
+  List.iter
+    (fun density ->
+      let n = 20 in
+      let totals =
+        List.init n (fun i ->
+            let rng = Random.State.make [| 7000 + i |] in
+            Overlap.Acl_overlap.analyze
+              (Workload.Random_corpus.acl ~rng ~name:"SWEEP" ~rules:40
+                 ~overlap_density:density))
+      in
+      let mean f =
+        float_of_int (List.fold_left (fun a s -> a + f s) 0 totals)
+        /. float_of_int n
+      in
+      Format.printf "%-10.2f %10.1f %10.1f@." density
+        (mean (fun (s : Overlap.Acl_overlap.stats) -> s.overlap_pairs))
+        (mean (fun (s : Overlap.Acl_overlap.stats) -> s.conflict_pairs)))
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let isp_out_config = Evaluation.E1_running_example.isp_out_config
+
+let parse_ok src =
+  match Config.Parser.parse src with Ok db -> db | Error m -> failwith m
+
+let bench_parser =
+  Test.make ~name:"config-parse/isp_out"
+    (Staged.stage (fun () -> ignore (parse_ok isp_out_config)))
+
+let bench_bdd_route_space =
+  let range =
+    Netaddr.Prefix_range.make
+      (Netaddr.Prefix.of_string_exn "100.0.0.0/16")
+      ~ge:None ~le:(Some 23)
+  in
+  Test.make ~name:"bdd/prefix-range-encode"
+    (Staged.stage (fun () ->
+         Symbdd.Bdd.clear_caches ();
+         ignore (Symbolic.Route_ctx.of_prefix_range range)))
+
+(* Ablation B1: one port interval as a range predicate vs a disjunction
+   of 256 equality predicates. *)
+let bench_port_range =
+  Test.make ~name:"bdd/port-interval-range"
+    (Staged.stage (fun () ->
+         Symbdd.Bdd.clear_caches ();
+         ignore (Symbdd.Bvec.in_range Symbolic.Packet_space.dst_port 1024 8191)))
+
+let bench_port_enum =
+  Test.make ~name:"bdd/port-interval-enum256"
+    (Staged.stage (fun () ->
+         Symbdd.Bdd.clear_caches ();
+         ignore
+           (Symbdd.Bdd.disj_list
+              (List.init 256 (fun i ->
+                   Symbdd.Bvec.eq_const Symbolic.Packet_space.dst_port
+                     (1024 + i))))))
+
+let bench_aspath_dfa =
+  Test.make ~name:"sre/aspath-intersection"
+    (Staged.stage (fun () ->
+         let a = Sre.As_path_regex.compile "_32$" in
+         let b = Sre.As_path_regex.compile "^(44|55)_" in
+         ignore (Sre.As_path_regex.sat_witness ~pos:[ a; b ] ~neg:[])))
+
+let bench_acl_overlap =
+  let acl =
+    let rng = Random.State.make [| 7 |] in
+    Workload.Acl_gen.make ~rng ~name:"BENCH" ~plain:20 ~crossing:5
+      ~trailing_deny_any:true
+  in
+  Test.make ~name:"overlap/acl-31-rules"
+    (Staged.stage (fun () -> ignore (Overlap.Acl_overlap.analyze acl)))
+
+let fig2a_db = parse_ok Test_configs.fig2a
+let fig2b_db = parse_ok Test_configs.fig2b
+
+let bench_compare =
+  let rma = Option.get (Config.Database.route_map fig2a_db "ISP_OUT") in
+  let rmb = Option.get (Config.Database.route_map fig2b_db "ISP_OUT") in
+  Test.make ~name:"engine/compareRoutePolicies"
+    (Staged.stage (fun () ->
+         ignore
+           (Engine.Compare_route_policies.compare ~db_a:fig2a_db
+              ~db_b:fig2b_db rma rmb)))
+
+let bench_verify =
+  let db =
+    parse_ok
+      {|ip community-list expanded COM_LIST permit _300:3_
+ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23
+route-map SET_METRIC permit 10
+ match community COM_LIST
+ match ip address prefix-list PREFIX_100
+ set metric 55|}
+  in
+  let rm = Option.get (Config.Database.route_map db "SET_METRIC") in
+  let spec =
+    Result.get_ok
+      (Engine.Spec.of_string
+         {|{"permit": true, "prefix": ["100.0.0.0/16:16-23"], "community": "/_300:3_/", "set": {"metric": 55}}|})
+  in
+  Test.make ~name:"engine/searchRoutePolicies"
+    (Staged.stage (fun () ->
+         ignore (Engine.Search_route_policies.verify_stanza db rm spec)))
+
+let bench_disambiguate =
+  Test.make ~name:"clarify/binary-search-run"
+    (Staged.stage (fun () ->
+         let db, target, stanza = ablation_scenario 8 in
+         let desired_map = Config.Route_map.insert_at target 0 stanza in
+         let desired r = Config.Semantics.eval_route_map db desired_map r in
+         ignore
+           (Clarify.Disambiguator.run ~db ~target ~stanza
+              ~oracle:(Clarify.Disambiguator.intent_driven desired)
+              ())))
+
+let bench_pipeline =
+  Test.make ~name:"clarify/full-pipeline"
+    (Staged.stage (fun () ->
+         let db = parse_ok isp_out_config in
+         ignore
+           (Clarify.Pipeline.run_route_map_update
+              ~llm:(Llm.Mock_llm.create ())
+              ~oracle:(fun _ -> Clarify.Disambiguator.Prefer_new)
+              ~db ~target:"ISP_OUT"
+              ~prompt:Evaluation.E1_running_example.prompt ())))
+
+let bench_bgp_sim =
+  Test.make ~name:"netsim/figure3-propagation"
+    (Staged.stage (fun () ->
+         ignore (Netsim.Simulator.run (Netsim.Figure3.reference ()))))
+
+let benchmarks =
+  [
+    bench_parser;
+    bench_bdd_route_space;
+    bench_port_range;
+    bench_port_enum;
+    bench_aspath_dfa;
+    bench_acl_overlap;
+    bench_compare;
+    bench_verify;
+    bench_disambiguate;
+    bench_pipeline;
+    bench_bgp_sim;
+  ]
+
+let run_benchmarks () =
+  Format.printf "=== Bechamel microbenchmarks ===@.";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ estimate ] ->
+              let pretty =
+                if estimate > 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+                else if estimate > 1e6 then
+                  Printf.sprintf "%.2f ms" (estimate /. 1e6)
+                else if estimate > 1e3 then
+                  Printf.sprintf "%.2f us" (estimate /. 1e3)
+                else Printf.sprintf "%.0f ns" estimate
+              in
+              Format.printf "%-42s %12s/run@." name pretty
+          | _ -> Format.printf "%-42s %12s@." name "n/a")
+        analysis)
+    benchmarks;
+  Format.printf "@."
+
+let () =
+  run_experiments ();
+  run_ablation ();
+  Evaluation.A2_llm_disambiguator.(print Format.std_formatter (run ()));
+  run_density_sweep ();
+  run_benchmarks ()

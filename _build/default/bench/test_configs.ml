@@ -1,0 +1,38 @@
+(* The two extreme insertion candidates of the paper's Figure 2, used by
+   the compareRoutePolicies benchmark. *)
+
+let fig2a =
+  {|ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+ip community-list expanded D2 permit _300:3_
+ip prefix-list D3 permit 100.0.0.0/16 le 23
+route-map ISP_OUT permit 10
+ match community D2
+ match ip address prefix-list D3
+ set metric 55
+route-map ISP_OUT deny 20
+ match as-path D0
+route-map ISP_OUT deny 30
+ match ip address prefix-list D1
+route-map ISP_OUT permit 40
+ match local-preference 300|}
+
+let fig2b =
+  {|ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+ip community-list expanded D2 permit _300:3_
+ip prefix-list D3 permit 100.0.0.0/16 le 23
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+route-map ISP_OUT permit 40
+ match community D2
+ match ip address prefix-list D3
+ set metric 55|}

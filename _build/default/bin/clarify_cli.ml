@@ -1,0 +1,313 @@
+(* The Clarify command-line interface.
+
+   clarify update  — run one incremental update through the pipeline,
+                     asking disambiguation questions interactively (or
+                     answering them from a script);
+   clarify audit   — Section 3 overlap analysis of a configuration;
+   clarify verify  — check a single-stanza route-map against a JSON spec;
+   clarify eval    — regenerate the paper's experiments E1-E4. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_config path =
+  match Config.Parser.parse (read_file path) with
+  | Ok db -> db
+  | Error m ->
+      prerr_endline ("error: cannot parse " ^ path ^ ": " ^ m);
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let interactive_answer () =
+  let rec ask () =
+    print_string "Your choice [1/2]: ";
+    match String.trim (read_line ()) with
+    | "1" -> `New
+    | "2" -> `Old
+    | _ ->
+        print_endline "Please answer 1 (new stanza first) or 2 (keep existing behaviour).";
+        ask ()
+  in
+  ask ()
+
+let scripted_answers script =
+  let remaining = ref script in
+  fun () ->
+    match !remaining with
+    | [] ->
+        prerr_endline "error: --answers script exhausted";
+        exit 1
+    | c :: rest ->
+        remaining := rest;
+        Printf.printf "Your choice [1/2]: %s (scripted)\n"
+          (match c with `New -> "1" | `Old -> "2");
+        c
+
+let parse_script s =
+  List.filter_map
+    (fun c ->
+      match c with
+      | '1' -> Some `New
+      | '2' -> Some `Old
+      | _ -> None)
+    (List.init (String.length s) (String.get s))
+
+(* ------------------------------------------------------------------ *)
+(* clarify update                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let update_cmd =
+  let config =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "c"; "config" ] ~docv:"FILE" ~doc:"Existing configuration file.")
+  in
+  let target =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "t"; "target" ] ~docv:"NAME"
+          ~doc:"Route-map or ACL to update.")
+  in
+  let prompt =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "prompt" ] ~docv:"TEXT"
+          ~doc:"Natural-language intent for the new stanza or rule.")
+  in
+  let answers =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "answers" ] ~docv:"SCRIPT"
+          ~doc:
+            "Answer disambiguation questions from this script instead of \
+             stdin: a string of 1s (new first) and 2s (keep existing), \
+             e.g. --answers 12.")
+  in
+  let acl =
+    Arg.(
+      value & flag
+      & info [ "acl" ] ~doc:"Treat the target as an ACL instead of a route-map.")
+  in
+  let faults =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-faults" ] ~docv:"N"
+          ~doc:
+            "Corrupt the first $(docv) LLM answers (seeded), demonstrating \
+             the verify-and-repair loop.")
+  in
+  let run config target prompt answers acl faults =
+    let db = load_config config in
+    let llm =
+      Llm.Mock_llm.create
+        ~faults:(Llm.Fault_injector.schedule ~seed:11 ~faulty_attempts:faults)
+        ()
+    in
+    let next_answer =
+      match answers with
+      | Some s -> scripted_answers (parse_script s)
+      | None -> interactive_answer
+    in
+    if acl then begin
+      let oracle q =
+        Format.printf "@.%a@.@." Clarify.Acl_disambiguator.pp_question q;
+        match next_answer () with
+        | `New -> Clarify.Acl_disambiguator.Prefer_new
+        | `Old -> Clarify.Acl_disambiguator.Prefer_old
+      in
+      match Clarify.Pipeline.run_acl_update ~llm ~oracle ~db ~target ~prompt () with
+      | Error e ->
+          prerr_endline ("error: " ^ Clarify.Pipeline.error_to_string e);
+          exit 1
+      | Ok r ->
+          Format.printf
+            "@.Inserted after %d synthesis attempt(s), %d question(s).@.@.%a@."
+            r.Clarify.Pipeline.synthesis_attempts
+            (List.length r.Clarify.Pipeline.questions)
+            Config.Acl.pp r.Clarify.Pipeline.acl
+    end
+    else begin
+      let oracle q =
+        Format.printf "@.%a@.@." Clarify.Disambiguator.pp_question q;
+        match next_answer () with
+        | `New -> Clarify.Disambiguator.Prefer_new
+        | `Old -> Clarify.Disambiguator.Prefer_old
+      in
+      match
+        Clarify.Pipeline.run_route_map_update ~llm ~oracle ~db ~target ~prompt ()
+      with
+      | Error e ->
+          prerr_endline ("error: " ^ Clarify.Pipeline.error_to_string e);
+          exit 1
+      | Ok r ->
+          if r.Clarify.Pipeline.verification_history <> [] then begin
+            Format.printf "Verification feedback loop:@.";
+            List.iter
+              (fun h -> Format.printf "  %s@." h)
+              r.Clarify.Pipeline.verification_history
+          end;
+          Format.printf
+            "@.Inserted at position %d after %d synthesis attempt(s), %d \
+             question(s).@.@.Updated configuration:@.%s@."
+            r.Clarify.Pipeline.position r.Clarify.Pipeline.synthesis_attempts
+            (List.length r.Clarify.Pipeline.questions)
+            (Config.Parser.to_string r.Clarify.Pipeline.db)
+    end
+  in
+  Cmd.v
+    (Cmd.info "update" ~doc:"Incrementally add one stanza or rule from an English intent.")
+    Term.(const run $ config $ target $ prompt $ answers $ acl $ faults)
+
+(* ------------------------------------------------------------------ *)
+(* clarify audit                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let audit_cmd =
+  let config =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "c"; "config" ] ~docv:"FILE" ~doc:"Configuration file to audit.")
+  in
+  let run config =
+    let db = load_config config in
+    List.iter
+      (fun (acl : Config.Acl.t) ->
+        let s = Overlap.Acl_overlap.analyze acl in
+        Format.printf
+          "ACL %-20s rules %3d  overlaps %3d  conflicts %3d  non-trivial %3d@."
+          s.Overlap.Acl_overlap.name s.Overlap.Acl_overlap.rules
+          s.Overlap.Acl_overlap.overlap_pairs
+          s.Overlap.Acl_overlap.conflict_pairs
+          s.Overlap.Acl_overlap.nontrivial_conflicts)
+      (Config.Database.acls db);
+    List.iter
+      (fun (rm : Config.Route_map.t) ->
+        let s = Overlap.Route_map_overlap.analyze db rm in
+        Format.printf
+          "route-map %-15s stanzas %3d  overlaps %3d  conflicts %3d@."
+          s.Overlap.Route_map_overlap.name s.Overlap.Route_map_overlap.stanzas
+          s.Overlap.Route_map_overlap.overlap_pairs
+          s.Overlap.Route_map_overlap.conflict_pairs)
+      (Config.Database.route_maps db)
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Count overlapping and conflicting rule pairs (Section 3 analysis).")
+    Term.(const run $ config)
+
+(* ------------------------------------------------------------------ *)
+(* clarify verify                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let config =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "c"; "config" ] ~docv:"FILE"
+          ~doc:"Configuration containing the stanza and its lists.")
+  in
+  let map_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "m"; "map" ] ~docv:"NAME" ~doc:"Single-stanza route-map to verify.")
+  in
+  let spec =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "s"; "spec" ] ~docv:"FILE" ~doc:"JSON behavioural specification.")
+  in
+  let run config map_name spec =
+    let db = load_config config in
+    let rm =
+      match Config.Database.route_map db map_name with
+      | Some rm -> rm
+      | None ->
+          prerr_endline ("error: no route-map named " ^ map_name);
+          exit 1
+    in
+    let spec =
+      match Engine.Spec.of_string (read_file spec) with
+      | Ok s -> s
+      | Error m ->
+          prerr_endline ("error: bad spec: " ^ m);
+          exit 1
+    in
+    match Engine.Search_route_policies.verify_stanza db rm spec with
+    | Engine.Search_route_policies.Verified ->
+        print_endline "verified";
+        exit 0
+    | v ->
+        Format.printf "%a@." Engine.Search_route_policies.pp_verdict v;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify a synthesized stanza against a JSON spec (searchRoutePolicies).")
+    Term.(const run $ config $ map_arg $ spec)
+
+(* ------------------------------------------------------------------ *)
+(* clarify eval                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let eval_cmd =
+  let which =
+    Arg.(
+      value
+      & pos 0 (enum [ ("e1", `E1); ("e2", `E2); ("e3", `E3); ("e4", `E4); ("all", `All) ]) `All
+      & info [] ~docv:"EXPERIMENT" ~doc:"One of e1, e2, e3, e4, all.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"X"
+          ~doc:"Scale factor for the campus corpus (e3); 1.0 = full size.")
+  in
+  let run which scale =
+    let fmt = Format.std_formatter in
+    let e1 () = Evaluation.E1_running_example.(print fmt (run ())) in
+    let e2 () =
+      Evaluation.E23_overlap_study.(
+        print ~title:"E2: cloud WAN overlap study (Section 3.1)" fmt (cloud ()))
+    in
+    let e3 () =
+      Evaluation.E23_overlap_study.(
+        print ~title:"E3: campus overlap study (Section 3.2)" fmt
+          (campus ~scale ()))
+    in
+    let e4 () = Evaluation.E4_lightyear.(print fmt (run ())) in
+    match which with
+    | `E1 -> e1 ()
+    | `E2 -> e2 ()
+    | `E3 -> e3 ()
+    | `E4 -> e4 ()
+    | `All ->
+        e1 ();
+        e2 ();
+        e3 ();
+        e4 ()
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Regenerate the paper's experiments.")
+    Term.(const run $ which $ scale)
+
+let () =
+  let doc = "LLM-based incremental network-configuration synthesis with intent disambiguation" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "clarify" ~version:"1.0.0" ~doc)
+          [ update_cmd; audit_cmd; verify_cmd; eval_cmd ]))

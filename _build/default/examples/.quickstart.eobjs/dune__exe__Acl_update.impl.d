@@ -1,0 +1,1 @@
+examples/acl_update.ml: Clarify Config Format List Llm Netaddr

@@ -1,0 +1,1 @@
+examples/acl_update.mli:

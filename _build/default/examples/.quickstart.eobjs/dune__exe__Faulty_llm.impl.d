@@ -1,0 +1,1 @@
+examples/faulty_llm.ml: Clarify Config Format List Llm String

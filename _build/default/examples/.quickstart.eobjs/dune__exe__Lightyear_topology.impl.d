@@ -1,0 +1,1 @@
+examples/lightyear_topology.ml: Evaluation Format Netsim

@@ -1,0 +1,1 @@
+examples/overlap_audit.ml: Bgp Config Format List Netaddr Overlap Sys

@@ -1,0 +1,1 @@
+examples/overlap_audit.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Clarify Config Format List Llm

@@ -1,0 +1,57 @@
+(* ACL update scenario: a firewall on a campus border needs to start
+   blocking outbound SSH from the lab network. The existing ACL already
+   permits all lab TCP traffic, so where the new rule lands matters; the
+   disambiguator surfaces the conflict as a concrete packet.
+
+   Run with: dune exec examples/acl_update.exe *)
+
+let existing_config =
+  {|ip access-list extended LAB_EDGE
+ deny tcp any any eq 23
+ permit tcp 10.20.0.0/16 any
+ permit udp 10.20.0.0/16 any eq 53
+ deny udp any any
+ permit icmp 10.20.0.0/16 any|}
+
+let intent =
+  "Write an access list rule that denies tcp traffic from 10.20.0.0/16 to \
+   any destination with destination port 22."
+
+let () =
+  let db =
+    match Config.Parser.parse existing_config with
+    | Ok db -> db
+    | Error m -> failwith m
+  in
+  Format.printf "Existing ACL:@.%s@.@." existing_config;
+  Format.printf "User intent:@.  %s@.@." intent;
+  (* The operator wants SSH blocked, i.e. the new rule must win. *)
+  let oracle q =
+    Format.printf "%a@.@.Operator picks OPTION 1 (block it).@.@."
+      Clarify.Acl_disambiguator.pp_question q;
+    Clarify.Acl_disambiguator.Prefer_new
+  in
+  match
+    Clarify.Pipeline.run_acl_update
+      ~llm:(Llm.Mock_llm.create ())
+      ~oracle ~db ~target:"LAB_EDGE" ~prompt:intent ()
+  with
+  | Error e -> failwith (Clarify.Pipeline.error_to_string e)
+  | Ok report ->
+      Format.printf "Rule inserted at position %d after %d question(s).@.@."
+        report.Clarify.Pipeline.position
+        (List.length report.Clarify.Pipeline.questions);
+      Format.printf "Updated ACL:@.%a@.@." Config.Acl.pp
+        report.Clarify.Pipeline.acl;
+      (* Show that the update worked and broke nothing else. *)
+      let probe ~dport =
+        Config.Semantics.eval_acl report.Clarify.Pipeline.acl
+          (Config.Packet.make ~protocol:Config.Packet.Tcp ~dst_port:dport
+             ~src:(Netaddr.Ipv4.of_string_exn "10.20.5.5")
+             ~dst:(Netaddr.Ipv4.of_string_exn "93.184.216.34")
+             ())
+      in
+      Format.printf "Lab SSH (port 22) is now: %a@." Config.Action.pp
+        (probe ~dport:22);
+      Format.printf "Lab HTTPS (port 443) is still: %a@." Config.Action.pp
+        (probe ~dport:443)

@@ -1,0 +1,55 @@
+(* The verify-and-repair loop in action: the simulated LLM is scheduled
+   to make three characteristic mistakes (an off-by-one prefix mask, a
+   hallucinated list name, a flipped action) before answering correctly.
+   The pipeline catches each one with a symbolic counterexample and
+   feeds it back, exactly as the paper's Figure 1 loop does with GPT-4.
+
+   Run with: dune exec examples/faulty_llm.exe *)
+
+let existing_config =
+  {|ip as-path access-list D0 permit _32$
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT permit 20
+ match local-preference 300|}
+
+let intent =
+  "Write a route-map stanza that permits routes containing the prefix \
+   100.0.0.0/16 with mask length less than or equal to 23 and tagged with \
+   the community 300:3. Their MED value should be set to 55."
+
+let () =
+  let db =
+    match Config.Parser.parse existing_config with
+    | Ok db -> db
+    | Error m -> failwith m
+  in
+  let llm =
+    Llm.Mock_llm.create
+      ~faults:
+        [
+          Llm.Fault_injector.Mask_off_by_one;
+          Llm.Fault_injector.Hallucinate_name;
+          Llm.Fault_injector.Flip_action;
+        ]
+      ()
+  in
+  Format.printf "User intent:@.  %s@.@." intent;
+  match
+    Clarify.Pipeline.run_route_map_update ~llm
+      ~oracle:(fun _ -> Clarify.Disambiguator.Prefer_new)
+      ~db ~target:"ISP_OUT" ~prompt:intent ()
+  with
+  | Error e -> failwith (Clarify.Pipeline.error_to_string e)
+  | Ok report ->
+      Format.printf "The LLM needed %d attempts. Verifier feedback:@."
+        report.Clarify.Pipeline.synthesis_attempts;
+      List.iter
+        (fun line -> Format.printf "  %s@." line)
+        report.Clarify.Pipeline.verification_history;
+      Format.printf "@.Faults injected: %s@.@."
+        (String.concat ", "
+           (List.rev_map Llm.Fault_injector.fault_to_string
+              (Llm.Mock_llm.stats llm).Llm.Mock_llm.faults_injected));
+      Format.printf "Final (verified, disambiguated) configuration:@.%s@."
+        (Config.Parser.to_string report.Clarify.Pipeline.db)

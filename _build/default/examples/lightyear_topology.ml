@@ -1,0 +1,18 @@
+(* The paper's Section 5 evaluation end to end: incrementally synthesize
+   the route-maps of the Figure 3 topology from natural-language
+   intents, install them, simulate BGP, and check the five global
+   policies. Prints the paper's Figure 4 table next to our measurements.
+
+   Run with: dune exec examples/lightyear_topology.exe *)
+
+let () =
+  let result = Evaluation.E4_lightyear.run () in
+  Evaluation.E4_lightyear.print Format.std_formatter result;
+  if
+    result.Evaluation.E4_lightyear.converged
+    && Netsim.Policies.all_hold result.Evaluation.E4_lightyear.policies
+  then print_endline "All five global policies hold."
+  else begin
+    print_endline "FAILURE: some policies do not hold.";
+    exit 1
+  end

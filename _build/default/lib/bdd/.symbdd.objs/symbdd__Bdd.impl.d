@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Float Format Hashtbl Int List Seq

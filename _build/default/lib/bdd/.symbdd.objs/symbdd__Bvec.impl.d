@@ -1,0 +1,1 @@
+lib/bdd/bvec.ml: Array Bdd List Printf

@@ -1,0 +1,214 @@
+type t =
+  | Zero
+  | One
+  | Node of { v : int; lo : t; hi : t; id : int }
+
+let id = function Zero -> 0 | One -> 1 | Node n -> n.id
+let level = function Zero | One -> max_int | Node n -> n.v
+
+let zero = Zero
+let one = One
+
+(* Global unique table: (var, lo id, hi id) -> node. *)
+let unique : (int * int * int, t) Hashtbl.t = Hashtbl.create 65536
+let next_id = ref 2
+
+let mk v lo hi =
+  if lo == hi then lo
+  else
+    let key = (v, id lo, id hi) in
+    match Hashtbl.find_opt unique key with
+    | Some n -> n
+    | None ->
+        let n = Node { v; lo; hi; id = !next_id } in
+        incr next_id;
+        Hashtbl.add unique key n;
+        n
+
+let var i =
+  if i < 0 then invalid_arg "Bdd.var";
+  mk i Zero One
+
+let nvar i =
+  if i < 0 then invalid_arg "Bdd.nvar";
+  mk i One Zero
+
+(* Memo tables for the operations. *)
+let neg_memo : (int, t) Hashtbl.t = Hashtbl.create 4096
+let and_memo : (int * int, t) Hashtbl.t = Hashtbl.create 65536
+let xor_memo : (int * int, t) Hashtbl.t = Hashtbl.create 4096
+let restrict_memo : (int * int * bool, t) Hashtbl.t = Hashtbl.create 4096
+
+let clear_caches () =
+  Hashtbl.reset neg_memo;
+  Hashtbl.reset and_memo;
+  Hashtbl.reset xor_memo;
+  Hashtbl.reset restrict_memo
+
+let rec neg t =
+  match t with
+  | Zero -> One
+  | One -> Zero
+  | Node { v; lo; hi; id } -> (
+      match Hashtbl.find_opt neg_memo id with
+      | Some r -> r
+      | None ->
+          let r = mk v (neg lo) (neg hi) in
+          Hashtbl.add neg_memo id r;
+          r)
+
+let branches t v =
+  match t with
+  | Node n when n.v = v -> (n.lo, n.hi)
+  | _ -> (t, t)
+
+let rec conj a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | One, t | t, One -> t
+  | _ when a == b -> a
+  | _ ->
+      let ia = id a and ib = id b in
+      let key = if ia < ib then (ia, ib) else (ib, ia) in
+      ( match Hashtbl.find_opt and_memo key with
+      | Some r -> r
+      | None ->
+          let v = min (level a) (level b) in
+          let alo, ahi = branches a v and blo, bhi = branches b v in
+          let r = mk v (conj alo blo) (conj ahi bhi) in
+          Hashtbl.add and_memo key r;
+          r )
+
+let disj a b = neg (conj (neg a) (neg b))
+
+let rec xor a b =
+  match (a, b) with
+  | Zero, t | t, Zero -> t
+  | One, t | t, One -> neg t
+  | _ when a == b -> Zero
+  | _ ->
+      let ia = id a and ib = id b in
+      let key = if ia < ib then (ia, ib) else (ib, ia) in
+      ( match Hashtbl.find_opt xor_memo key with
+      | Some r -> r
+      | None ->
+          let v = min (level a) (level b) in
+          let alo, ahi = branches a v and blo, bhi = branches b v in
+          let r = mk v (xor alo blo) (xor ahi bhi) in
+          Hashtbl.add xor_memo key r;
+          r )
+
+let imp a b = disj (neg a) b
+let iff a b = neg (xor a b)
+let ite c t e = disj (conj c t) (conj (neg c) e)
+let conj_list ts = List.fold_left conj One ts
+let disj_list ts = List.fold_left disj Zero ts
+
+let rec restrict v b t =
+  match t with
+  | Zero | One -> t
+  | Node n when n.v > v -> t
+  | Node n when n.v = v -> if b then n.hi else n.lo
+  | Node n -> (
+      let key = (n.id, v, b) in
+      match Hashtbl.find_opt restrict_memo key with
+      | Some r -> r
+      | None ->
+          let r = mk n.v (restrict v b n.lo) (restrict v b n.hi) in
+          Hashtbl.add restrict_memo key r;
+          r)
+
+let exists_var v t = disj (restrict v false t) (restrict v true t)
+let exists vs t = List.fold_left (fun t v -> exists_var v t) t vs
+
+let is_zero t = t == Zero
+let is_one t = t == One
+let equal a b = a == b
+let compare a b = Int.compare (id a) (id b)
+let hash t = id t
+let is_sat t = not (is_zero t)
+let implies a b = is_zero (conj a (neg b))
+
+let any_sat t =
+  let rec go acc = function
+    | Zero -> raise Not_found
+    | One -> List.rev acc
+    | Node { v; lo; hi; _ } ->
+        if is_zero hi then go ((v, false) :: acc) lo
+        else go ((v, true) :: acc) hi
+  in
+  go [] t
+
+let all_sat t =
+  let rec go acc t () =
+    match t with
+    | Zero -> Seq.Nil
+    | One -> Seq.Cons (List.rev acc, Seq.empty)
+    | Node { v; lo; hi; _ } ->
+        Seq.append (go ((v, false) :: acc) lo) (go ((v, true) :: acc) hi) ()
+  in
+  go [] t
+
+let sat_count ~nvars t =
+  let lvl u = match u with Zero | One -> nvars | Node n -> n.v in
+  let memo = Hashtbl.create 256 in
+  let pow2 n = Float.of_int 1 *. Float.pow 2. (Float.of_int n) in
+  let rec go t =
+    match t with
+    | Zero -> 0.
+    | One -> 1.
+    | Node { v; lo; hi; id } -> (
+        match Hashtbl.find_opt memo id with
+        | Some c -> c
+        | None ->
+            let c =
+              (go lo *. pow2 (lvl lo - v - 1))
+              +. (go hi *. pow2 (lvl hi - v - 1))
+            in
+            Hashtbl.add memo id c;
+            c)
+  in
+  go t *. pow2 (min (lvl t) nvars)
+
+let size t =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | Zero | One -> ()
+    | Node { lo; hi; id; _ } ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          go lo;
+          go hi
+        end
+  in
+  go t;
+  Hashtbl.length seen
+
+let support t =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go = function
+    | Zero | One -> ()
+    | Node { v; lo; hi; id } ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          Hashtbl.replace vars v ();
+          go lo;
+          go hi
+        end
+  in
+  go t;
+  List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let rec eval env = function
+  | Zero -> false
+  | One -> true
+  | Node { v; lo; hi; _ } -> if env v then eval env hi else eval env lo
+
+let rec pp fmt = function
+  | Zero -> Format.pp_print_string fmt "F"
+  | One -> Format.pp_print_string fmt "T"
+  | Node { v; lo; hi; _ } ->
+      Format.fprintf fmt "@[<hv 1>(x%d?%a:%a)@]" v pp hi pp lo
+
+let node_count () = Hashtbl.length unique

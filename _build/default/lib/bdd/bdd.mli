@@ -1,0 +1,78 @@
+(** Hash-consed reduced ordered binary decision diagrams.
+
+    Variables are non-negative integers ordered by their index: smaller
+    indices appear closer to the root. All BDDs built through this
+    module are maximally shared, so structural equality coincides with
+    physical equality and is O(1) via {!equal}. *)
+
+type t
+
+val zero : t
+(** The constant false. *)
+
+val one : t
+(** The constant true. *)
+
+val var : int -> t
+(** [var i] is the BDD of the propositional variable [i].
+    @raise Invalid_argument if [i < 0]. *)
+
+val nvar : int -> t
+(** [nvar i] is the negation of variable [i]. *)
+
+val neg : t -> t
+val conj : t -> t -> t
+val disj : t -> t -> t
+val xor : t -> t -> t
+val imp : t -> t -> t
+val iff : t -> t -> t
+val ite : t -> t -> t -> t
+
+val conj_list : t list -> t
+val disj_list : t list -> t
+
+val exists : int list -> t -> t
+(** Existentially quantify the given variables. *)
+
+val restrict : int -> bool -> t -> t
+(** [restrict i v t] fixes variable [i] to [v]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val is_sat : t -> bool
+val implies : t -> t -> bool
+(** [implies a b] iff [a] entails [b]. *)
+
+val any_sat : t -> (int * bool) list
+(** A partial assignment (variable, value) making the BDD true; variables
+    absent from the list are don't-cares. @raise Not_found on [zero]. *)
+
+val all_sat : t -> (int * bool) list Seq.t
+(** Lazy sequence of all satisfying partial assignments (BDD paths). *)
+
+val sat_count : nvars:int -> t -> float
+(** Number of satisfying total assignments over a universe of [nvars]
+    variables (as float: counts can exceed 2{^62}). *)
+
+val size : t -> int
+(** Number of distinct internal nodes. *)
+
+val support : t -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val eval : (int -> bool) -> t -> bool
+(** Evaluate under a total assignment. *)
+
+val node_count : unit -> int
+(** Number of live nodes in the global unique table (diagnostic). *)
+
+val clear_caches : unit -> unit
+(** Drop operation memo tables (unique table is kept). Useful between
+    large independent analyses to bound memory. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering as nested if-then-else. *)

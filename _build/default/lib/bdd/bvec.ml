@@ -1,0 +1,77 @@
+type t = int array
+
+let make a =
+  if Array.length a = 0 then invalid_arg "Bvec.make: empty";
+  Array.iter (fun v -> if v < 0 then invalid_arg "Bvec.make: negative var") a;
+  a
+
+let sequential ~first ~width =
+  if width <= 0 || first < 0 then invalid_arg "Bvec.sequential";
+  Array.init width (fun i -> first + i)
+
+let width = Array.length
+let vars t = Array.to_list t
+let bit_of_const t n i = (n lsr (width t - 1 - i)) land 1 = 1
+
+let check_const t n =
+  let w = width t in
+  if n < 0 || (w < 62 && n lsr w <> 0) then
+    invalid_arg (Printf.sprintf "Bvec: constant %d does not fit %d bits" n w)
+
+let eq_const t n =
+  check_const t n;
+  let acc = ref Bdd.one in
+  for i = width t - 1 downto 0 do
+    let lit = if bit_of_const t n i then Bdd.var t.(i) else Bdd.nvar t.(i) in
+    acc := Bdd.conj lit !acc
+  done;
+  !acc
+
+let le_const t n =
+  check_const t n;
+  (* Build from LSB up: le_i handles bits i..end. *)
+  let acc = ref Bdd.one in
+  for i = width t - 1 downto 0 do
+    acc :=
+      if bit_of_const t n i then Bdd.ite (Bdd.var t.(i)) !acc Bdd.one
+      else Bdd.conj (Bdd.nvar t.(i)) !acc
+  done;
+  !acc
+
+let ge_const t n =
+  check_const t n;
+  let acc = ref Bdd.one in
+  for i = width t - 1 downto 0 do
+    acc :=
+      if bit_of_const t n i then Bdd.conj (Bdd.var t.(i)) !acc
+      else Bdd.ite (Bdd.var t.(i)) Bdd.one !acc
+  done;
+  !acc
+
+let in_range t lo hi =
+  if lo > hi then invalid_arg "Bvec.in_range";
+  Bdd.conj (ge_const t lo) (le_const t hi)
+
+let prefix_match t ~value ~len =
+  check_const t value;
+  if len < 0 || len > width t then invalid_arg "Bvec.prefix_match";
+  let acc = ref Bdd.one in
+  for i = len - 1 downto 0 do
+    let lit =
+      if bit_of_const t value i then Bdd.var t.(i) else Bdd.nvar t.(i)
+    in
+    acc := Bdd.conj lit !acc
+  done;
+  !acc
+
+let decode t assignment =
+  let value = ref 0 in
+  let w = width t in
+  for i = 0 to w - 1 do
+    let b = match List.assoc_opt t.(i) assignment with
+      | Some b -> b
+      | None -> false
+    in
+    if b then value := !value lor (1 lsl (w - 1 - i))
+  done;
+  !value

@@ -1,0 +1,38 @@
+(** Unsigned bit-vector predicates over BDD variables.
+
+    A bit-vector is an array of BDD variable indices, most significant
+    bit first. All constants are non-negative OCaml ints and must fit in
+    the vector's width. *)
+
+type t = private int array
+
+val make : int array -> t
+(** Wrap variable indices (MSB first). @raise Invalid_argument on an
+    empty array or a negative index. *)
+
+val sequential : first:int -> width:int -> t
+(** Variables [first, first+1, ..., first+width-1]. *)
+
+val width : t -> int
+val vars : t -> int list
+
+val eq_const : t -> int -> Bdd.t
+(** [eq_const bv n]: the vector equals [n]. *)
+
+val le_const : t -> int -> Bdd.t
+val ge_const : t -> int -> Bdd.t
+
+val in_range : t -> int -> int -> Bdd.t
+(** [in_range bv lo hi]: [lo <= bv <= hi]. @raise Invalid_argument if
+    [lo > hi]. *)
+
+val prefix_match : t -> value:int -> len:int -> Bdd.t
+(** Constrain the [len] most significant bits to those of [value]
+    (itself interpreted as a full-width constant). *)
+
+val decode : t -> (int * bool) list -> int
+(** Read the vector's value back from a partial assignment; unassigned
+    bits default to 0. *)
+
+val check_const : t -> int -> unit
+(** @raise Invalid_argument if the constant does not fit the width. *)

@@ -1,0 +1,1 @@
+lib/bgp/route.ml: Community Format List Netaddr Stdlib String

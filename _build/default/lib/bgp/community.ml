@@ -1,0 +1,35 @@
+type t = { asn : int; value : int }
+
+let make asn value =
+  if asn < 0 || asn > 65535 || value < 0 || value > 65535 then
+    invalid_arg "Community.make: halves must fit 16 bits";
+  { asn; value }
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let a = String.sub s 0 i
+      and b = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b when a >= 0 && a <= 65535 && b >= 0 && b <= 65535 ->
+          Some (make a b)
+      | _ -> None)
+
+let of_string_exn s =
+  match of_string s with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Community.of_string_exn: %S" s)
+
+let to_string c = Printf.sprintf "%d:%d" c.asn c.value
+let to_pair c = (c.asn, c.value)
+let no_export = make 65535 65281
+let no_advertise = make 65535 65282
+
+let compare a b =
+  match Int.compare a.asn b.asn with
+  | 0 -> Int.compare a.value b.value
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp fmt c = Format.pp_print_string fmt (to_string c)

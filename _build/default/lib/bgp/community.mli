@@ -1,0 +1,20 @@
+(** BGP standard communities, written ["asn:value"] with two 16-bit
+    halves. *)
+
+type t = private { asn : int; value : int }
+
+val make : int -> int -> t
+(** @raise Invalid_argument unless both halves are in [0, 65535]. *)
+
+val of_string : string -> t option
+val of_string_exn : string -> t
+val to_string : t -> string
+val to_pair : t -> int * int
+
+(* Well-known communities. *)
+val no_export : t
+val no_advertise : t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

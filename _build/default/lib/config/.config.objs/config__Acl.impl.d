@@ -1,0 +1,1 @@
+lib/config/acl.ml: Action Format Int Ipv4 List Netaddr Option Packet Prefix Printf

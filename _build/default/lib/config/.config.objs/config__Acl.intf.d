@@ -1,0 +1,1 @@
+lib/config/acl.mli: Action Format Netaddr Packet

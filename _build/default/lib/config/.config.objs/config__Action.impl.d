@@ -1,0 +1,1 @@
+lib/config/action.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/config/action.mli: Format

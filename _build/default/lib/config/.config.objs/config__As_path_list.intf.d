@@ -1,0 +1,1 @@
+lib/config/as_path_list.mli: Action Format Sre

@@ -1,0 +1,1 @@
+lib/config/community_list.ml: Action Bgp Format List Sre String

@@ -1,0 +1,1 @@
+lib/config/community_list.mli: Action Bgp Format Sre

@@ -1,0 +1,1 @@
+lib/config/database.ml: Acl As_path_list Community_list Format List Map Prefix_list Route_map String

@@ -1,0 +1,1 @@
+lib/config/database.mli: Acl As_path_list Community_list Format Map Prefix_list Route_map

@@ -1,0 +1,1 @@
+lib/config/packet.ml: Format Netaddr

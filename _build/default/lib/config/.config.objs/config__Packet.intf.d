@@ -1,0 +1,1 @@
+lib/config/packet.mli: Format Netaddr

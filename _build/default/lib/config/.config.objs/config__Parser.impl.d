@@ -1,0 +1,1 @@
+lib/config/parser.ml: Acl Action As_path_list Bgp Community_list Database Format Hashtbl List Netaddr Packet Prefix_list Printexc Printf Route_map Sre Stdlib String

@@ -1,0 +1,1 @@
+lib/config/prefix_list.ml: Action Format Int List Netaddr Option Printf

@@ -1,0 +1,1 @@
+lib/config/prefix_list.mli: Action Format Netaddr

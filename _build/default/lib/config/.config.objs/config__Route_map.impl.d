@@ -1,0 +1,1 @@
+lib/config/route_map.ml: Action Bgp Format Int List Netaddr Printf Stdlib String

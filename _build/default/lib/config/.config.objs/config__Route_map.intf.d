@@ -1,0 +1,1 @@
+lib/config/route_map.mli: Action Bgp Format Netaddr

@@ -1,0 +1,1 @@
+lib/config/semantics.ml: Acl Action As_path_list Bgp Community_list Database Format List Prefix_list Route_map

@@ -1,0 +1,1 @@
+lib/config/semantics.mli: Acl Action Bgp Database Format Packet Route_map

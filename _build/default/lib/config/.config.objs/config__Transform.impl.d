@@ -1,0 +1,1 @@
+lib/config/transform.ml: Bgp Community_list Database Format List Netaddr Printf Route_map String

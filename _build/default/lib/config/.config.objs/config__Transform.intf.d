@@ -1,0 +1,1 @@
+lib/config/transform.mli: Bgp Database Format Netaddr Route_map

@@ -1,0 +1,37 @@
+(** Cisco [ip as-path access-list] definitions. *)
+
+type entry = { action : Action.t; regex : Sre.As_path_regex.t }
+type t = { name : string; entries : entry list }
+
+let make name entries =
+  let compile (action, source) =
+    { action; regex = Sre.As_path_regex.compile source }
+  in
+  { name; entries = List.map compile entries }
+
+(** First matching entry's action on the given AS path. *)
+let eval t as_path =
+  List.find_map
+    (fun e ->
+      if Sre.As_path_regex.matches e.regex as_path then Some e.action else None)
+    t.entries
+
+let matches t as_path = eval t as_path = Some Action.Permit
+
+let permitted_regexes t =
+  List.filter_map
+    (fun e ->
+      if Action.equal e.action Action.Permit then Some e.regex else None)
+    t.entries
+
+let rename t name = { t with name }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut
+    (fun fmt (e : entry) ->
+      Format.fprintf fmt "ip as-path access-list %s %s %s" t.name
+        (Action.to_string e.action)
+        (Sre.As_path_regex.source e.regex))
+    fmt t.entries;
+  Format.fprintf fmt "@]"

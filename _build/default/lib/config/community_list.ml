@@ -1,0 +1,89 @@
+(** Cisco [ip community-list] definitions, standard and expanded. *)
+
+type standard_entry = { action : Action.t; communities : Bgp.Community.t list }
+
+type expanded_entry = {
+  action : Action.t;
+  regex : Sre.Community_regex.t; (* compiled once at construction *)
+}
+
+type body =
+  | Standard of standard_entry list
+  | Expanded of expanded_entry list
+
+type t = { name : string; body : body }
+
+let standard name entries = { name; body = Standard entries }
+
+let expanded name entries =
+  let compile (action, source) =
+    { action; regex = Sre.Community_regex.compile source }
+  in
+  { name; body = Expanded (List.map compile entries) }
+
+(** First matching entry's action. A standard entry matches when the
+    route carries every listed community; an expanded entry matches when
+    at least one carried community satisfies the regex. *)
+let eval t (communities : Bgp.Community.t list) =
+  match t.body with
+  | Standard entries ->
+      List.find_map
+        (fun e ->
+          if
+            List.for_all
+              (fun c -> List.exists (Bgp.Community.equal c) communities)
+              e.communities
+          then Some e.action
+          else None)
+        entries
+  | Expanded entries ->
+      List.find_map
+        (fun e ->
+          if
+            List.exists
+              (fun c ->
+                Sre.Community_regex.matches e.regex (Bgp.Community.to_pair c))
+              communities
+          then Some e.action
+          else None)
+        entries
+
+let matches t communities = eval t communities = Some Action.Permit
+
+(** The permit-entry regexes/communities, used by the symbolic engine. *)
+let permitted_patterns t =
+  match t.body with
+  | Standard entries ->
+      `Standard
+        (List.filter_map
+           (fun (e : standard_entry) ->
+             if Action.equal e.action Action.Permit then Some e.communities
+             else None)
+           entries)
+  | Expanded entries ->
+      `Expanded
+        (List.filter_map
+           (fun e ->
+             if Action.equal e.action Action.Permit then Some e.regex else None)
+           entries)
+
+let rename t name = { t with name }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  (match t.body with
+  | Standard entries ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_cut
+        (fun fmt (e : standard_entry) ->
+          Format.fprintf fmt "ip community-list standard %s %s %s" t.name
+            (Action.to_string e.action)
+            (String.concat " " (List.map Bgp.Community.to_string e.communities)))
+        fmt entries
+  | Expanded entries ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_cut
+        (fun fmt (e : expanded_entry) ->
+          Format.fprintf fmt "ip community-list expanded %s %s %s" t.name
+            (Action.to_string e.action)
+            (Sre.Community_regex.source e.regex))
+        fmt entries);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,24 @@
+(** Line-oriented parser and printer for the Cisco IOS subset used by
+    the paper.
+
+    Supported directives:
+    - [ip prefix-list NAME [seq N] permit|deny PFX [ge N] [le N]]
+    - [ip community-list [standard|expanded] NAME permit|deny ...]
+    - [ip as-path access-list NAME permit|deny REGEX]
+    - [route-map NAME permit|deny SEQ] followed by indented
+      [match ...] / [set ...] lines
+    - [ip access-list extended NAME] followed by indented rules
+    - [access-list NUM permit|deny ...] (numbered extended ACLs)
+    - blank lines and [!] comment lines *)
+
+exception Syntax_error of { line : int; message : string }
+
+val parse : string -> (Database.t, string) result
+(** Parse a configuration; errors carry a line number and message. *)
+
+val parse_exn : string -> Database.t
+(** @raise Syntax_error on malformed input. *)
+
+val to_string : Database.t -> string
+(** Render back to Cisco syntax; [parse (to_string db)] reconstructs an
+    equivalent database (property-tested). *)

@@ -1,0 +1,147 @@
+(** Canonical form of a stanza's set-clause sequence.
+
+    Set clauses apply in order and later clauses of the same kind
+    override earlier ones; community clauses form a small pipeline
+    (replace / add / list-delete) whose composition we normalize so that
+    two stanzas can be compared for behavioural equality without
+    enumerating routes. Canonical equality is sound (equal canonical
+    forms behave identically); for community pipelines it is also
+    complete relative to the community-list definitions in the database
+    used to build them. *)
+
+type community_op =
+  | Comm_id (* leave communities unchanged *)
+  | Comm_const of Bgp.Community.t list (* replace with this set *)
+  | Comm_update of { delete : string list; add : Bgp.Community.t list }
+      (** delete what the named lists match, then add [add] *)
+
+type t = {
+  metric : int option;
+  local_pref : int option;
+  communities : community_op;
+  prepend : int list;
+  next_hop : Netaddr.Ipv4.t option;
+  tag : int option;
+  weight : int option;
+  origin : Bgp.Route.origin option;
+}
+
+let identity =
+  {
+    metric = None;
+    local_pref = None;
+    communities = Comm_id;
+    prepend = [];
+    next_hop = None;
+    tag = None;
+    weight = None;
+    origin = None;
+  }
+
+let norm_comms cs = List.sort_uniq Bgp.Community.compare cs
+
+(* Delete from a concrete set what a named list matches. *)
+let delete_matching db name cs =
+  match Database.community_list db name with
+  | None -> cs
+  | Some cl -> List.filter (fun c -> not (Community_list.matches cl [ c ])) cs
+
+let apply_clause db t = function
+  | Route_map.Set_metric n -> { t with metric = Some n }
+  | Route_map.Set_local_pref n -> { t with local_pref = Some n }
+  | Route_map.Set_community { communities; additive = false } ->
+      { t with communities = Comm_const (norm_comms communities) }
+  | Route_map.Set_community { communities; additive = true } -> (
+      match t.communities with
+      | Comm_id -> { t with communities = Comm_update { delete = []; add = norm_comms communities } }
+      | Comm_const cs ->
+          { t with communities = Comm_const (norm_comms (communities @ cs)) }
+      | Comm_update { delete; add } ->
+          {
+            t with
+            communities = Comm_update { delete; add = norm_comms (communities @ add) };
+          })
+  | Route_map.Set_comm_list_delete name -> (
+      match t.communities with
+      | Comm_id ->
+          { t with communities = Comm_update { delete = [ name ]; add = [] } }
+      | Comm_const cs ->
+          { t with communities = Comm_const (delete_matching db name cs) }
+      | Comm_update { delete; add } ->
+          {
+            t with
+            communities =
+              Comm_update
+                {
+                  delete = List.sort_uniq String.compare (name :: delete);
+                  add = delete_matching db name add;
+                };
+          })
+  | Route_map.Set_as_path_prepend asns -> { t with prepend = asns @ t.prepend }
+  | Route_map.Set_next_hop ip -> { t with next_hop = Some ip }
+  | Route_map.Set_tag n -> { t with tag = Some n }
+  | Route_map.Set_weight n -> { t with weight = Some n }
+  | Route_map.Set_origin o -> { t with origin = Some o }
+
+let of_sets db sets = List.fold_left (apply_clause db) identity sets
+
+(* Community-op equality must compare list *definitions*, not names:
+   the same name can denote different lists in two databases. *)
+let comm_op_equal db1 db2 a b =
+  match (a, b) with
+  | Comm_id, Comm_id -> true
+  | Comm_const x, Comm_const y -> x = y
+  | Comm_update u, Comm_update v ->
+      u.add = v.add
+      && List.length u.delete = List.length v.delete
+      && List.for_all2
+           (fun n1 n2 ->
+             Database.community_list db1 n1 = Database.community_list db2 n2)
+           u.delete v.delete
+  | _ -> false
+
+let equal ~db1 ~db2 a b =
+  a.metric = b.metric && a.local_pref = b.local_pref
+  && a.prepend = b.prepend && a.next_hop = b.next_hop && a.tag = b.tag
+  && a.weight = b.weight && a.origin = b.origin
+  && comm_op_equal db1 db2 a.communities b.communities
+
+let pp fmt t =
+  let parts =
+    List.concat
+      [
+        (match t.metric with Some n -> [ Printf.sprintf "metric=%d" n ] | None -> []);
+        (match t.local_pref with
+        | Some n -> [ Printf.sprintf "local-pref=%d" n ]
+        | None -> []);
+        (match t.communities with
+        | Comm_id -> []
+        | Comm_const cs ->
+            [
+              "communities:="
+              ^ String.concat "," (List.map Bgp.Community.to_string cs);
+            ]
+        | Comm_update { delete; add } ->
+            [
+              Printf.sprintf "communities-=%s+=%s"
+                (String.concat "," delete)
+                (String.concat "," (List.map Bgp.Community.to_string add));
+            ]);
+        (match t.prepend with
+        | [] -> []
+        | asns ->
+            [ "prepend=" ^ String.concat "," (List.map string_of_int asns) ]);
+        (match t.next_hop with
+        | Some ip -> [ "next-hop=" ^ Netaddr.Ipv4.to_string ip ]
+        | None -> []);
+        (match t.tag with Some n -> [ Printf.sprintf "tag=%d" n ] | None -> []);
+        (match t.weight with
+        | Some n -> [ Printf.sprintf "weight=%d" n ]
+        | None -> []);
+        (match t.origin with
+        | Some o -> [ "origin=" ^ Bgp.Route.origin_to_string o ]
+        | None -> []);
+      ]
+  in
+  Format.pp_print_string fmt
+    (if parts = [] then "(no transform)" else String.concat " " parts)

@@ -1,0 +1,39 @@
+(** Canonical form of a stanza's set-clause sequence, used to compare
+    two stanzas for behavioural equality without enumerating routes.
+
+    Equal canonical forms behave identically (soundness); community
+    pipelines additionally compare their delete-list {e definitions},
+    not names, so the comparison is meaningful across two databases. *)
+
+type community_op =
+  | Comm_id (* leave communities unchanged *)
+  | Comm_const of Bgp.Community.t list (* replace with this set *)
+  | Comm_update of { delete : string list; add : Bgp.Community.t list }
+      (** delete what the named lists match, then add [add] *)
+
+type t = {
+  metric : int option;
+  local_pref : int option;
+  communities : community_op;
+  prepend : int list;
+  next_hop : Netaddr.Ipv4.t option;
+  tag : int option;
+  weight : int option;
+  origin : Bgp.Route.origin option;
+}
+
+val identity : t
+
+val of_sets : Database.t -> Route_map.set_clause list -> t
+(** Fold the clauses in order; later clauses of the same kind override
+    earlier ones, and community clauses compose into a normalized
+    pipeline. *)
+
+val comm_op_equal :
+  Database.t -> Database.t -> community_op -> community_op -> bool
+
+val equal : db1:Database.t -> db2:Database.t -> t -> t -> bool
+(** [db1]/[db2] resolve the delete-list names of the first/second
+    transform respectively. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/acl_disambiguator.ml: Array Config Engine Format Fun List

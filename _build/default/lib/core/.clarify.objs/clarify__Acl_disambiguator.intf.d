@@ -1,0 +1,1 @@
+lib/core/acl_disambiguator.mli: Config Format

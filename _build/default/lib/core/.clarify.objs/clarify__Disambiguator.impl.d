@@ -1,0 +1,1 @@
+lib/core/disambiguator.ml: Array Bgp Config Engine Format Fun List

@@ -1,0 +1,1 @@
+lib/core/disambiguator.mli: Bgp Config Format

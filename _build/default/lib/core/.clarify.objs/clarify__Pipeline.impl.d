@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Acl_disambiguator Config Disambiguator Engine Format List Llm Naming Printf String Symbolic

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Acl_disambiguator Config Disambiguator Engine Llm

@@ -1,0 +1,1 @@
+lib/core/prefix_list_disambiguator.ml: Array Config Format Fun List Netaddr

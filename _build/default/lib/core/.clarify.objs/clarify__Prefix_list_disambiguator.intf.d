@@ -1,0 +1,1 @@
+lib/core/prefix_list_disambiguator.mli: Config Format Netaddr

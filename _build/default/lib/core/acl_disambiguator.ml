@@ -1,0 +1,164 @@
+(** Insertion disambiguation for ACL rules — the same algorithm as
+    {!Disambiguator}, over packet space. This extends the paper's
+    prototype, which handled route-maps only. *)
+
+type question = {
+  position : int;
+  boundary_seq : int;
+  packet : Config.Packet.t;
+  if_new_first : Config.Action.t;
+  if_old_first : Config.Action.t;
+}
+
+type answer = Prefer_new | Prefer_old
+type oracle = question -> answer
+type mode = Binary_search | Top_bottom | Linear
+
+type outcome = {
+  acl : Config.Acl.t;
+  position : int;
+  questions : question list;
+  boundaries : int;
+}
+
+type error = Inconsistent_intent of question list
+
+let pp_question fmt q =
+  Format.fprintf fmt
+    "@[<v>Where the new rule is placed changes the treatment of this packet \
+     (boundary: existing rule %d):@ %a@ OPTION 1 (new rule first): %a@ \
+     OPTION 2 (existing rule first): %a@]"
+    q.boundary_seq Config.Packet.pp q.packet Config.Action.pp q.if_new_first
+    Config.Action.pp q.if_old_first
+
+let insert_rule_at (acl : Config.Acl.t) pos (rule : Config.Acl.rule) =
+  let n = List.length acl.Config.Acl.rules in
+  if pos < 0 || pos > n then invalid_arg "Acl insertion position";
+  let before = List.filteri (fun i _ -> i < pos) acl.Config.Acl.rules in
+  let after = List.filteri (fun i _ -> i >= pos) acl.Config.Acl.rules in
+  Config.Acl.resequence
+    { acl with Config.Acl.rules = before @ (rule :: after) }
+
+let boundaries ~(target : Config.Acl.t) rule =
+  let n = List.length target.Config.Acl.rules in
+  let acl_at p = insert_rule_at target p rule in
+  List.filter_map
+    (fun i ->
+      match
+        Engine.Compare_acls.first_difference (acl_at i) (acl_at (i + 1))
+      with
+      | None -> None
+      | Some d ->
+          Some
+            {
+              position = i;
+              boundary_seq =
+                (List.nth target.Config.Acl.rules i).Config.Acl.seq;
+              packet = d.packet;
+              if_new_first = d.action_a;
+              if_old_first = d.action_b;
+            })
+    (List.init n Fun.id)
+
+let run ?(mode = Binary_search) ~(target : Config.Acl.t)
+    ~(rule : Config.Acl.rule) ~(oracle : oracle) () =
+  let n = List.length target.Config.Acl.rules in
+  let acl_at p = insert_rule_at target p rule in
+  let asked = ref [] in
+  let ask q =
+    asked := q :: !asked;
+    oracle q
+  in
+  match mode with
+  | Top_bottom -> (
+      match Engine.Compare_acls.first_difference (acl_at 0) (acl_at n) with
+      | None ->
+          Ok { acl = acl_at n; position = n; questions = []; boundaries = 0 }
+      | Some d -> (
+          let q =
+            {
+              position = 0;
+              boundary_seq = (List.hd target.Config.Acl.rules).Config.Acl.seq;
+              packet = d.packet;
+              if_new_first = d.action_a;
+              if_old_first = d.action_b;
+            }
+          in
+          match ask q with
+          | Prefer_new ->
+              Ok
+                {
+                  acl = acl_at 0;
+                  position = 0;
+                  questions = List.rev !asked;
+                  boundaries = 1;
+                }
+          | Prefer_old ->
+              Ok
+                {
+                  acl = acl_at n;
+                  position = n;
+                  questions = List.rev !asked;
+                  boundaries = 1;
+                }))
+  | Binary_search ->
+      let bs = boundaries ~target rule in
+      let k = List.length bs in
+      if k = 0 then
+        Ok { acl = acl_at n; position = n; questions = []; boundaries = 0 }
+      else begin
+        let arr = Array.of_list bs in
+        let lo = ref 0 and hi = ref k in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          match ask arr.(mid) with
+          | Prefer_new -> hi := mid
+          | Prefer_old -> lo := mid + 1
+        done;
+        let position = if !hi = k then n else arr.(!hi).position in
+        Ok
+          {
+            acl = acl_at position;
+            position;
+            questions = List.rev !asked;
+            boundaries = k;
+          }
+      end
+  | Linear ->
+      let bs = boundaries ~target rule in
+      let answers = List.map (fun q -> (q, ask q)) bs in
+      let rec monotone seen_new = function
+        | [] -> true
+        | (_, Prefer_new) :: rest -> monotone true rest
+        | (_, Prefer_old) :: rest -> (not seen_new) && monotone false rest
+      in
+      if not (monotone false answers) then
+        Error (Inconsistent_intent (List.rev !asked))
+      else
+        let position =
+          match List.find_opt (fun (_, a) -> a = Prefer_new) answers with
+          | Some (q, _) -> q.position
+          | None -> n
+        in
+        Ok
+          {
+            acl = acl_at position;
+            position;
+            questions = List.rev !asked;
+            boundaries = List.length bs;
+          }
+
+let scripted answers =
+  let remaining = ref answers in
+  fun (_ : question) ->
+    match !remaining with
+    | [] -> failwith "scripted oracle exhausted"
+    | a :: rest ->
+        remaining := rest;
+        a
+
+(** The ideal user: answers according to a target packet policy. *)
+let intent_driven (desired : Config.Packet.t -> Config.Action.t) =
+  fun q ->
+    if Config.Action.equal (desired q.packet) q.if_new_first then Prefer_new
+    else Prefer_old

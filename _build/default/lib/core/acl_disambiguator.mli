@@ -1,0 +1,42 @@
+(** Insertion disambiguation for ACL rules — the same algorithm as
+    {!Disambiguator}, over packet space. Extends the paper's prototype,
+    which handled route-maps only. *)
+
+type question = {
+  position : int;
+  boundary_seq : int;
+  packet : Config.Packet.t; (* differential example *)
+  if_new_first : Config.Action.t;
+  if_old_first : Config.Action.t;
+}
+
+type answer = Prefer_new | Prefer_old
+type oracle = question -> answer
+type mode = Binary_search | Top_bottom | Linear
+
+type outcome = {
+  acl : Config.Acl.t;
+  position : int;
+  questions : question list;
+  boundaries : int;
+}
+
+type error = Inconsistent_intent of question list
+
+val pp_question : Format.formatter -> question -> unit
+
+val insert_rule_at : Config.Acl.t -> int -> Config.Acl.rule -> Config.Acl.t
+(** Insert at a position (0 = first) and resequence. *)
+
+val boundaries : target:Config.Acl.t -> Config.Acl.rule -> question list
+
+val run :
+  ?mode:mode ->
+  target:Config.Acl.t ->
+  rule:Config.Acl.rule ->
+  oracle:oracle ->
+  unit ->
+  (outcome, error) result
+
+val scripted : answer list -> oracle
+val intent_driven : (Config.Packet.t -> Config.Action.t) -> oracle

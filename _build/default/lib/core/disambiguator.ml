@@ -1,0 +1,210 @@
+(** The paper's disambiguator (Section 4) for route-maps.
+
+    Candidate placements of a verified stanza [S*] into a target map of
+    [n] stanzas are positions 0..n. Adjacent placements [i] and [i+1]
+    differ exactly on routes that match [S*] and are handled by the
+    original stanza at position [i]; such a position is a {e boundary}
+    and each boundary comes with a differential example computed by
+    {!Engine.Compare_route_policies}. Under the paper's three
+    well-formedness conditions on the intended semantics [M'], the
+    user's answers are monotone across boundaries, so binary search
+    identifies the placement with a logarithmic number of questions. *)
+
+type question = {
+  position : int; (* boundary position, 0-based into the target *)
+  boundary_seq : int; (* seq of the original stanza at that position *)
+  route : Bgp.Route.t;
+  if_new_first : Config.Semantics.route_result;
+  if_old_first : Config.Semantics.route_result;
+}
+
+type answer =
+  | Prefer_new (* the route should be handled by the new stanza *)
+  | Prefer_old (* the route should keep its existing behaviour *)
+
+type oracle = question -> answer
+
+type mode =
+  | Binary_search (* the paper's Section 4 algorithm *)
+  | Top_bottom (* the paper's prototype: only positions 0 and n *)
+  | Linear (* ask every boundary; detects inconsistent intent *)
+
+type outcome = {
+  map : Config.Route_map.t;
+  position : int; (* chosen placement *)
+  questions : question list; (* in the order asked *)
+  boundaries : int; (* number of differing boundaries found *)
+}
+
+type error =
+  | Inconsistent_intent of question list
+      (** Linear mode found non-monotone answers: no single insertion
+          point implements the user's wishes (paper condition 3 fails). *)
+  | Top_bottom_insufficient of question list
+      (** Top/bottom mode: the two extreme placements both contradict
+          some user answer. *)
+
+let pp_question fmt q =
+  Format.fprintf fmt
+    "@[<v>Where the new stanza is placed changes the treatment of this \
+     route (boundary: existing stanza %d):@ %a@ @ OPTION 1 (new stanza \
+     first):@ %a@ @ OPTION 2 (existing stanza first):@ %a@]"
+    q.boundary_seq Bgp.Route.pp q.route Config.Semantics.pp_route_result
+    q.if_new_first Config.Semantics.pp_route_result q.if_old_first
+
+(* Boundary questions: position i differs from i+1 exactly on routes
+   handled by original stanza i and matched by the new stanza. *)
+let boundaries ~db ~(target : Config.Route_map.t) stanza =
+  let n = List.length target.Config.Route_map.stanzas in
+  let map_at p = Config.Route_map.insert_at target p stanza in
+  List.filter_map
+    (fun i ->
+      match
+        Engine.Compare_route_policies.first_difference ~db_a:db ~db_b:db
+          (map_at i)
+          (map_at (i + 1))
+      with
+      | None -> None
+      | Some d ->
+          Some
+            {
+              position = i;
+              boundary_seq =
+                (List.nth target.Config.Route_map.stanzas i).Config.Route_map.seq;
+              route = d.route;
+              if_new_first = d.result_a;
+              if_old_first = d.result_b;
+            })
+    (List.init n Fun.id)
+
+let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
+    ~(stanza : Config.Route_map.stanza) ~(oracle : oracle) () =
+  let n = List.length target.Config.Route_map.stanzas in
+  let map_at p = Config.Route_map.insert_at target p stanza in
+  let asked = ref [] in
+  let ask q =
+    asked := q :: !asked;
+    oracle q
+  in
+  match mode with
+  | Top_bottom -> (
+      (* The prototype's restricted mode: one comparison of the two
+         extreme placements, one question if they differ. *)
+      match
+        Engine.Compare_route_policies.first_difference ~db_a:db ~db_b:db
+          (map_at 0) (map_at n)
+      with
+      | None ->
+          Ok { map = map_at n; position = n; questions = []; boundaries = 0 }
+      | Some d -> (
+          let q =
+            {
+              position = 0;
+              boundary_seq =
+                (List.hd target.Config.Route_map.stanzas).Config.Route_map.seq;
+              route = d.route;
+              if_new_first = d.result_a;
+              if_old_first = d.result_b;
+            }
+          in
+          match ask q with
+          | Prefer_new ->
+              Ok
+                {
+                  map = map_at 0;
+                  position = 0;
+                  questions = List.rev !asked;
+                  boundaries = 1;
+                }
+          | Prefer_old ->
+              Ok
+                {
+                  map = map_at n;
+                  position = n;
+                  questions = List.rev !asked;
+                  boundaries = 1;
+                }))
+  | Binary_search ->
+      let bs = boundaries ~db ~target stanza in
+      let k = List.length bs in
+      if k = 0 then
+        (* No overlap with any existing stanza: all placements are
+           behaviourally equivalent; append at the bottom. *)
+        Ok { map = map_at n; position = n; questions = []; boundaries = 0 }
+      else begin
+        (* Find the leftmost boundary answered Prefer_new; under the
+           paper's conditions answers are monotone: a run of Prefer_old
+           followed by a run of Prefer_new. *)
+        let arr = Array.of_list bs in
+        let lo = ref 0 and hi = ref k in
+        (* invariant: boundaries < lo answered Prefer_old; >= hi Prefer_new *)
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          match ask arr.(mid) with
+          | Prefer_new -> hi := mid
+          | Prefer_old -> lo := mid + 1
+        done;
+        let position = if !hi = k then n else arr.(!hi).position in
+        Ok
+          {
+            map = map_at position;
+            position;
+            questions = List.rev !asked;
+            boundaries = k;
+          }
+      end
+  | Linear ->
+      let bs = boundaries ~db ~target stanza in
+      let answers = List.map (fun q -> (q, ask q)) bs in
+      (* Consistency: once a boundary is answered Prefer_new, every later
+         boundary must be too. *)
+      let rec monotone seen_new = function
+        | [] -> true
+        | (_, Prefer_new) :: rest -> monotone true rest
+        | (_, Prefer_old) :: rest -> (not seen_new) && monotone false rest
+      in
+      if not (monotone false answers) then
+        Error (Inconsistent_intent (List.rev !asked))
+      else
+        let position =
+          match
+            List.find_opt (fun (_, a) -> a = Prefer_new) answers
+          with
+          | Some (q, _) -> q.position
+          | None -> n
+        in
+        Ok
+          {
+            map = map_at position;
+            position;
+            questions = List.rev !asked;
+            boundaries = List.length bs;
+          }
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Answers drawn from a fixed list (for scripted tests/CLIs); raises
+    [Failure] when exhausted. *)
+let scripted answers =
+  let remaining = ref answers in
+  fun (_ : question) ->
+    match !remaining with
+    | [] -> failwith "scripted oracle exhausted"
+    | a :: rest ->
+        remaining := rest;
+        a
+
+(** The ideal user: answers according to a target semantics. *)
+let intent_driven (desired : Bgp.Route.t -> Config.Semantics.route_result) =
+  fun q ->
+    let want = desired q.route in
+    if Config.Semantics.route_result_equal want q.if_new_first then Prefer_new
+    else Prefer_old
+
+(** A user who always wants the new stanza to win on overlaps. *)
+let always_new (_ : question) = Prefer_new
+
+(** A user who never wants existing behaviour to change. *)
+let always_old (_ : question) = Prefer_old

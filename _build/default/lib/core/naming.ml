@@ -1,0 +1,102 @@
+(** Fresh naming of ancillary lists when a synthesized snippet is
+    imported into an existing configuration.
+
+    The paper's tool renames the snippet's data structures (COM_LIST,
+    PREFIX_100, ...) to fresh names D2, D3, ... on insertion; this
+    module implements that renaming and the import itself. *)
+
+let fresh_names db count =
+  let taken = Config.Database.all_names db in
+  let rec go acc k remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let candidate = Printf.sprintf "D%d" k in
+      if List.mem candidate taken then go acc (k + 1) remaining
+      else go (candidate :: acc) (k + 1) (remaining - 1)
+  in
+  go [] 0 count
+
+type imported = {
+  db : Config.Database.t; (* target db plus the renamed lists *)
+  stanza : Config.Route_map.stanza; (* references rewritten *)
+  renaming : (string * string) list;
+}
+
+(** Import a synthesized snippet (ancillary lists plus a single-stanza
+    route-map) into [db]: every list referenced by the stanza is copied
+    under a fresh [D<k>] name and the stanza's references are rewritten. *)
+let import_route_map_snippet ~db ~(snippet : Config.Database.t)
+    (rm : Config.Route_map.t) =
+  match rm.Config.Route_map.stanzas with
+  | [ snippet_stanza ] ->
+      (* Fresh names are assigned in the order the lists appear in the
+         stanza, matching the paper's D2 (community list), D3 (prefix
+         list) numbering for its running example. *)
+      let refs =
+        let in_order =
+          List.concat_map
+            (function
+              | Config.Route_map.Match_prefix_list names ->
+                  List.map (fun n -> (`Prefix_list, n)) names
+              | Config.Route_map.Match_community names ->
+                  List.map (fun n -> (`Community_list, n)) names
+              | Config.Route_map.Match_as_path names ->
+                  List.map (fun n -> (`As_path_list, n)) names
+              | Config.Route_map.Match_local_pref _
+              | Config.Route_map.Match_metric _
+              | Config.Route_map.Match_tag _ ->
+                  [])
+            snippet_stanza.Config.Route_map.matches
+          @ List.concat_map
+              (function
+                | Config.Route_map.Set_comm_list_delete name ->
+                    [ (`Community_list, name) ]
+                | _ -> [])
+              snippet_stanza.Config.Route_map.sets
+        in
+        let seen = Hashtbl.create 4 in
+        List.filter
+          (fun r ->
+            if Hashtbl.mem seen r then false
+            else begin
+              Hashtbl.add seen r ();
+              true
+            end)
+          in_order
+      in
+      let fresh = fresh_names db (List.length refs) in
+      let renaming = List.map2 (fun (_, old) n -> (old, n)) refs fresh in
+      let db' =
+        List.fold_left2
+          (fun acc (kind, old_name) new_name ->
+            match kind with
+            | `Prefix_list -> (
+                match Config.Database.prefix_list snippet old_name with
+                | Some pl ->
+                    Config.Database.add_prefix_list acc
+                      (Config.Prefix_list.rename pl new_name)
+                | None -> acc)
+            | `Community_list -> (
+                match Config.Database.community_list snippet old_name with
+                | Some cl ->
+                    Config.Database.add_community_list acc
+                      (Config.Community_list.rename cl new_name)
+                | None -> acc)
+            | `As_path_list -> (
+                match Config.Database.as_path_list snippet old_name with
+                | Some al ->
+                    Config.Database.add_as_path_list acc
+                      (Config.As_path_list.rename al new_name)
+                | None -> acc))
+          db refs fresh
+      in
+      let rewritten =
+        Config.Route_map.rename_references rm renaming
+      in
+      (match rewritten.Config.Route_map.stanzas with
+      | [ stanza' ] -> Ok { db = db'; stanza = stanza'; renaming }
+      | _ -> assert false)
+  | stanzas ->
+      Error
+        (Printf.sprintf "snippet must contain exactly one stanza, found %d"
+           (List.length stanzas))

@@ -1,0 +1,25 @@
+(** Fresh naming of ancillary lists when a synthesized snippet is
+    imported into an existing configuration (the paper's automatic
+    renaming of data-structure names on insertion: COM_LIST becomes D2,
+    PREFIX_100 becomes D3, and so on). *)
+
+val fresh_names : Config.Database.t -> int -> string list
+(** The next [n] names of the form [D<k>] not defined in the database,
+    ascending in [k]. *)
+
+type imported = {
+  db : Config.Database.t; (* target db plus the renamed lists *)
+  stanza : Config.Route_map.stanza; (* references rewritten *)
+  renaming : (string * string) list; (* old name -> fresh name *)
+}
+
+val import_route_map_snippet :
+  db:Config.Database.t ->
+  snippet:Config.Database.t ->
+  Config.Route_map.t ->
+  (imported, string) result
+(** Import a synthesized snippet (ancillary lists plus a single-stanza
+    route-map): every list the stanza references is copied under a fresh
+    [D<k>] name, assigned in the order the lists appear in the stanza,
+    and the stanza's references are rewritten. Errors when the snippet
+    does not contain exactly one stanza. *)

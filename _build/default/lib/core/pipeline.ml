@@ -1,0 +1,288 @@
+(** Clarify's end-to-end workflow (the paper's Figure 1):
+
+    classify the query → retrieve system prompt and few-shot examples →
+    LLM synthesizes one stanza in isolation → a second LLM call extracts
+    a JSON behavioural spec → the stanza is verified against the spec
+    (searchRoutePolicies / searchFilters) with counterexample feedback
+    looping back to the LLM → the verified stanza is imported under
+    fresh list names → the disambiguator binary-searches the insertion
+    point with differential-example questions to the user. *)
+
+type error =
+  | Wrong_query_type of { expected : string; got : string }
+  | Llm_error of string
+  | Parse_error of string
+  | Snippet_shape of string
+  | Verification_exhausted of string list (* verdicts per attempt *)
+  | Spec_error of string
+  | Target_not_found of string
+  | Disambiguation_failed of string
+
+let error_to_string = function
+  | Wrong_query_type { expected; got } ->
+      Printf.sprintf "classifier says this is a %s query, expected %s" got
+        expected
+  | Llm_error m -> "LLM failure: " ^ m
+  | Parse_error m -> "generated config does not parse: " ^ m
+  | Snippet_shape m -> "unexpected snippet shape: " ^ m
+  | Verification_exhausted history ->
+      "verification failed on every attempt:\n  "
+      ^ String.concat "\n  " history
+  | Spec_error m -> "spec extraction failed: " ^ m
+  | Target_not_found name -> "no route-map or ACL named " ^ name
+  | Disambiguation_failed m -> "disambiguation failed: " ^ m
+
+type route_map_report = {
+  db : Config.Database.t; (* updated configuration *)
+  map : Config.Route_map.t; (* updated target map *)
+  spec : Engine.Spec.t;
+  stanza : Config.Route_map.stanza; (* as inserted, post renaming *)
+  renaming : (string * string) list;
+  synthesis_attempts : int;
+  verification_history : string list;
+  llm_calls : int; (* calls consumed by this update *)
+  questions : Disambiguator.question list;
+  position : int;
+  boundaries : int;
+}
+
+let default_max_attempts = 5
+
+(* The verify-repair loop: ask the LLM for a snippet until it parses and
+   verifies against the spec, feeding failures back into the prompt. *)
+let synthesis_loop llm ~max_attempts ~entry ~prompt ~spec =
+  let rec attempt n ~feedback history =
+    if n > max_attempts then Error (Verification_exhausted (List.rev history))
+    else
+      let user =
+        match feedback with
+        | None -> prompt
+        | Some f -> prompt ^ "\nYour previous answer was wrong: " ^ f
+      in
+      let req =
+        {
+          Llm.Mock_llm.system = entry.Llm.Prompt_db.system;
+          few_shot = entry.Llm.Prompt_db.few_shot;
+          user;
+        }
+      in
+      match Llm.Mock_llm.synthesize llm req with
+      | Error m -> Error (Llm_error m)
+      | Ok text -> (
+          match Config.Parser.parse text with
+          | Error m ->
+              attempt (n + 1)
+                ~feedback:(Some ("syntax error: " ^ m))
+                (("attempt " ^ string_of_int n ^ ": syntax error: " ^ m)
+                :: history)
+          | Ok snippet -> (
+              match Config.Database.route_maps snippet with
+              | [ rm ] -> (
+                  match Engine.Search_route_policies.verify_stanza snippet rm spec with
+                  | Engine.Search_route_policies.Verified ->
+                      Ok (snippet, rm, n, List.rev history)
+                  | verdict ->
+                      let msg =
+                        Format.asprintf "%a"
+                          Engine.Search_route_policies.pp_verdict verdict
+                      in
+                      attempt (n + 1) ~feedback:(Some msg)
+                        (("attempt " ^ string_of_int n ^ ": " ^ msg) :: history))
+              | rms ->
+                  Error
+                    (Snippet_shape
+                       (Printf.sprintf "expected one route-map, found %d"
+                          (List.length rms)))))
+  in
+  attempt 1 ~feedback:None []
+
+(** Run one incremental route-map update end to end. *)
+let run_route_map_update ?(max_attempts = default_max_attempts)
+    ?(mode = Disambiguator.Binary_search) ~llm ~oracle ~db ~target ~prompt () =
+  let calls_before = Llm.Mock_llm.total_calls llm in
+  match Config.Database.route_map db target with
+  | None -> Error (Target_not_found target)
+  | Some target_map -> (
+      match Llm.Mock_llm.classify llm prompt with
+      | `Acl -> Error (Wrong_query_type { expected = "route-map"; got = "acl" })
+      | `Route_map -> (
+          let entry = Llm.Prompt_db.retrieve `Route_map in
+          match Llm.Mock_llm.generate_spec llm prompt with
+          | Error m -> Error (Spec_error m)
+          | Ok spec -> (
+              (* The paper has the user vet the spec here; our simulated
+                 spec generator is faithful by construction. *)
+              match synthesis_loop llm ~max_attempts ~entry ~prompt ~spec with
+              | Error e -> Error e
+              | Ok (snippet, rm, attempts, history) -> (
+                  match
+                    Naming.import_route_map_snippet ~db ~snippet rm
+                  with
+                  | Error m -> Error (Snippet_shape m)
+                  | Ok { db = db'; stanza; renaming } -> (
+                      match
+                        Disambiguator.run ~mode ~db:db' ~target:target_map
+                          ~stanza ~oracle ()
+                      with
+                      | Error (Disambiguator.Inconsistent_intent _) ->
+                          Error
+                            (Disambiguation_failed
+                               "answers are inconsistent: no single insertion \
+                                point implements this intent")
+                      | Error (Disambiguator.Top_bottom_insufficient _) ->
+                          Error
+                            (Disambiguation_failed
+                               "top/bottom placement cannot satisfy the intent")
+                      | Ok outcome ->
+                          let db'' =
+                            Config.Database.add_route_map db' outcome.map
+                          in
+                          Ok
+                            {
+                              db = db'';
+                              map = outcome.map;
+                              spec;
+                              stanza;
+                              renaming;
+                              synthesis_attempts = attempts;
+                              verification_history = history;
+                              llm_calls =
+                                Llm.Mock_llm.total_calls llm - calls_before;
+                              questions = outcome.questions;
+                              position = outcome.position;
+                              boundaries = outcome.boundaries;
+                            })))))
+
+(* ------------------------------------------------------------------ *)
+(* ACL updates                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type acl_report = {
+  db : Config.Database.t;
+  acl : Config.Acl.t;
+  rule : Config.Acl.rule;
+  synthesis_attempts : int;
+  verification_history : string list;
+  llm_calls : int;
+  questions : Acl_disambiguator.question list;
+  position : int;
+  boundaries : int;
+}
+
+(* For ACLs the intent itself is the spec: expected rule derived from
+   the parsed intent; verification compares header spaces and actions. *)
+let acl_synthesis_loop llm ~max_attempts ~entry ~prompt =
+  match Llm.Nl_parser.parse `Acl prompt with
+  | Error e -> Error (Spec_error (Llm.Nl_parser.error_message e))
+  | Ok (Llm.Intent.Route_map _) -> assert false
+  | Ok (Llm.Intent.Acl intent) -> (
+      let expected =
+        Config.Acl.rule ~seq:10 ~protocol:intent.Llm.Intent.protocol
+          ~src:intent.src ~src_port:intent.src_port ~dst:intent.dst
+          ~dst_port:intent.dst_port ~established:intent.established
+          intent.acl_action
+      in
+      let spec_space = Symbolic.Packet_space.of_rule expected in
+      let rec attempt n ~feedback history =
+        if n > max_attempts then
+          Error (Verification_exhausted (List.rev history))
+        else
+          let user =
+            match feedback with
+            | None -> prompt
+            | Some f -> prompt ^ "\nYour previous answer was wrong: " ^ f
+          in
+          let req =
+            {
+              Llm.Mock_llm.system = entry.Llm.Prompt_db.system;
+              few_shot = entry.Llm.Prompt_db.few_shot;
+              user;
+            }
+          in
+          match Llm.Mock_llm.synthesize llm req with
+          | Error m -> Error (Llm_error m)
+          | Ok text -> (
+              match Config.Parser.parse text with
+              | Error m ->
+                  attempt (n + 1)
+                    ~feedback:(Some ("syntax error: " ^ m))
+                    (("attempt " ^ string_of_int n ^ ": syntax error: " ^ m)
+                    :: history)
+              | Ok snippet -> (
+                  match Config.Database.acls snippet with
+                  | [ { Config.Acl.rules = [ rule ]; _ } ] -> (
+                      match
+                        Engine.Search_filters.verify_rule rule ~spec_space
+                          ~action:intent.acl_action
+                      with
+                      | Engine.Search_filters.Verified ->
+                          Ok (rule, n, List.rev history)
+                      | Engine.Search_filters.Wrong_action _ ->
+                          attempt (n + 1) ~feedback:(Some "wrong action")
+                            (("attempt " ^ string_of_int n ^ ": wrong action")
+                            :: history)
+                      | Engine.Search_filters.Match_too_broad p ->
+                          let msg =
+                            Format.asprintf
+                              "rule matches a packet outside the intent: %a"
+                              Config.Packet.pp p
+                          in
+                          attempt (n + 1) ~feedback:(Some msg)
+                            (("attempt " ^ string_of_int n ^ ": " ^ msg)
+                            :: history)
+                      | Engine.Search_filters.Match_too_narrow p ->
+                          let msg =
+                            Format.asprintf
+                              "rule misses a packet the intent covers: %a"
+                              Config.Packet.pp p
+                          in
+                          attempt (n + 1) ~feedback:(Some msg)
+                            (("attempt " ^ string_of_int n ^ ": " ^ msg)
+                            :: history))
+                  | _ ->
+                      attempt (n + 1)
+                        ~feedback:(Some "produce exactly one ACL rule")
+                        (("attempt " ^ string_of_int n
+                         ^ ": wrong snippet shape")
+                        :: history)))
+      in
+      attempt 1 ~feedback:None [])
+
+(** Run one incremental ACL update end to end. *)
+let run_acl_update ?(max_attempts = default_max_attempts)
+    ?(mode = Acl_disambiguator.Binary_search) ~llm ~oracle ~db ~target ~prompt
+    () =
+  let calls_before = Llm.Mock_llm.total_calls llm in
+  match Config.Database.acl db target with
+  | None -> Error (Target_not_found target)
+  | Some target_acl -> (
+      match Llm.Mock_llm.classify llm prompt with
+      | `Route_map ->
+          Error (Wrong_query_type { expected = "acl"; got = "route-map" })
+      | `Acl -> (
+          let entry = Llm.Prompt_db.retrieve `Acl in
+          match acl_synthesis_loop llm ~max_attempts ~entry ~prompt with
+          | Error e -> Error e
+          | Ok (rule, attempts, history) -> (
+              match
+                Acl_disambiguator.run ~mode ~target:target_acl ~rule ~oracle ()
+              with
+              | Error (Acl_disambiguator.Inconsistent_intent _) ->
+                  Error
+                    (Disambiguation_failed
+                       "answers are inconsistent: no single insertion point \
+                        implements this intent")
+              | Ok outcome ->
+                  let db' = Config.Database.add_acl db outcome.acl in
+                  Ok
+                    {
+                      db = db';
+                      acl = outcome.acl;
+                      rule;
+                      synthesis_attempts = attempts;
+                      verification_history = history;
+                      llm_calls = Llm.Mock_llm.total_calls llm - calls_before;
+                      questions = outcome.questions;
+                      position = outcome.position;
+                      boundaries = outcome.boundaries;
+                    })))

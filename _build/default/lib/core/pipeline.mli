@@ -1,0 +1,74 @@
+(** Clarify's end-to-end workflow (the paper's Figure 1):
+
+    classify the query → retrieve system prompt and few-shot examples →
+    the LLM synthesizes one stanza in isolation → a second LLM call
+    extracts a JSON behavioural spec → the stanza is verified against
+    the spec (searchRoutePolicies / searchFilters) with counterexample
+    feedback looping back to the LLM → the verified stanza is imported
+    under fresh list names → the disambiguator binary-searches the
+    insertion point with differential-example questions to the user. *)
+
+type error =
+  | Wrong_query_type of { expected : string; got : string }
+  | Llm_error of string
+  | Parse_error of string
+  | Snippet_shape of string
+  | Verification_exhausted of string list (* verdicts per attempt *)
+  | Spec_error of string
+  | Target_not_found of string
+  | Disambiguation_failed of string
+
+val error_to_string : error -> string
+
+type route_map_report = {
+  db : Config.Database.t; (* updated configuration *)
+  map : Config.Route_map.t; (* updated target map *)
+  spec : Engine.Spec.t;
+  stanza : Config.Route_map.stanza; (* as inserted, post renaming *)
+  renaming : (string * string) list;
+  synthesis_attempts : int;
+  verification_history : string list; (* one line per failed attempt *)
+  llm_calls : int; (* calls consumed by this update *)
+  questions : Disambiguator.question list;
+  position : int;
+  boundaries : int;
+}
+
+val default_max_attempts : int
+
+val run_route_map_update :
+  ?max_attempts:int ->
+  ?mode:Disambiguator.mode ->
+  llm:Llm.Mock_llm.t ->
+  oracle:Disambiguator.oracle ->
+  db:Config.Database.t ->
+  target:string ->
+  prompt:string ->
+  unit ->
+  (route_map_report, error) result
+(** Run one incremental route-map update end to end. *)
+
+type acl_report = {
+  db : Config.Database.t;
+  acl : Config.Acl.t;
+  rule : Config.Acl.rule;
+  synthesis_attempts : int;
+  verification_history : string list;
+  llm_calls : int;
+  questions : Acl_disambiguator.question list;
+  position : int;
+  boundaries : int;
+}
+
+val run_acl_update :
+  ?max_attempts:int ->
+  ?mode:Acl_disambiguator.mode ->
+  llm:Llm.Mock_llm.t ->
+  oracle:Acl_disambiguator.oracle ->
+  db:Config.Database.t ->
+  target:string ->
+  prompt:string ->
+  unit ->
+  (acl_report, error) result
+(** Run one incremental ACL update end to end. For ACLs the parsed
+    intent itself serves as the spec. *)

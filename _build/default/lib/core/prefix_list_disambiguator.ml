@@ -1,0 +1,179 @@
+(** Insertion disambiguation for prefix-list entries — the paper's first
+    future-work item ("support for inserting entries into other data
+    structures that can have conflicts like prefix lists").
+
+    Prefix lists have the same first-match semantics as route-maps, so
+    the same algorithm applies, with route prefixes as the inputs:
+    adjacent placements of the new entry differ exactly on prefixes that
+    match both the new entry and the existing entry at the boundary, and
+    the differential example is a concrete prefix. *)
+
+type question = {
+  position : int;
+  boundary_seq : int;
+  prefix : Netaddr.Prefix.t; (* the differential example *)
+  if_new_first : Config.Action.t; (* Cisco implicit deny when unmatched *)
+  if_old_first : Config.Action.t;
+}
+
+type answer = Prefer_new | Prefer_old
+type oracle = question -> answer
+type mode = Binary_search | Top_bottom | Linear
+
+type outcome = {
+  prefix_list : Config.Prefix_list.t;
+  position : int;
+  questions : question list;
+  boundaries : int;
+}
+
+type error = Inconsistent_intent of question list
+
+let pp_question fmt q =
+  Format.fprintf fmt
+    "@[<v>Where the new entry is placed changes the treatment of this \
+     prefix (boundary: existing entry %d):@ %a@ OPTION 1 (new entry \
+     first): %a@ OPTION 2 (existing entry first): %a@]"
+    q.boundary_seq Netaddr.Prefix.pp q.prefix Config.Action.pp q.if_new_first
+    Config.Action.pp q.if_old_first
+
+let insert_entry_at (pl : Config.Prefix_list.t) pos
+    (entry : Config.Prefix_list.entry) =
+  let n = List.length pl.Config.Prefix_list.entries in
+  if pos < 0 || pos > n then invalid_arg "Prefix_list insertion position";
+  let before = List.filteri (fun i _ -> i < pos) pl.Config.Prefix_list.entries in
+  let after = List.filteri (fun i _ -> i >= pos) pl.Config.Prefix_list.entries in
+  let entries =
+    List.mapi
+      (fun i (e : Config.Prefix_list.entry) ->
+        { e with Config.Prefix_list.seq = (i + 1) * 10 })
+      (before @ (entry :: after))
+  in
+  Config.Prefix_list.make pl.Config.Prefix_list.name entries
+
+(* First-match evaluation with the implicit deny made explicit. *)
+let eval pl p =
+  match Config.Prefix_list.eval pl p with
+  | Some a -> a
+  | None -> Config.Action.Deny
+
+(* Adjacent placements i and i+1 differ exactly on prefixes matching
+   both the new entry and existing entry i, provided no earlier entry
+   captures them first and the two entries' actions differ. The
+   shadowing check is done concretely on the witness. *)
+let boundaries ~(target : Config.Prefix_list.t)
+    (entry : Config.Prefix_list.entry) =
+  let n = List.length target.Config.Prefix_list.entries in
+  let pl_at p = insert_entry_at target p entry in
+  List.filter_map
+    (fun i ->
+      let a = pl_at i and b = pl_at (i + 1) in
+      let existing = List.nth target.Config.Prefix_list.entries i in
+      match
+        Netaddr.Prefix_range.witness_overlap entry.Config.Prefix_list.range
+          existing.Config.Prefix_list.range
+      with
+      | None -> None
+      | Some w ->
+          (* The base witness may be shadowed by an earlier entry; a
+             boundary exists iff the two placements actually disagree on
+             it. (Within one overlap region the disagreement set is a
+             sub-window; the canonical witness lies inside it whenever
+             it is nonempty because both placements share the earlier
+             entries.) *)
+          if Config.Action.equal (eval a w) (eval b w) then None
+          else
+            Some
+              {
+                position = i;
+                boundary_seq = existing.Config.Prefix_list.seq;
+                prefix = w;
+                if_new_first = eval a w;
+                if_old_first = eval b w;
+              })
+    (List.init n Fun.id)
+
+let run ?(mode = Binary_search) ~(target : Config.Prefix_list.t)
+    ~(entry : Config.Prefix_list.entry) ~(oracle : oracle) () =
+  let n = List.length target.Config.Prefix_list.entries in
+  let pl_at p = insert_entry_at target p entry in
+  let asked = ref [] in
+  let ask q =
+    asked := q :: !asked;
+    oracle q
+  in
+  match mode with
+  | Top_bottom -> (
+      let bs = boundaries ~target entry in
+      match bs with
+      | [] -> Ok { prefix_list = pl_at n; position = n; questions = []; boundaries = 0 }
+      | q :: _ -> (
+          match ask q with
+          | Prefer_new ->
+              Ok
+                {
+                  prefix_list = pl_at 0;
+                  position = 0;
+                  questions = List.rev !asked;
+                  boundaries = List.length bs;
+                }
+          | Prefer_old ->
+              Ok
+                {
+                  prefix_list = pl_at n;
+                  position = n;
+                  questions = List.rev !asked;
+                  boundaries = List.length bs;
+                }))
+  | Binary_search ->
+      let bs = boundaries ~target entry in
+      let k = List.length bs in
+      if k = 0 then
+        Ok { prefix_list = pl_at n; position = n; questions = []; boundaries = 0 }
+      else begin
+        let arr = Array.of_list bs in
+        let lo = ref 0 and hi = ref k in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          match ask arr.(mid) with
+          | Prefer_new -> hi := mid
+          | Prefer_old -> lo := mid + 1
+        done;
+        let position = if !hi = k then n else arr.(!hi).position in
+        Ok
+          {
+            prefix_list = pl_at position;
+            position;
+            questions = List.rev !asked;
+            boundaries = k;
+          }
+      end
+  | Linear ->
+      let bs = boundaries ~target entry in
+      let answers = List.map (fun q -> (q, ask q)) bs in
+      let rec monotone seen_new = function
+        | [] -> true
+        | (_, Prefer_new) :: rest -> monotone true rest
+        | (_, Prefer_old) :: rest -> (not seen_new) && monotone false rest
+      in
+      if not (monotone false answers) then
+        Error (Inconsistent_intent (List.rev !asked))
+      else
+        let position =
+          match List.find_opt (fun (_, a) -> a = Prefer_new) answers with
+          | Some (q, _) -> q.position
+          | None -> n
+        in
+        Ok
+          {
+            prefix_list = pl_at position;
+            position;
+            questions = List.rev !asked;
+            boundaries = List.length bs;
+          }
+
+(** The ideal user: answers according to a target prefix policy. *)
+let intent_driven (desired : Netaddr.Prefix.t -> Config.Action.t) =
+  fun q ->
+    if Config.Action.equal (desired q.prefix) q.if_new_first then Prefer_new
+    else Prefer_old

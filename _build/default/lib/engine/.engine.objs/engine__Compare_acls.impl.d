@@ -1,0 +1,1 @@
+lib/engine/compare_acls.ml: Bdd Config Format List Symbdd Symbolic

@@ -1,0 +1,1 @@
+lib/engine/compare_acls.mli: Config Format

@@ -1,0 +1,1 @@
+lib/engine/compare_route_policies.ml: Array Bdd Bgp Config Format List Symbdd Symbolic

@@ -1,0 +1,1 @@
+lib/engine/compare_route_policies.mli: Bgp Config Format

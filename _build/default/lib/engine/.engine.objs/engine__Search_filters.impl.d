@@ -1,0 +1,1 @@
+lib/engine/search_filters.ml: Bdd Config List Symbdd Symbolic

@@ -1,0 +1,1 @@
+lib/engine/search_filters.mli: Config Symbdd

@@ -1,0 +1,1 @@
+lib/engine/search_route_policies.ml: Bdd Bgp Bvec Config Format List Option Printf Spec Sre String Symbdd Symbolic

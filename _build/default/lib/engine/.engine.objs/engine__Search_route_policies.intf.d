@@ -1,0 +1,1 @@
+lib/engine/search_route_policies.mli: Bgp Config Format Spec Sre Symbdd Symbolic

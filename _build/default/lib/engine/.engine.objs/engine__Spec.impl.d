@@ -1,0 +1,1 @@
+lib/engine/spec.ml: Bgp Config Format Json List Netaddr Option Printf Sre String

@@ -1,0 +1,1 @@
+lib/engine/spec.mli: Bgp Config Format Json Netaddr Sre

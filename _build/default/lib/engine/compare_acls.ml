@@ -1,0 +1,55 @@
+(** Behavioural diff of two ACLs, used to generate differential packet
+    examples for ACL insertion disambiguation. *)
+
+open Symbdd
+module Ps = Symbolic.Packet_space
+
+type difference = {
+  packet : Config.Packet.t;
+  action_a : Config.Action.t;
+  action_b : Config.Action.t;
+  rule_a : int option; (* handling rule seq under A; None = implicit deny *)
+  rule_b : int option;
+}
+
+(** All behavioural differences, one example packet per differing pair
+    of execution cells, capped at [limit]. *)
+let compare ?(limit = max_int) (a : Config.Acl.t) (b : Config.Acl.t) =
+  let cells_a = Ps.exec a and cells_b = Ps.exec b in
+  let out = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun (ca : Ps.cell) ->
+      List.iter
+        (fun (cb : Ps.cell) ->
+          if !count < limit && not (Config.Action.equal ca.action cb.action)
+          then
+            match Ps.to_packet (Bdd.conj ca.guard cb.guard) with
+            | None -> ()
+            | Some packet ->
+                out :=
+                  {
+                    packet;
+                    action_a = ca.action;
+                    action_b = cb.action;
+                    rule_a = ca.rule_seq;
+                    rule_b = cb.rule_seq;
+                  }
+                  :: !out;
+                incr count)
+        cells_b)
+    cells_a;
+  List.rev !out
+
+let first_difference a b =
+  match compare ~limit:1 a b with [] -> None | d :: _ -> Some d
+
+let equal_behavior a b = first_difference a b = None
+
+let pp_difference fmt d =
+  Format.fprintf fmt
+    "@[<v>Input packet: %a@ OPTION A: %a (rule %s)@ OPTION B: %a (rule %s)@]"
+    Config.Packet.pp d.packet Config.Action.pp d.action_a
+    (match d.rule_a with Some s -> string_of_int s | None -> "implicit deny")
+    Config.Action.pp d.action_b
+    (match d.rule_b with Some s -> string_of_int s | None -> "implicit deny")

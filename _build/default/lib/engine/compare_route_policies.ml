@@ -1,0 +1,141 @@
+(** Behavioural diff of two route-maps — the analogue of Batfish's
+    [compareRoutePolicies].
+
+    The two maps may live in different databases (e.g. two candidate
+    insertions of a synthesized stanza, each carrying freshly named
+    ancillary lists). Differences are reported as concrete input routes
+    together with both outcomes. *)
+
+open Symbdd
+module Ctx = Symbolic.Route_ctx
+
+type difference = {
+  route : Bgp.Route.t;
+  result_a : Config.Semantics.route_result;
+  result_b : Config.Semantics.route_result;
+  stanza_a : int option; (* seq of the handling stanza, None = implicit *)
+  stanza_b : int option;
+}
+
+let context ~db_a ~db_b rm_a rm_b =
+  Ctx.create [ (db_a, [ rm_a ]); (db_b, [ rm_b ]) ]
+
+(* Apply a canonical community pipeline to a concrete community set. *)
+let apply_comm_op db op cs =
+  match op with
+  | Config.Transform.Comm_id -> List.sort_uniq Bgp.Community.compare cs
+  | Config.Transform.Comm_const s -> s
+  | Config.Transform.Comm_update { delete; add } ->
+      let survives c =
+        not
+          (List.exists
+             (fun name ->
+               match Config.Database.community_list db name with
+               | Some cl -> Config.Community_list.matches cl [ c ]
+               | None -> false)
+             delete)
+      in
+      List.sort_uniq Bgp.Community.compare (add @ List.filter survives cs)
+
+(* Community sets (as subsets of the universe) on which the two
+   pipelines produce different outputs: candidates are the empty set,
+   every singleton, and the full universe. *)
+let separating_sets ctx ~db_a ~db_b op_a op_b =
+  let universe = Array.to_list ctx.Ctx.comm_universe in
+  let candidates =
+    ([] :: List.map (fun u -> [ u ]) universe) @ [ universe ]
+  in
+  List.filter
+    (fun s -> apply_comm_op db_a op_a s <> apply_comm_op db_b op_b s)
+    candidates
+
+(* Force a route whose community set is exactly [s]. *)
+let route_with_comms ctx region s =
+  let cube =
+    Bdd.conj_list
+      (List.mapi
+         (fun i u ->
+           if List.exists (Bgp.Community.equal u) s then
+             Bdd.var (Ctx.atom_base + i)
+           else Bdd.nvar (Ctx.atom_base + i))
+         (Array.to_list ctx.Ctx.comm_universe))
+  in
+  Ctx.to_route ctx (Bdd.conj region cube)
+
+(* Pick an example route from a region, preferring one that exposes
+   community-transform differences when the two pipelines differ. *)
+let sample_route ctx ~db_a ~db_b op_a op_b region =
+  let targeted =
+    if Config.Transform.comm_op_equal db_a db_b op_a op_b then None
+    else
+      List.find_map
+        (fun s -> route_with_comms ctx region s)
+        (separating_sets ctx ~db_a ~db_b op_a op_b)
+  in
+  match targeted with Some r -> Some r | None -> Ctx.to_route ctx region
+
+let concrete_results ~db_a ~db_b rm_a rm_b route =
+  ( Config.Semantics.eval_route_map db_a rm_a route,
+    Config.Semantics.eval_route_map db_b rm_b route )
+
+(** All behavioural differences, one example per differing pair of
+    execution cells, capped at [limit]. *)
+let compare ?(limit = max_int) ~db_a ~db_b (rm_a : Config.Route_map.t)
+    (rm_b : Config.Route_map.t) =
+  let ctx = context ~db_a ~db_b rm_a rm_b in
+  let cells_a = Ctx.exec ctx db_a rm_a in
+  let cells_b = Ctx.exec ctx db_b rm_b in
+  let differences = ref [] in
+  let count = ref 0 in
+  let emit route (ra, rb) sa sb =
+    if not (Config.Semantics.route_result_equal ra rb) then begin
+      differences :=
+        { route; result_a = ra; result_b = rb; stanza_a = sa; stanza_b = sb }
+        :: !differences;
+      incr count
+    end
+  in
+  List.iter
+    (fun (ca : Ctx.cell) ->
+      List.iter
+        (fun (cb : Ctx.cell) ->
+          if !count < limit then begin
+            let region = Bdd.conj ca.guard cb.guard in
+            let maybe_differs =
+              match (ca.action, cb.action) with
+              | Config.Action.Deny, Config.Action.Deny -> false
+              | Config.Action.Permit, Config.Action.Permit ->
+                  not
+                    (Config.Transform.equal ~db1:db_a ~db2:db_b
+                       (Config.Transform.of_sets db_a ca.sets)
+                       (Config.Transform.of_sets db_b cb.sets))
+              | _ -> true
+            in
+            if maybe_differs then
+              let op_a = (Config.Transform.of_sets db_a ca.sets).communities in
+              let op_b = (Config.Transform.of_sets db_b cb.sets).communities in
+              match sample_route ctx ~db_a ~db_b op_a op_b region with
+              | None -> ()
+              | Some route ->
+                  emit route
+                    (concrete_results ~db_a ~db_b rm_a rm_b route)
+                    ca.stanza_seq cb.stanza_seq
+          end)
+        cells_b)
+    cells_a;
+  List.rev !differences
+
+(** First behavioural difference, if any. *)
+let first_difference ~db_a ~db_b rm_a rm_b =
+  match compare ~limit:1 ~db_a ~db_b rm_a rm_b with
+  | [] -> None
+  | d :: _ -> Some d
+
+let equal_behavior ~db_a ~db_b rm_a rm_b =
+  first_difference ~db_a ~db_b rm_a rm_b = None
+
+let pp_difference fmt d =
+  Format.fprintf fmt
+    "@[<v>Input route:@ %a@ @ OPTION A:@ %a@ @ OPTION B:@ %a@]" Bgp.Route.pp
+    d.route Config.Semantics.pp_route_result d.result_a
+    Config.Semantics.pp_route_result d.result_b

@@ -1,0 +1,43 @@
+(** Behavioural diff of two route-maps — the analogue of Batfish's
+    [compareRoutePolicies].
+
+    The maps may live in different databases (e.g. two candidate
+    insertions of a synthesized stanza, each carrying freshly named
+    ancillary lists). Differences are reported as concrete input routes
+    together with both outcomes; community-transform differences are
+    exposed by targeted sampling of separating community sets. *)
+
+type difference = {
+  route : Bgp.Route.t;
+  result_a : Config.Semantics.route_result;
+  result_b : Config.Semantics.route_result;
+  stanza_a : int option; (* seq of the handling stanza; None = implicit *)
+  stanza_b : int option;
+}
+
+val compare :
+  ?limit:int ->
+  db_a:Config.Database.t ->
+  db_b:Config.Database.t ->
+  Config.Route_map.t ->
+  Config.Route_map.t ->
+  difference list
+(** All behavioural differences, one example per differing pair of
+    execution cells, capped at [limit]. *)
+
+val first_difference :
+  db_a:Config.Database.t ->
+  db_b:Config.Database.t ->
+  Config.Route_map.t ->
+  Config.Route_map.t ->
+  difference option
+
+val equal_behavior :
+  db_a:Config.Database.t ->
+  db_b:Config.Database.t ->
+  Config.Route_map.t ->
+  Config.Route_map.t ->
+  bool
+
+val pp_difference : Format.formatter -> difference -> unit
+(** Rendered in the paper's OPTION 1 / OPTION 2 style. *)

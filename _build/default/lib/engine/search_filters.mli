@@ -1,0 +1,34 @@
+(** ACL search — the analogue of Batfish's [searchFilters]: find a
+    packet within a header-space constraint for which the ACL takes a
+    given action, or prove there is none. *)
+
+type query = {
+  within : Symbdd.Bdd.t; (* header-space constraint; [Bdd.one] = all *)
+  action : Config.Action.t; (* final ACL action sought *)
+}
+
+val any_query : Config.Action.t -> query
+
+val action_space : Config.Acl.t -> Config.Action.t -> Symbdd.Bdd.t
+(** Header space on which the ACL's final action is the given one. *)
+
+val search : Config.Acl.t -> query -> Config.Packet.t option
+(** A packet satisfying the query, if any. *)
+
+val differ : Config.Acl.t -> Config.Acl.t -> Config.Packet.t option
+(** A packet the two ACLs treat differently, if any. *)
+
+type verdict =
+  | Verified
+  | Wrong_action of { expected : Config.Action.t }
+  | Match_too_broad of Config.Packet.t (* rule matches, spec does not *)
+  | Match_too_narrow of Config.Packet.t (* spec matches, rule does not *)
+
+val verify_rule :
+  Config.Acl.rule ->
+  spec_space:Symbdd.Bdd.t ->
+  action:Config.Action.t ->
+  verdict
+(** Verify a single synthesized ACL rule against a header-space spec:
+    the rule's match condition must equal the spec space and the action
+    must agree; counterexamples are concrete packets. *)

@@ -1,0 +1,294 @@
+(** Behavioural specifications for a single route-map stanza or ACL
+    rule, in the paper's JSON format:
+
+    {v
+    { "permit": true,
+      "prefix": ["100.0.0.0/16:16-23"],
+      "community": "/_300:3_/",
+      "set": { "metric": 55 } }
+    v}
+
+    A spec pairs a match condition (conjunction of the given fields)
+    with an expected action and expected set clauses. *)
+
+type t = {
+  action : Config.Action.t;
+  prefixes : Netaddr.Prefix_range.t list; (* OR; empty = unconstrained *)
+  community : Sre.Community_regex.t option;
+  communities_all : Bgp.Community.t list; (* carries all of these *)
+  as_path : Sre.As_path_regex.t option;
+  local_pref : int option;
+  metric : int option;
+  tag : int option;
+  sets : Config.Route_map.set_clause list;
+}
+
+let make ?(prefixes = []) ?community ?(communities_all = []) ?as_path
+    ?local_pref ?metric ?tag ?(sets = []) action =
+  {
+    action;
+    prefixes;
+    community;
+    communities_all;
+    as_path;
+    local_pref;
+    metric;
+    tag;
+    sets;
+  }
+
+exception Spec_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Spec_error s)) fmt
+
+(* "100.0.0.0/16:16-23" — base prefix and length window. *)
+let parse_prefix_entry s =
+  let range_of prefix lo hi =
+    try Netaddr.Prefix_range.make prefix ~ge:(Some lo) ~le:(Some hi)
+    with Invalid_argument m -> fail "%s" m
+  in
+  match String.rindex_opt s ':' with
+  | None -> (
+      match Netaddr.Prefix.of_string s with
+      | Some p -> Netaddr.Prefix_range.exact p
+      | None -> fail "bad prefix %S" s)
+  | Some i -> (
+      let pfx = String.sub s 0 i in
+      let window = String.sub s (i + 1) (String.length s - i - 1) in
+      match
+        ( Netaddr.Prefix.of_string pfx,
+          String.split_on_char '-' window |> List.map int_of_string_opt )
+      with
+      | Some p, [ Some lo; Some hi ] -> range_of p lo hi
+      | _ -> fail "bad prefix range %S" s)
+
+let print_prefix_entry (r : Netaddr.Prefix_range.t) =
+  Printf.sprintf "%s:%d-%d" (Netaddr.Prefix.to_string r.prefix) r.lo r.hi
+
+(* Strip the /.../ decoration the paper uses around regexes. *)
+let strip_slashes s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '/' && s.[n - 1] = '/' then String.sub s 1 (n - 2)
+  else s
+
+let sets_of_json j =
+  match j with
+  | Json.Obj fields ->
+      List.map
+        (fun (k, v) ->
+          match (k, v) with
+          | "metric", Json.Int n -> Config.Route_map.Set_metric n
+          | "local-preference", Json.Int n -> Config.Route_map.Set_local_pref n
+          | "localPreference", Json.Int n -> Config.Route_map.Set_local_pref n
+          | "tag", Json.Int n -> Config.Route_map.Set_tag n
+          | "weight", Json.Int n -> Config.Route_map.Set_weight n
+          | "next-hop", Json.String s | "nextHop", Json.String s -> (
+              match Netaddr.Ipv4.of_string s with
+              | Some ip -> Config.Route_map.Set_next_hop ip
+              | None -> fail "bad next-hop %S" s)
+          | "community", Json.List cs ->
+              let communities =
+                List.map
+                  (fun c ->
+                    match c with
+                    | Json.String s -> (
+                        match Bgp.Community.of_string s with
+                        | Some c -> c
+                        | None -> fail "bad community %S" s)
+                    | _ -> fail "bad community value")
+                  cs
+              in
+              Config.Route_map.Set_community { communities; additive = false }
+          | "communityAdditive", Json.List cs ->
+              let communities =
+                List.map
+                  (fun c ->
+                    match Json.to_str c with
+                    | Some s -> (
+                        match Bgp.Community.of_string s with
+                        | Some c -> c
+                        | None -> fail "bad community %S" s)
+                    | None -> fail "bad community value")
+                  cs
+              in
+              Config.Route_map.Set_community { communities; additive = true }
+          | "prepend", Json.List asns ->
+              Config.Route_map.Set_as_path_prepend
+                (List.map
+                   (fun a ->
+                     match Json.to_int a with
+                     | Some n -> n
+                     | None -> fail "bad prepend asn")
+                   asns)
+          | "origin", Json.String s ->
+              Config.Route_map.Set_origin
+                (match s with
+                | "igp" -> Bgp.Route.Igp
+                | "egp" -> Bgp.Route.Egp
+                | "incomplete" -> Bgp.Route.Incomplete
+                | _ -> fail "bad origin %S" s)
+          | k, _ -> fail "unknown set field %S" k)
+        fields
+  | _ -> fail "\"set\" must be an object"
+
+let of_json j =
+  let action =
+    match Json.member "permit" j with
+    | Some (Json.Bool true) -> Config.Action.Permit
+    | Some (Json.Bool false) -> Config.Action.Deny
+    | _ -> fail "spec needs a boolean \"permit\" field"
+  in
+  let prefixes =
+    match Json.member "prefix" j with
+    | None -> []
+    | Some (Json.List entries) ->
+        List.map
+          (fun e ->
+            match Json.to_str e with
+            | Some s -> parse_prefix_entry s
+            | None -> fail "prefix entries must be strings")
+          entries
+    | Some (Json.String s) -> [ parse_prefix_entry s ]
+    | Some _ -> fail "\"prefix\" must be a list of strings"
+  in
+  let community =
+    match Json.member "community" j with
+    | None -> None
+    | Some (Json.String s) ->
+        Some (Sre.Community_regex.compile (strip_slashes s))
+    | Some _ -> fail "\"community\" must be a regex string"
+  in
+  let communities_all =
+    match Json.member "communitiesAll" j with
+    | None -> []
+    | Some (Json.List entries) ->
+        List.map
+          (fun e ->
+            match Option.bind (Json.to_str e) Bgp.Community.of_string with
+            | Some c -> c
+            | None -> fail "bad community in communitiesAll")
+          entries
+    | Some _ -> fail "\"communitiesAll\" must be a list of strings"
+  in
+  let as_path =
+    match Json.member "asPath" j with
+    | None -> None
+    | Some (Json.String s) -> Some (Sre.As_path_regex.compile (strip_slashes s))
+    | Some _ -> fail "\"asPath\" must be a regex string"
+  in
+  let int_field name =
+    match Json.member name j with
+    | None -> None
+    | Some (Json.Int n) -> Some n
+    | Some _ -> fail "%S must be an integer" name
+  in
+  let sets =
+    match Json.member "set" j with None -> [] | Some s -> sets_of_json s
+  in
+  {
+    action;
+    prefixes;
+    community;
+    communities_all;
+    as_path;
+    local_pref = int_field "localPreference";
+    metric = int_field "metric";
+    tag = int_field "tag";
+    sets;
+  }
+
+let of_string s =
+  match Json.parse s with
+  | Error m -> Error m
+  | Ok j -> ( try Ok (of_json j) with Spec_error m -> Error m)
+
+let sets_to_json sets =
+  Json.Obj
+    (List.map
+       (function
+         | Config.Route_map.Set_metric n -> ("metric", Json.Int n)
+         | Config.Route_map.Set_local_pref n ->
+             ("localPreference", Json.Int n)
+         | Config.Route_map.Set_tag n -> ("tag", Json.Int n)
+         | Config.Route_map.Set_weight n -> ("weight", Json.Int n)
+         | Config.Route_map.Set_next_hop ip ->
+             ("nextHop", Json.String (Netaddr.Ipv4.to_string ip))
+         | Config.Route_map.Set_community { communities; additive } ->
+             ( (if additive then "communityAdditive" else "community"),
+               Json.List
+                 (List.map
+                    (fun c -> Json.String (Bgp.Community.to_string c))
+                    communities) )
+         | Config.Route_map.Set_comm_list_delete name ->
+             ("commListDelete", Json.String name)
+         | Config.Route_map.Set_as_path_prepend asns ->
+             ("prepend", Json.List (List.map (fun a -> Json.Int a) asns))
+         | Config.Route_map.Set_origin o ->
+             ("origin", Json.String (Bgp.Route.origin_to_string o)))
+       sets)
+
+let to_json t =
+  Json.Obj
+    (List.concat
+       [
+         [ ("permit", Json.Bool (t.action = Config.Action.Permit)) ];
+         (match t.prefixes with
+         | [] -> []
+         | ps ->
+             [
+               ( "prefix",
+                 Json.List (List.map (fun p -> Json.String (print_prefix_entry p)) ps)
+               );
+             ]);
+         (match t.community with
+         | None -> []
+         | Some r ->
+             [
+               ( "community",
+                 Json.String ("/" ^ Sre.Community_regex.source r ^ "/") );
+             ]);
+         (match t.communities_all with
+         | [] -> []
+         | cs ->
+             [
+               ( "communitiesAll",
+                 Json.List
+                   (List.map
+                      (fun c -> Json.String (Bgp.Community.to_string c))
+                      cs) );
+             ]);
+         (match t.as_path with
+         | None -> []
+         | Some r ->
+             [ ("asPath", Json.String ("/" ^ Sre.As_path_regex.source r ^ "/")) ]);
+         (match t.local_pref with
+         | None -> []
+         | Some n -> [ ("localPreference", Json.Int n) ]);
+         (match t.metric with None -> [] | Some n -> [ ("metric", Json.Int n) ]);
+         (match t.tag with None -> [] | Some n -> [ ("tag", Json.Int n) ]);
+         (match t.sets with [] -> [] | sets -> [ ("set", sets_to_json sets) ]);
+       ])
+
+let to_string t = Json.to_string (to_json t)
+
+(** Does a concrete route satisfy the spec's match condition? *)
+let matches t (r : Bgp.Route.t) =
+  (t.prefixes = []
+  || List.exists (fun p -> Netaddr.Prefix_range.matches p r.prefix) t.prefixes)
+  && (match t.community with
+     | None -> true
+     | Some regex ->
+         List.exists
+           (fun c -> Sre.Community_regex.matches regex (Bgp.Community.to_pair c))
+           r.communities)
+  && List.for_all
+       (fun c -> List.exists (Bgp.Community.equal c) r.communities)
+       t.communities_all
+  && (match t.as_path with
+     | None -> true
+     | Some regex -> Sre.As_path_regex.matches regex r.as_path)
+  && (match t.local_pref with None -> true | Some n -> r.local_pref = n)
+  && (match t.metric with None -> true | Some n -> r.metric = n)
+  && match t.tag with None -> true | Some n -> r.tag = n
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,53 @@
+(** Behavioural specifications for a single route-map stanza, in the
+    paper's JSON format:
+
+    {v
+    { "permit": true,
+      "prefix": ["100.0.0.0/16:16-23"],
+      "community": "/_300:3_/",
+      "set": { "metric": 55 } }
+    v}
+
+    A spec pairs a match condition (conjunction of the given fields,
+    empty fields unconstrained) with an expected action and expected
+    set clauses. Additional fields beyond the paper's example:
+    ["communitiesAll"] (route carries all the listed communities),
+    ["asPath"], ["localPreference"], ["metric"], ["tag"]. *)
+
+type t = {
+  action : Config.Action.t;
+  prefixes : Netaddr.Prefix_range.t list; (* OR; empty = unconstrained *)
+  community : Sre.Community_regex.t option; (* >=1 matching community *)
+  communities_all : Bgp.Community.t list; (* carries all of these *)
+  as_path : Sre.As_path_regex.t option;
+  local_pref : int option;
+  metric : int option;
+  tag : int option;
+  sets : Config.Route_map.set_clause list;
+}
+
+val make :
+  ?prefixes:Netaddr.Prefix_range.t list ->
+  ?community:Sre.Community_regex.t ->
+  ?communities_all:Bgp.Community.t list ->
+  ?as_path:Sre.As_path_regex.t ->
+  ?local_pref:int ->
+  ?metric:int ->
+  ?tag:int ->
+  ?sets:Config.Route_map.set_clause list ->
+  Config.Action.t ->
+  t
+
+exception Spec_error of string
+
+val of_json : Json.t -> t
+(** @raise Spec_error on malformed specs. *)
+
+val of_string : string -> (t, string) result
+val to_json : t -> Json.t
+val to_string : t -> string
+
+val matches : t -> Bgp.Route.t -> bool
+(** Does a concrete route satisfy the spec's match condition? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/evaluation/a2_llm_disambiguator.ml: Clarify Config E1_running_example Engine Format List Llm Netaddr Option Printf

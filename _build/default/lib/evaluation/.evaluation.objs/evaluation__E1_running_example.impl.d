@@ -1,0 +1,1 @@
+lib/evaluation/e1_running_example.ml: Clarify Config Engine Format Json List Llm Option

@@ -1,0 +1,1 @@
+lib/evaluation/e23_overlap_study.ml: Format List Overlap Printf Workload

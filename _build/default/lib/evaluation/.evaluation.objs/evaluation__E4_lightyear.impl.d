@@ -1,0 +1,1 @@
+lib/evaluation/e4_lightyear.ml: Clarify Config Format List Llm Netaddr Netsim Option Printf String

@@ -1,0 +1,152 @@
+(** Ablation A2 — "can the LLM play the disambiguator?" (the question
+    the paper raises in its conclusion).
+
+    Over a family of insertion scenarios with a hidden desired
+    placement, we compare:
+    - the heuristic LLM-style placement guess ({!Llm.Llm_placement}),
+      which asks the user nothing;
+    - Clarify's symbolic binary-search disambiguator, which asks
+      differential-example questions and is correct by construction.
+
+    Accuracy is behavioural: a placement counts as correct when the
+    resulting map is behaviourally equal to the desired one. *)
+
+type result = {
+  scenarios : int;
+  llm_correct : int;
+  clarify_correct : int;
+  clarify_questions_total : int;
+}
+
+(* The paper's running example with every possible desired placement,
+   plus nested-overlap maps of growing size: each (map, stanza, p)
+   triple is one scenario. *)
+let scenarios () =
+  let e1 =
+    let db =
+      match Config.Parser.parse E1_running_example.isp_out_config with
+      | Ok db -> db
+      | Error m -> failwith m
+    in
+    let snippet =
+      match
+        Config.Parser.parse
+          {|ip community-list expanded COM_LIST permit _300:3_
+ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23
+route-map SET_METRIC permit 10
+ match community COM_LIST
+ match ip address prefix-list PREFIX_100
+ set metric 55|}
+      with
+      | Ok s -> s
+      | Error m -> failwith m
+    in
+    let rm = List.hd (Config.Database.route_maps snippet) in
+    match Clarify.Naming.import_route_map_snippet ~db ~snippet rm with
+    | Ok i ->
+        let target =
+          Option.get
+            (Config.Database.route_map i.Clarify.Naming.db "ISP_OUT")
+        in
+        List.init 4 (fun p -> (i.Clarify.Naming.db, target, i.Clarify.Naming.stanza, p))
+    | Error m -> failwith m
+  in
+  (* Disjoint-stanza maps with a catch-all insertion, n = 2..6, every
+     placement. *)
+  let nested =
+    List.concat_map
+      (fun n ->
+        let db = ref Config.Database.empty in
+        let stanzas =
+          List.init n (fun i ->
+              let name = Printf.sprintf "A2_%d_%d" n i in
+              db :=
+                Config.Database.add_prefix_list !db
+                  (Config.Prefix_list.make name
+                     [
+                       Config.Prefix_list.entry ~seq:10
+                         ~action:Config.Action.Permit
+                         (Netaddr.Prefix_range.make
+                            (Netaddr.Prefix.make
+                               (Netaddr.Ipv4.of_octets 10 i 0 0)
+                               16)
+                            ~ge:None ~le:(Some 24));
+                     ]);
+              Config.Route_map.stanza ~seq:((i + 1) * 10)
+                ~matches:[ Config.Route_map.Match_prefix_list [ name ] ]
+                ~sets:[ Config.Route_map.Set_metric i ]
+                (if i mod 2 = 0 then Config.Action.Permit else Config.Action.Deny))
+        in
+        let target = Config.Route_map.make (Printf.sprintf "A2_%d" n) stanzas in
+        db := Config.Database.add_route_map !db target;
+        let new_name = Printf.sprintf "A2_%d_NEW" n in
+        db :=
+          Config.Database.add_prefix_list !db
+            (Config.Prefix_list.make new_name
+               [
+                 Config.Prefix_list.entry ~seq:10 ~action:Config.Action.Permit
+                   (Netaddr.Prefix_range.make
+                      (Netaddr.Prefix.of_string_exn "10.0.0.0/8")
+                      ~ge:None ~le:(Some 32));
+               ]);
+        let stanza =
+          Config.Route_map.stanza ~seq:999
+            ~matches:[ Config.Route_map.Match_prefix_list [ new_name ] ]
+            ~sets:[ Config.Route_map.Set_metric 99 ]
+            Config.Action.Deny
+        in
+        List.init (n + 1) (fun p -> (!db, target, stanza, p)))
+      [ 2; 3; 4; 5; 6 ]
+  in
+  e1 @ nested
+
+let run () =
+  let cases = scenarios () in
+  let llm_correct = ref 0 in
+  let clarify_correct = ref 0 in
+  let questions = ref 0 in
+  List.iter
+    (fun (db, target, stanza, p) ->
+      let desired_map = Config.Route_map.insert_at target p stanza in
+      let equal_to_desired candidate =
+        Engine.Compare_route_policies.equal_behavior ~db_a:db ~db_b:db
+          candidate desired_map
+      in
+      (* LLM-style guess: no questions, textual heuristics only. *)
+      if equal_to_desired (Llm.Llm_placement.place ~target ~stanza) then
+        incr llm_correct;
+      (* Clarify: symbolic binary search with the ideal user. *)
+      let desired r = Config.Semantics.eval_route_map db desired_map r in
+      match
+        Clarify.Disambiguator.run ~db ~target ~stanza
+          ~oracle:(Clarify.Disambiguator.intent_driven desired)
+          ()
+      with
+      | Ok o ->
+          questions := !questions + List.length o.Clarify.Disambiguator.questions;
+          if equal_to_desired o.Clarify.Disambiguator.map then
+            incr clarify_correct
+      | Error _ -> ())
+    cases;
+  {
+    scenarios = List.length cases;
+    llm_correct = !llm_correct;
+    clarify_correct = !clarify_correct;
+    clarify_questions_total = !questions;
+  }
+
+let print fmt r =
+  Format.fprintf fmt
+    "=== Ablation A2: LLM-as-disambiguator baseline ===@.";
+  Format.fprintf fmt
+    "scenarios (hidden desired placement): %d@." r.scenarios;
+  Format.fprintf fmt
+    "LLM-style heuristic guess (0 questions):  %d/%d correct (%.0f%%)@."
+    r.llm_correct r.scenarios
+    (100.0 *. float_of_int r.llm_correct /. float_of_int r.scenarios);
+  Format.fprintf fmt
+    "Clarify symbolic disambiguator:           %d/%d correct (%.0f%%), %.1f \
+     questions/scenario@.@."
+    r.clarify_correct r.scenarios
+    (100.0 *. float_of_int r.clarify_correct /. float_of_int r.scenarios)
+    (float_of_int r.clarify_questions_total /. float_of_int r.scenarios)

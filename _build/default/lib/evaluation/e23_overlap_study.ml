@@ -1,0 +1,107 @@
+(** Experiments E2 and E3 — the paper's Section 3 overlap measurements,
+    regenerated on the calibrated synthetic corpora. Each row pairs the
+    paper's reported value with the measured one. *)
+
+type row = { quantity : string; paper : string; measured : string }
+
+let pct a b =
+  if b = 0 then "0.0%" else Printf.sprintf "%.1f%%" (100.0 *. float_of_int a /. float_of_int b)
+
+let cloud ?seed () =
+  let corpus = Workload.Cloud.generate ?seed () in
+  let a = Overlap.Corpus.summarize_acls corpus.Workload.Cloud.acls in
+  let r =
+    Overlap.Corpus.summarize_route_maps corpus.Workload.Cloud.route_map_db
+      corpus.Workload.Cloud.route_maps
+  in
+  [
+    { quantity = "ACLs examined"; paper = "237"; measured = string_of_int a.Overlap.Corpus.total };
+    {
+      quantity = "ACLs with >=1 overlap";
+      paper = "69";
+      measured = string_of_int a.Overlap.Corpus.with_overlaps;
+    };
+    {
+      quantity = "ACLs with >20 overlaps";
+      paper = "48";
+      measured = string_of_int a.Overlap.Corpus.heavy_overlaps;
+    };
+    {
+      quantity = "max overlapping pairs in one ACL";
+      paper = ">100";
+      measured = string_of_int a.Overlap.Corpus.max_overlaps;
+    };
+    {
+      quantity = "route-maps examined";
+      paper = "800";
+      measured = string_of_int r.Overlap.Corpus.rm_total;
+    };
+    {
+      quantity = "route-maps with overlaps";
+      paper = "140";
+      measured = string_of_int r.Overlap.Corpus.rm_with_overlaps;
+    };
+    {
+      quantity = "route-maps with >20 overlaps";
+      paper = "3";
+      measured = string_of_int r.Overlap.Corpus.rm_heavy_overlaps;
+    };
+  ]
+
+let campus ?seed ?(scale = 1.0) () =
+  let corpus = Workload.Campus.generate ?seed ~scale () in
+  let a = Overlap.Corpus.summarize_acls corpus.Workload.Campus.acls in
+  let r =
+    Overlap.Corpus.summarize_route_maps corpus.Workload.Campus.route_map_db
+      corpus.Workload.Campus.route_maps
+  in
+  [
+    {
+      quantity = "ACLs examined";
+      paper = "11088";
+      measured = string_of_int a.Overlap.Corpus.total;
+    };
+    {
+      quantity = "ACLs with conflicting overlaps";
+      paper = "37.7%";
+      measured = pct a.Overlap.Corpus.with_conflicts a.Overlap.Corpus.total;
+    };
+    {
+      quantity = "of those, with >20 conflicts";
+      paper = "27%";
+      measured = pct a.Overlap.Corpus.heavy_conflicts a.Overlap.Corpus.with_conflicts;
+    };
+    {
+      quantity = "ACLs with non-trivial overlaps";
+      paper = "18.6%";
+      measured = pct a.Overlap.Corpus.with_nontrivial a.Overlap.Corpus.total;
+    };
+    {
+      quantity = "of those, with >20";
+      paper = "16.3%";
+      measured = pct a.Overlap.Corpus.heavy_nontrivial a.Overlap.Corpus.with_nontrivial;
+    };
+    {
+      quantity = "route-maps examined";
+      paper = "169";
+      measured = string_of_int r.Overlap.Corpus.rm_total;
+    };
+    {
+      quantity = "route-maps with overlapping stanzas";
+      paper = "2";
+      measured = string_of_int r.Overlap.Corpus.rm_with_overlaps;
+    };
+    {
+      quantity = "max stanza pairs in one route-map";
+      paper = "3";
+      measured = string_of_int r.Overlap.Corpus.rm_max_overlaps;
+    };
+  ]
+
+let print ~title fmt rows =
+  Format.fprintf fmt "=== %s ===@." title;
+  Format.fprintf fmt "%-40s %10s %10s@." "quantity" "paper" "measured";
+  List.iter
+    (fun r -> Format.fprintf fmt "%-40s %10s %10s@." r.quantity r.paper r.measured)
+    rows;
+  Format.fprintf fmt "@."

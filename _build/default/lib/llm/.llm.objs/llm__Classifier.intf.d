@@ -1,0 +1,1 @@
+lib/llm/classifier.mli:

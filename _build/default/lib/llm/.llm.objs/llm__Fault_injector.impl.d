@@ -1,0 +1,1 @@
+lib/llm/fault_injector.ml: List Random String

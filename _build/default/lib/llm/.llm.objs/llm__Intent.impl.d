@@ -1,0 +1,1 @@
+lib/llm/intent.ml: Bgp Config Engine Format List Netaddr Printf Sre String

@@ -1,0 +1,1 @@
+lib/llm/intent.mli: Bgp Config Engine Format Netaddr

@@ -1,0 +1,1 @@
+lib/llm/llm_placement.mli: Config

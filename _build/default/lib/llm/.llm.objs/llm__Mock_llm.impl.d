@@ -1,0 +1,1 @@
+lib/llm/mock_llm.ml: Classifier Fault_injector Intent Nl_parser String Synthesizer

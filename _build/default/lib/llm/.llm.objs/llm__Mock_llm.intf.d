@@ -1,0 +1,1 @@
+lib/llm/mock_llm.mli: Classifier Engine Fault_injector

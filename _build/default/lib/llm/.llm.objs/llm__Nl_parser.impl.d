@@ -1,0 +1,1 @@
+lib/llm/nl_parser.ml: Bgp Config Intent List Netaddr Option Result Seq String

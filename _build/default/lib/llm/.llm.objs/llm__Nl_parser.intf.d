@@ -1,0 +1,1 @@
+lib/llm/nl_parser.mli: Intent

@@ -1,0 +1,1 @@
+lib/llm/synthesizer.ml: Bgp Buffer Config Intent List Netaddr Printf String

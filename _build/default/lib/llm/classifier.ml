@@ -1,0 +1,31 @@
+(** Query-type classification — the paper's first, intermediate LLM call
+    that selects the synthesis pipeline (route-map vs ACL). Implemented
+    as keyword scoring, which is what a temperature-0 classification
+    call amounts to for this two-class problem. *)
+
+type query_type = [ `Route_map | `Acl ]
+
+let route_map_keywords =
+  [
+    "route"; "routes"; "route-map"; "routemap"; "stanza"; "community";
+    "communities"; "med"; "metric"; "local"; "preference"; "as-path";
+    "prepend"; "prepended"; "advertisement"; "advertisements"; "bgp";
+    "origin"; "originating"; "next"; "hop";
+  ]
+
+let acl_keywords =
+  [
+    "traffic"; "packet"; "packets"; "tcp"; "udp"; "icmp"; "port"; "ports";
+    "host"; "connection"; "connections"; "acl"; "access"; "access-list";
+    "firewall"; "established"; "source"; "destination"; "flows";
+  ]
+
+let score keywords ws =
+  List.length (List.filter (fun w -> List.mem w keywords) ws)
+
+let classify text : query_type =
+  let ws = Nl_parser.words text in
+  let rm = score route_map_keywords ws and acl = score acl_keywords ws in
+  if acl > rm then `Acl else `Route_map
+
+let to_string = function `Route_map -> "route-map" | `Acl -> "acl"

@@ -1,0 +1,9 @@
+(** Query-type classification — the paper's first, intermediate LLM call
+    that selects the synthesis pipeline. Implemented as keyword scoring,
+    which is what a temperature-0 two-class classification call amounts
+    to. Ties favour route-maps. *)
+
+type query_type = [ `Acl | `Route_map ]
+
+val classify : string -> query_type
+val to_string : query_type -> string

@@ -1,0 +1,26 @@
+(** Deterministic fault injection for the simulated LLM.
+
+    Each fault models one error class observed in LLM-generated router
+    configuration and transforms the synthesized config {e text} exactly
+    where a real model's error would appear. *)
+
+type fault =
+  | Mask_off_by_one (* "le 23" becomes "le 24" *)
+  | Flip_action (* permit <-> deny on the stanza line *)
+  | Hallucinate_name (* reference an undefined list *)
+  | Drop_set_clause (* lose a "set ..." line *)
+  | Wrong_set_value (* numeric set argument off by one *)
+  | Wrong_community (* community value off by one *)
+  | Syntax_error (* mangle a keyword *)
+
+val all_faults : fault list
+val fault_to_string : fault -> string
+
+val apply : fault -> string -> string option
+(** Apply a fault to the config text; [None] when the fault has nothing
+    to corrupt in this snippet. *)
+
+val schedule : seed:int -> faulty_attempts:int -> fault list
+(** A deterministic schedule: attempt [i] of a synthesis loop consumes
+    entry [i]; an empty tail means clean output, so every schedule
+    converges. *)

@@ -1,0 +1,244 @@
+(** Structured user intents for single-stanza updates.
+
+    An intent is what the user means; its English rendering (via
+    {!to_prompt}) is what they type, and the natural-language frontend
+    ({!Nl_parser}) recovers the structure. The simulated LLM is the
+    composition parse ∘ render plus templates and fault injection. *)
+
+type route_map_intent = {
+  action : Config.Action.t;
+  prefixes : Netaddr.Prefix_range.t list; (* routes containing one of these *)
+  communities : Bgp.Community.t list; (* tagged with all of these *)
+  as_path_origin : int option; (* originating from this AS *)
+  as_path_contains : int option; (* passing through this AS *)
+  local_pref : int option;
+  metric_match : int option;
+  tag_match : int option;
+  sets : Config.Route_map.set_clause list;
+}
+
+type acl_intent = {
+  acl_action : Config.Action.t;
+  protocol : Config.Packet.protocol;
+  src : Config.Acl.addr_spec;
+  src_port : Config.Acl.port_spec;
+  dst : Config.Acl.addr_spec;
+  dst_port : Config.Acl.port_spec;
+  established : bool;
+}
+
+type t = Route_map of route_map_intent | Acl of acl_intent
+
+let route_map_intent ?(prefixes = []) ?(communities = []) ?as_path_origin
+    ?as_path_contains ?local_pref ?metric_match ?tag_match ?(sets = []) action
+    =
+  Route_map
+    {
+      action;
+      prefixes;
+      communities;
+      as_path_origin;
+      as_path_contains;
+      local_pref;
+      metric_match;
+      tag_match;
+      sets;
+    }
+
+let acl_intent ?(protocol = Config.Packet.Ip) ?(src = Config.Acl.Any)
+    ?(src_port = Config.Acl.Any_port) ?(dst = Config.Acl.Any)
+    ?(dst_port = Config.Acl.Any_port) ?(established = false) acl_action =
+  Acl { acl_action; protocol; src; src_port; dst; dst_port; established }
+
+(* ------------------------------------------------------------------ *)
+(* English rendering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let render_length_window (r : Netaddr.Prefix_range.t) =
+  let len = r.prefix.Netaddr.Prefix.len in
+  if r.lo = len && r.hi = len then ""
+  else if r.lo = len then
+    Printf.sprintf " with mask length less than or equal to %d" r.hi
+  else if r.hi = 32 then
+    Printf.sprintf " with mask length greater than or equal to %d" r.lo
+  else
+    Printf.sprintf " with mask length between %d and %d" r.lo r.hi
+
+let render_prefixes = function
+  | [] -> []
+  | [ r ] ->
+      [
+        Printf.sprintf "containing the prefix %s%s"
+          (Netaddr.Prefix.to_string r.Netaddr.Prefix_range.prefix)
+          (render_length_window r);
+      ]
+  | rs ->
+      [
+        "containing one of the prefixes "
+        ^ String.concat " or "
+            (List.map
+               (fun r ->
+                 Netaddr.Prefix.to_string r.Netaddr.Prefix_range.prefix
+                 ^ render_length_window r)
+               rs);
+      ]
+
+let render_communities = function
+  | [] -> []
+  | [ c ] ->
+      [ "tagged with the community " ^ Bgp.Community.to_string c ]
+  | cs ->
+      [
+        "tagged with the communities "
+        ^ String.concat " and " (List.map Bgp.Community.to_string cs);
+      ]
+
+let render_set = function
+  | Config.Route_map.Set_metric n ->
+      Printf.sprintf "Their MED value should be set to %d." n
+  | Config.Route_map.Set_local_pref n ->
+      Printf.sprintf "Their local preference should be set to %d." n
+  | Config.Route_map.Set_community { communities; additive = true } ->
+      Printf.sprintf "The communities %s should be added."
+        (String.concat " and " (List.map Bgp.Community.to_string communities))
+  | Config.Route_map.Set_community { communities; additive = false } ->
+      Printf.sprintf "Their communities should be replaced with %s."
+        (String.concat " and " (List.map Bgp.Community.to_string communities))
+  | Config.Route_map.Set_comm_list_delete name ->
+      Printf.sprintf "Communities matching the list %s should be removed." name
+  | Config.Route_map.Set_as_path_prepend asns ->
+      Printf.sprintf "The AS path should be prepended with %s."
+        (String.concat " " (List.map string_of_int asns))
+  | Config.Route_map.Set_next_hop ip ->
+      Printf.sprintf "The next hop should be set to %s."
+        (Netaddr.Ipv4.to_string ip)
+  | Config.Route_map.Set_tag n -> Printf.sprintf "Their tag should be set to %d." n
+  | Config.Route_map.Set_weight n ->
+      Printf.sprintf "Their weight should be set to %d." n
+  | Config.Route_map.Set_origin o ->
+      Printf.sprintf "Their origin should be set to %s."
+        (Bgp.Route.origin_to_string o)
+
+let render_route_map (i : route_map_intent) =
+  let verb =
+    match i.action with
+    | Config.Action.Permit -> "permits"
+    | Config.Action.Deny -> "denies"
+  in
+  let conditions =
+    List.concat
+      [
+        render_prefixes i.prefixes;
+        render_communities i.communities;
+        (match i.as_path_origin with
+        | Some a -> [ Printf.sprintf "originating from AS %d" a ]
+        | None -> []);
+        (match i.as_path_contains with
+        | Some a -> [ Printf.sprintf "passing through AS %d" a ]
+        | None -> []);
+        (match i.local_pref with
+        | Some n -> [ Printf.sprintf "with local preference %d" n ]
+        | None -> []);
+        (match i.metric_match with
+        | Some n -> [ Printf.sprintf "with MED %d" n ]
+        | None -> []);
+        (match i.tag_match with
+        | Some n -> [ Printf.sprintf "with tag %d" n ]
+        | None -> []);
+      ]
+  in
+  let head =
+    match conditions with
+    | [] -> Printf.sprintf "Write a route-map stanza that %s all routes." verb
+    | cs ->
+        Printf.sprintf "Write a route-map stanza that %s routes %s." verb
+          (String.concat " and " cs)
+  in
+  String.concat " " (head :: List.map render_set i.sets)
+
+let render_addr which = function
+  | Config.Acl.Any -> (
+      match which with `Src -> "anywhere" | `Dst -> "any destination")
+  | Config.Acl.Host ip -> "host " ^ Netaddr.Ipv4.to_string ip
+  | Config.Acl.Wildcard _ as w -> (
+      match Config.Acl.addr_to_prefix w with
+      | Some p -> Netaddr.Prefix.to_string p
+      | None -> (
+          match w with
+          | Config.Acl.Wildcard (base, wild) ->
+              Printf.sprintf "%s wildcard %s"
+                (Netaddr.Ipv4.to_string base)
+                (Netaddr.Ipv4.to_string wild)
+          | _ -> assert false))
+
+let render_port role = function
+  | Config.Acl.Any_port -> []
+  | Config.Acl.Eq n -> [ Printf.sprintf "%s port %d" role n ]
+  | Config.Acl.Neq n -> [ Printf.sprintf "%s port not %d" role n ]
+  | Config.Acl.Lt n -> [ Printf.sprintf "%s port below %d" role n ]
+  | Config.Acl.Gt n -> [ Printf.sprintf "%s port above %d" role n ]
+  | Config.Acl.Range (a, b) ->
+      [ Printf.sprintf "%s ports %d to %d" role a b ]
+
+let render_acl (i : acl_intent) =
+  let verb =
+    match i.acl_action with
+    | Config.Action.Permit -> "permits"
+    | Config.Action.Deny -> "denies"
+  in
+  let parts =
+    List.concat
+      [
+        [
+          Printf.sprintf "Write an access list rule that %s %s traffic from %s to %s"
+            verb
+            (Config.Packet.protocol_to_string i.protocol)
+            (render_addr `Src i.src) (render_addr `Dst i.dst);
+        ];
+        render_port "source" i.src_port;
+        render_port "destination" i.dst_port;
+        (if i.established then [ "for established connections only" ] else []);
+      ]
+  in
+  String.concat " with " [ List.hd parts ]
+  ^ (match List.tl parts with
+    | [] -> ""
+    | rest -> " with " ^ String.concat " and " rest)
+  ^ "."
+
+let to_prompt = function
+  | Route_map i -> render_route_map i
+  | Acl i -> render_acl i
+
+(* ------------------------------------------------------------------ *)
+(* Spec extraction (the paper's second LLM call)                      *)
+(* ------------------------------------------------------------------ *)
+
+(** The behavioural spec corresponding to a route-map intent, in the
+    paper's JSON format. *)
+let spec_of_route_map (i : route_map_intent) =
+  (* A single community becomes the paper's regex form; several use the
+     spec's all-of field (standard-list semantics). *)
+  let community, communities_all =
+    match i.communities with
+    | [] -> (None, [])
+    | [ c ] ->
+        ( Some
+            (Sre.Community_regex.compile
+               (Printf.sprintf "_%s_" (Bgp.Community.to_string c))),
+          [] )
+    | cs -> (None, cs)
+  in
+  let as_path =
+    match (i.as_path_origin, i.as_path_contains) with
+    | Some a, _ -> Some (Sre.As_path_regex.compile (Printf.sprintf "_%d$" a))
+    | None, Some a -> Some (Sre.As_path_regex.compile (Printf.sprintf "_%d_" a))
+    | None, None -> None
+  in
+  Engine.Spec.make ~prefixes:i.prefixes ?community ~communities_all ?as_path
+    ?local_pref:i.local_pref ?metric:i.metric_match ?tag:i.tag_match
+    ~sets:i.sets i.action
+
+let equal = ( = )
+
+let pp fmt t = Format.pp_print_string fmt (to_prompt t)

@@ -1,0 +1,64 @@
+(** Structured user intents for single-stanza updates.
+
+    An intent is what the user means; {!to_prompt} renders it as the
+    English they would type, and {!Nl_parser} recovers the structure.
+    The simulated LLM is the composition parse ∘ render, plus templates
+    and fault injection. *)
+
+type route_map_intent = {
+  action : Config.Action.t;
+  prefixes : Netaddr.Prefix_range.t list; (* routes containing one *)
+  communities : Bgp.Community.t list; (* tagged with all of these *)
+  as_path_origin : int option; (* originating from this AS *)
+  as_path_contains : int option; (* passing through this AS *)
+  local_pref : int option;
+  metric_match : int option;
+  tag_match : int option;
+  sets : Config.Route_map.set_clause list;
+}
+
+type acl_intent = {
+  acl_action : Config.Action.t;
+  protocol : Config.Packet.protocol;
+  src : Config.Acl.addr_spec;
+  src_port : Config.Acl.port_spec;
+  dst : Config.Acl.addr_spec;
+  dst_port : Config.Acl.port_spec;
+  established : bool;
+}
+
+type t = Route_map of route_map_intent | Acl of acl_intent
+
+val route_map_intent :
+  ?prefixes:Netaddr.Prefix_range.t list ->
+  ?communities:Bgp.Community.t list ->
+  ?as_path_origin:int ->
+  ?as_path_contains:int ->
+  ?local_pref:int ->
+  ?metric_match:int ->
+  ?tag_match:int ->
+  ?sets:Config.Route_map.set_clause list ->
+  Config.Action.t ->
+  t
+
+val acl_intent :
+  ?protocol:Config.Packet.protocol ->
+  ?src:Config.Acl.addr_spec ->
+  ?src_port:Config.Acl.port_spec ->
+  ?dst:Config.Acl.addr_spec ->
+  ?dst_port:Config.Acl.port_spec ->
+  ?established:bool ->
+  Config.Action.t ->
+  t
+
+val to_prompt : t -> string
+(** Render the intent as a natural-English prompt in the paper's style.
+    [Nl_parser.parse] inverts this rendering (property-tested). *)
+
+val spec_of_route_map : route_map_intent -> Engine.Spec.t
+(** The behavioural spec corresponding to a route-map intent — the
+    paper's second LLM call. A single community becomes the paper's
+    regex form, several use the spec's all-of field. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+(** A baseline for the paper's closing question: could the LLM itself
+    play the disambiguator? Guesses an insertion position from surface
+    heuristics, without symbolic reasoning and without asking the user.
+    The A2 ablation measures how often the guess is behaviourally what
+    the user wanted. *)
+
+val guess : target:Config.Route_map.t -> stanza:Config.Route_map.stanza -> int
+(** Heuristics, in order: a deny goes above a trailing catch-all permit;
+    otherwise a deny goes to the top; a permit goes to the bottom. *)
+
+val place :
+  target:Config.Route_map.t ->
+  stanza:Config.Route_map.stanza ->
+  Config.Route_map.t

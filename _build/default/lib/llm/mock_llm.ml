@@ -1,0 +1,82 @@
+(** The simulated LLM: a [prompt -> completion] endpoint with call
+    accounting and scheduled fault injection.
+
+    The completion function is the composition of the natural-language
+    parser and the template synthesizer, optionally corrupted by the
+    next scheduled fault. Because faults are consumed one per synthesis
+    attempt, the verify-and-repair loop of the pipeline converges once
+    the schedule is exhausted — mirroring an LLM that fixes its output
+    when shown a counterexample. *)
+
+type request = {
+  system : string;
+  few_shot : (string * string) list;
+  user : string;
+}
+
+type stats = {
+  mutable classify_calls : int;
+  mutable synthesis_calls : int;
+  mutable spec_calls : int;
+  mutable faults_injected : Fault_injector.fault list; (* newest first *)
+}
+
+type t = { mutable pending_faults : Fault_injector.fault list; stats : stats }
+
+let create ?(faults = []) () =
+  {
+    pending_faults = faults;
+    stats =
+      {
+        classify_calls = 0;
+        synthesis_calls = 0;
+        spec_calls = 0;
+        faults_injected = [];
+      };
+  }
+
+let stats t = t.stats
+
+let total_calls t =
+  t.stats.classify_calls + t.stats.synthesis_calls + t.stats.spec_calls
+
+(** The classification call (paper step 1). *)
+let classify t prompt =
+  t.stats.classify_calls <- t.stats.classify_calls + 1;
+  Classifier.classify prompt
+
+(** The synthesis call (paper step 3): returns Cisco IOS text. [Error]
+    models a refusal/unparseable intent. *)
+let synthesize t (req : request) =
+  t.stats.synthesis_calls <- t.stats.synthesis_calls + 1;
+  (* Counterexample feedback appended by the repair loop guides a real
+     LLM; the simulated one simply re-reads the original intent. *)
+  let user =
+    match String.index_opt req.user '\n' with
+    | Some i -> String.sub req.user 0 i
+    | None -> req.user
+  in
+  let kind = Classifier.classify user in
+  match Nl_parser.parse kind user with
+  | Error e -> Error (Nl_parser.error_message e)
+  | Ok intent -> (
+      let clean = Synthesizer.render intent in
+      match t.pending_faults with
+      | [] -> Ok clean
+      | fault :: rest -> (
+          t.pending_faults <- rest;
+          match Fault_injector.apply fault clean with
+          | Some corrupted ->
+              t.stats.faults_injected <- fault :: t.stats.faults_injected;
+              Ok corrupted
+          | None -> Ok clean (* fault not applicable to this snippet *)))
+
+(** The spec-extraction call (paper step 3'): the JSON behavioural spec
+    of the user's intent. Always faithful — the paper has the user
+    manually vet this output, so an unfaithful spec would be caught
+    before verification. *)
+let generate_spec t prompt =
+  t.stats.spec_calls <- t.stats.spec_calls + 1;
+  match Nl_parser.parse_route_map prompt with
+  | Error e -> Error (Nl_parser.error_message e)
+  | Ok intent -> Ok (Intent.spec_of_route_map intent)

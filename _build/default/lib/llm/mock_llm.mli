@@ -1,0 +1,40 @@
+(** The simulated LLM: a [prompt -> completion] endpoint with call
+    accounting and scheduled fault injection.
+
+    The completion function composes the natural-language parser with
+    the template synthesizer, optionally corrupted by the next scheduled
+    fault. Faults are consumed one per synthesis attempt, so the
+    pipeline's verify-and-repair loop converges once the schedule is
+    exhausted — mirroring an LLM that fixes its output when shown a
+    counterexample. *)
+
+type request = {
+  system : string;
+  few_shot : (string * string) list;
+  user : string;
+}
+
+type stats = {
+  mutable classify_calls : int;
+  mutable synthesis_calls : int;
+  mutable spec_calls : int;
+  mutable faults_injected : Fault_injector.fault list; (* newest first *)
+}
+
+type t
+
+val create : ?faults:Fault_injector.fault list -> unit -> t
+val stats : t -> stats
+val total_calls : t -> int
+
+val classify : t -> string -> Classifier.query_type
+(** The classification call (paper step 1). *)
+
+val synthesize : t -> request -> (string, string) result
+(** The synthesis call (paper step 3): Cisco IOS text. [Error] models a
+    refusal or an unparseable intent. Feedback lines appended after a
+    newline are ignored by the simulated model. *)
+
+val generate_spec : t -> string -> (Engine.Spec.t, string) result
+(** The spec-extraction call: the JSON behavioural spec of the user's
+    intent. Always faithful — the paper has the user vet this output. *)

@@ -1,0 +1,53 @@
+(** System prompts and few-shot examples, retrieved per query type — the
+    paper's step 2 ("retrieve the corresponding system prompts and
+    examples from a database"). *)
+
+type entry = {
+  system : string;
+  few_shot : (string * string) list; (* (user prompt, assistant answer) *)
+}
+
+let route_map_entry =
+  {
+    system =
+      "You are a Cisco IOS configuration assistant. Generate exactly one \
+       route-map stanza in Cisco IOS syntax, together with any ancillary \
+       prefix-lists, community-lists or as-path access-lists it needs. Do \
+       not reference any existing configuration.";
+    few_shot =
+      [
+        ( "Write a route-map stanza that denies routes originating from AS \
+           65010.",
+          "ip as-path access-list AS_LIST permit _65010$\n\
+           route-map DENY deny 10\n\
+          \ match as-path AS_LIST\n" );
+        ( "Write a route-map stanza that permits routes containing the \
+           prefix 10.0.0.0/8 with mask length less than or equal to 24. \
+           Their local preference should be set to 200.",
+          "ip prefix-list PREFIX_10 seq 10 permit 10.0.0.0/8 le 24\n\
+           route-map SET_LP permit 10\n\
+          \ match ip address prefix-list PREFIX_10\n\
+          \ set local-preference 200\n" );
+      ];
+  }
+
+let acl_entry =
+  {
+    system =
+      "You are a Cisco IOS configuration assistant. Generate exactly one \
+       extended access-list rule in Cisco IOS syntax. Do not reference any \
+       existing configuration.";
+    few_shot =
+      [
+        ( "Write an access list rule that permits tcp traffic from \
+           10.0.0.0/8 to any destination with destination port 443.",
+          "ip access-list extended SYNTH_ACL\n\
+          \ permit tcp 10.0.0.0 0.255.255.255 any eq 443\n" );
+        ( "Write an access list rule that denies udp traffic from anywhere \
+           to host 192.168.1.1.",
+          "ip access-list extended SYNTH_ACL\n\
+          \ deny udp any host 192.168.1.1\n" );
+      ];
+  }
+
+let retrieve = function `Route_map -> route_map_entry | `Acl -> acl_entry

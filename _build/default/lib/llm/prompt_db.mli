@@ -1,0 +1,12 @@
+(** System prompts and few-shot examples retrieved per query type — the
+    paper's step 2 ("retrieve the corresponding system prompts and
+    examples from a database"). *)
+
+type entry = {
+  system : string;
+  few_shot : (string * string) list; (* (user prompt, assistant answer) *)
+}
+
+val route_map_entry : entry
+val acl_entry : entry
+val retrieve : [ `Acl | `Route_map ] -> entry

@@ -1,0 +1,1 @@
+lib/netaddr/intset.ml: Format Hashtbl Int List Stdlib

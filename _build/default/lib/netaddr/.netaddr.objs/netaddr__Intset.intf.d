@@ -1,0 +1,1 @@
+lib/netaddr/intset.mli: Format

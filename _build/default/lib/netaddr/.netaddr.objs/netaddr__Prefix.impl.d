@@ -1,0 +1,1 @@
+lib/netaddr/prefix.ml: Format Int Ipv4 Printf String

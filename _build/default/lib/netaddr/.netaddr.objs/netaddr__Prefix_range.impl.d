@@ -1,0 +1,1 @@
+lib/netaddr/prefix_range.ml: Format Int Ipv4 Option Prefix Printf String

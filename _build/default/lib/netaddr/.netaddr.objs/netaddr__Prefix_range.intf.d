@@ -1,0 +1,1 @@
+lib/netaddr/prefix_range.mli: Format Prefix

@@ -1,0 +1,76 @@
+(* Invariant: intervals are sorted, non-overlapping, non-adjacent, and
+   each pair (lo, hi) satisfies 0 <= lo <= hi. *)
+type t = (int * int) list
+
+let empty = []
+let is_empty t = t = []
+
+let range lo hi =
+  if lo < 0 || lo > hi then invalid_arg "Intset.range";
+  [ (lo, hi) ]
+
+let singleton n = range n n
+let full ~max = range 0 max
+
+(* Merge a sorted list of possibly overlapping/adjacent intervals. *)
+let normalize ivs =
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) ivs in
+  let rec merge = function
+    | (l1, h1) :: (l2, h2) :: rest when l2 <= h1 + 1 ->
+        merge ((l1, max h1 h2) :: rest)
+    | iv :: rest -> iv :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let of_list ns = normalize (List.map (fun n -> (n, n)) ns)
+
+let rec mem n = function
+  | [] -> false
+  | (lo, hi) :: rest -> (n >= lo && n <= hi) || (n > hi && mem n rest)
+
+let union a b = normalize (a @ b)
+
+let rec inter a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | (l1, h1) :: ra, (l2, h2) :: rb ->
+      let lo = max l1 l2 and hi = min h1 h2 in
+      let rest =
+        if h1 < h2 then inter ra b
+        else if h2 < h1 then inter a rb
+        else inter ra rb
+      in
+      if lo <= hi then (lo, hi) :: rest else rest
+
+let compl ~max t =
+  let rec go next = function
+    | [] -> if next <= max then [ (next, max) ] else []
+    | (lo, hi) :: rest ->
+        let tail = go (hi + 1) rest in
+        if next < lo then (next, lo - 1) :: tail else tail
+  in
+  go 0 t
+
+let diff a b =
+  match a with
+  | [] -> []
+  | _ ->
+      let max = List.fold_left (fun m (_, hi) -> Stdlib.max m hi) 0 (a @ b) in
+      inter a (compl ~max b)
+
+let choose = function [] -> None | (lo, _) :: _ -> Some lo
+let cardinal t = List.fold_left (fun n (lo, hi) -> n + hi - lo + 1) 0 t
+let intervals t = t
+let equal = ( = )
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+let subset a b = is_empty (diff a b)
+
+let pp fmt t =
+  let pp_iv fmt (lo, hi) =
+    if lo = hi then Format.fprintf fmt "%d" lo
+    else Format.fprintf fmt "%d-%d" lo hi
+  in
+  Format.fprintf fmt "{%a}" (Format.pp_print_list ~pp_sep:(fun f () ->
+    Format.pp_print_string f ",") pp_iv) t

@@ -1,0 +1,35 @@
+(** Sets of non-negative integers represented as sorted disjoint closed
+    intervals. Used for ASN predicates, character classes and port sets. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+
+val range : int -> int -> t
+(** [range lo hi] is the closed interval. @raise Invalid_argument if
+    [lo > hi] or [lo < 0]. *)
+
+val full : max:int -> t
+(** [full ~max] is [range 0 max]. *)
+
+val of_list : int list -> t
+val mem : int -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val compl : max:int -> t -> t
+(** Complement within the universe [0..max]. *)
+
+val diff : t -> t -> t
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val cardinal : t -> int
+val intervals : t -> (int * int) list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val subset : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+type t = int
+
+let max_addr = (1 lsl 32) - 1
+let zero = 0
+let broadcast = max_addr
+
+let of_int n =
+  if n < 0 || n > max_addr then invalid_arg "Ipv4.of_int: out of range";
+  n
+
+let to_int a = a
+
+let of_octets a b c d =
+  let check o = if o < 0 || o > 255 then invalid_arg "Ipv4.of_octets" in
+  check a; check b; check c; check d;
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [a; b; c; d] -> (
+      let octet x =
+        if x = "" || String.length x > 3 then None
+        else
+          match int_of_string_opt x with
+          | Some n when n >= 0 && n <= 255 -> Some n
+          | _ -> None
+      in
+      match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d -> Some (of_octets a b c d)
+      | _ -> None)
+  | _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string_exn: %S" s)
+
+let to_string a =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((a lsr 24) land 0xff) ((a lsr 16) land 0xff) ((a lsr 8) land 0xff)
+    (a land 0xff)
+
+let bit a i =
+  if i < 0 || i > 31 then invalid_arg "Ipv4.bit";
+  (a lsr (31 - i)) land 1 = 1
+
+let with_bit a i v =
+  if i < 0 || i > 31 then invalid_arg "Ipv4.with_bit";
+  let m = 1 lsl (31 - i) in
+  if v then a lor m else a land lnot m land max_addr
+
+let mask len =
+  if len < 0 || len > 32 then invalid_arg "Ipv4.mask";
+  if len = 0 then 0 else (max_addr lsl (32 - len)) land max_addr
+
+let wildcard_of_mask m = lnot m land max_addr
+let logand = ( land )
+let logor = ( lor )
+let succ a = (a + 1) land max_addr
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,49 @@
+type t = { ip : Ipv4.t; len : int }
+
+let make ip len =
+  if len < 0 || len > 32 then invalid_arg "Prefix.make";
+  { ip = Ipv4.logand ip (Ipv4.mask len); len }
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> (
+      let addr = String.sub s 0 i in
+      let len = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Ipv4.of_string addr, int_of_string_opt len) with
+      | Some ip, Some len when len >= 0 && len <= 32 -> Some (make ip len)
+      | _ -> None)
+
+let of_string_exn s =
+  match of_string s with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Prefix.of_string_exn: %S" s)
+
+let to_string p = Printf.sprintf "%s/%d" (Ipv4.to_string p.ip) p.len
+let default = make Ipv4.zero 0
+let host ip = make ip 32
+
+let contains_ip p a =
+  Ipv4.equal (Ipv4.logand a (Ipv4.mask p.len)) p.ip
+
+let subset p q = p.len >= q.len && contains_ip q p.ip
+let overlap p q = subset p q || subset q p
+let first p = p.ip
+
+let last p =
+  Ipv4.of_int
+    (Ipv4.to_int p.ip lor Ipv4.to_int (Ipv4.wildcard_of_mask (Ipv4.mask p.len)))
+
+let split p =
+  if p.len = 32 then None
+  else
+    let len = p.len + 1 in
+    let lo = make p.ip len in
+    let hi = make (Ipv4.with_bit p.ip p.len true) len in
+    Some (lo, hi)
+
+let compare p q =
+  match Ipv4.compare p.ip q.ip with 0 -> Int.compare p.len q.len | c -> c
+
+let equal p q = compare p q = 0
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,75 @@
+type t = { prefix : Prefix.t; lo : int; hi : int }
+
+let make prefix ~ge ~le =
+  let len = prefix.Prefix.len in
+  let lo, hi =
+    match (ge, le) with
+    | None, None -> (len, len)
+    | None, Some e -> (len, e)
+    | Some g, None -> (g, 32)
+    | Some g, Some e -> (g, e)
+  in
+  if not (len <= lo && lo <= hi && hi <= 32) then
+    invalid_arg "Prefix_range.make: bounds must satisfy len <= ge <= le <= 32";
+  { prefix; lo; hi }
+
+let exact prefix = make prefix ~ge:None ~le:None
+let any = make Prefix.default ~ge:None ~le:(Some 32)
+
+let matches t q =
+  let open Prefix in
+  q.len >= t.lo && q.len <= t.hi
+  && Ipv4.equal (Ipv4.logand q.ip (Ipv4.mask t.prefix.len)) t.prefix.ip
+
+(* Two entries share a matched route prefix iff their base prefixes agree
+   on the shorter one's bits and their length windows intersect. *)
+let bits_compatible a b =
+  let la = a.prefix.Prefix.len and lb = b.prefix.Prefix.len in
+  let l = min la lb in
+  Ipv4.equal
+    (Ipv4.logand a.prefix.Prefix.ip (Ipv4.mask l))
+    (Ipv4.logand b.prefix.Prefix.ip (Ipv4.mask l))
+
+let witness_overlap a b =
+  if not (bits_compatible a b) then None
+  else
+    let lo = max a.lo b.lo and hi = min a.hi b.hi in
+    if lo > hi then None
+    else
+      let base =
+        if a.prefix.Prefix.len >= b.prefix.Prefix.len then a.prefix else b.prefix
+      in
+      Some (Prefix.make base.Prefix.ip lo)
+
+let overlap a b = Option.is_some (witness_overlap a b)
+
+let subset a b =
+  bits_compatible a b
+  && b.prefix.Prefix.len <= a.prefix.Prefix.len
+  && b.lo <= a.lo && a.hi <= b.hi
+
+let witness t = Prefix.make t.prefix.Prefix.ip t.lo
+
+let ge_le t =
+  let len = t.prefix.Prefix.len in
+  match (t.lo, t.hi) with
+  | lo, hi when lo = len && hi = len -> (None, None)
+  | lo, 32 when lo <> len -> (Some lo, None)
+  | lo, hi when lo = len -> (None, Some hi)
+  | lo, hi -> (Some lo, Some hi)
+
+let compare a b =
+  match Prefix.compare a.prefix b.prefix with
+  | 0 -> ( match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let to_string t =
+  let ge, le = ge_le t in
+  String.concat ""
+    [ Prefix.to_string t.prefix;
+      (match ge with Some g -> Printf.sprintf " ge %d" g | None -> "");
+      (match le with Some e -> Printf.sprintf " le %d" e | None -> "") ]
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,43 @@
+(** Cisco prefix-list entry semantics: a base prefix plus an allowed
+    range of prefix lengths.
+
+    The entry [P/l ge g le e] matches a route prefix [Q/m] iff the first
+    [l] bits of [Q] equal those of [P] and [g <= m <= e]. Cisco default
+    bounds: with neither [ge] nor [le], [g = e = l]; with only [le n],
+    the range is [l <= m <= n]; with only [ge n], it is [n <= m <= 32]. *)
+
+type t = private { prefix : Prefix.t; lo : int; hi : int }
+
+val make : Prefix.t -> ge:int option -> le:int option -> t
+(** @raise Invalid_argument if the resulting bounds are not
+    [prefix.len <= lo <= hi <= 32]. *)
+
+val exact : Prefix.t -> t
+(** Match exactly this prefix. *)
+
+val any : t
+(** [0.0.0.0/0 le 32]: matches every prefix. *)
+
+val matches : t -> Prefix.t -> bool
+(** Does a route prefix fall inside this range? *)
+
+val overlap : t -> t -> bool
+(** Do two ranges match at least one common route prefix? *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff every prefix matched by [a] is matched by [b]. *)
+
+val witness : t -> Prefix.t
+(** Some prefix matched by the range (the base prefix extended to the
+    minimum allowed length). *)
+
+val witness_overlap : t -> t -> Prefix.t option
+(** A route prefix matched by both ranges, if any. *)
+
+val ge_le : t -> int option * int option
+(** Render back the Cisco [ge]/[le] modifiers ([None] when implied). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/netsim/figure3.ml: Bgp Config List Netaddr Printf Topology

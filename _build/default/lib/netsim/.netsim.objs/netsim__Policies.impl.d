@@ -1,0 +1,1 @@
+lib/netsim/policies.ml: Bgp Figure3 Format List Netaddr Printf Simulator String

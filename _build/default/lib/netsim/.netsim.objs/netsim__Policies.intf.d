@@ -1,0 +1,1 @@
+lib/netsim/policies.mli: Format Simulator

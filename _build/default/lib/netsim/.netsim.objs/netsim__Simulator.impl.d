@@ -1,0 +1,1 @@
+lib/netsim/simulator.ml: Bgp Config Format Hashtbl Int List Map Netaddr Option String Topology

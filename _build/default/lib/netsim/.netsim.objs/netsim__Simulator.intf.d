@@ -1,0 +1,1 @@
+lib/netsim/simulator.mli: Bgp Format Map Netaddr Topology

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Config Format List Netaddr Printf String

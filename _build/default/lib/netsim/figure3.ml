@@ -1,0 +1,193 @@
+(** The paper's evaluation topology (Figure 3), inspired by a Lightyear
+    example: two border routers R1 and R2 peering with ISP1 and ISP2, a
+    management router M and a datacenter router DC both dual-homed to
+    R1 and R2. The datacenter and management networks reuse the same
+    private prefix, which must stay mutually invisible. *)
+
+let pfx = Netaddr.Prefix.of_string_exn
+let ip = Netaddr.Ipv4.of_string_exn
+
+(* AS numbers *)
+let asn_isp1 = 100
+let asn_isp2 = 200
+let asn_r1 = 65001
+let asn_r2 = 65002
+let asn_m = 65003
+let asn_dc = 65004
+
+(* Prefixes *)
+let service_prefix = pfx "10.1.0.0/16" (* the special datacenter service *)
+let dc_internal = pfx "10.2.0.0/16"
+let mgmt_internal = pfx "10.3.0.0/16"
+let reused_prefix = pfx "192.168.100.0/24" (* originated by both DC and M *)
+let isp1_prefix = pfx "60.0.0.0/8"
+let isp2_prefix = pfx "70.0.0.0/8"
+
+(* Communities marking where a route entered our network. *)
+let from_isp1_community = Bgp.Community.make 65000 100
+let from_isp2_community = Bgp.Community.make 65000 200
+
+let bogons =
+  [
+    pfx "0.0.0.0/8";
+    pfx "10.0.0.0/8";
+    pfx "127.0.0.0/8";
+    pfx "169.254.0.0/16";
+    pfx "172.16.0.0/12";
+    pfx "192.168.0.0/16";
+    pfx "224.0.0.0/4";
+  ]
+
+(** The route-map names each router's sessions reference; the
+    incremental-synthesis evaluation fills these maps in one stanza at a
+    time, and {!reference} contains hand-written versions. *)
+let r1_maps =
+  [ "R1_FROM_ISP1"; "R1_TO_ISP1"; "R1_FROM_DC"; "R1_FROM_M"; "R1_TO_M" ]
+
+let r2_maps =
+  [ "R2_FROM_ISP2"; "R2_TO_ISP2"; "R2_FROM_DC"; "R2_FROM_M"; "R2_TO_M" ]
+
+let m_maps = [ "M_FROM_R1"; "M_FROM_R2"; "M_TO_R1"; "M_TO_R2" ]
+
+(** Build the topology around the given per-router configurations. An
+    empty-stanza route-map is behaviourally "deny everything" (implicit
+    deny), so chains may reference maps that are still being built. *)
+let topology ~r1_config ~r2_config ~m_config ~dc_config =
+  let open Topology in
+  make
+    [
+      router "ISP1" ~asn:asn_isp1 ~router_ip:(ip "1.1.1.1")
+        ~originated:[ isp1_prefix ]
+        ~neighbors:[ neighbor "R1" ];
+      router "ISP2" ~asn:asn_isp2 ~router_ip:(ip "2.2.2.2")
+        ~originated:[ isp2_prefix ]
+        ~neighbors:[ neighbor "R2" ];
+      router "R1" ~asn:asn_r1 ~router_ip:(ip "10.0.1.1") ~config:r1_config
+        ~neighbors:
+          [
+            neighbor "ISP1" ~import:[ "R1_FROM_ISP1" ] ~export:[ "R1_TO_ISP1" ];
+            neighbor "DC" ~import:[ "R1_FROM_DC" ];
+            neighbor "M" ~import:[ "R1_FROM_M" ] ~export:[ "R1_TO_M" ];
+            neighbor "R2";
+          ];
+      router "R2" ~asn:asn_r2 ~router_ip:(ip "10.0.2.1") ~config:r2_config
+        ~neighbors:
+          [
+            neighbor "ISP2" ~import:[ "R2_FROM_ISP2" ] ~export:[ "R2_TO_ISP2" ];
+            neighbor "DC" ~import:[ "R2_FROM_DC" ];
+            neighbor "M" ~import:[ "R2_FROM_M" ] ~export:[ "R2_TO_M" ];
+            neighbor "R1";
+          ];
+      router "M" ~asn:asn_m ~router_ip:(ip "10.0.3.1") ~config:m_config
+        ~originated:[ mgmt_internal; reused_prefix ]
+        ~neighbors:
+          [
+            neighbor "R1" ~import:[ "M_FROM_R1" ] ~export:[ "M_TO_R1" ];
+            neighbor "R2" ~import:[ "M_FROM_R2" ] ~export:[ "M_TO_R2" ];
+          ];
+      router "DC" ~asn:asn_dc ~router_ip:(ip "10.0.4.1") ~config:dc_config
+        ~originated:[ service_prefix; dc_internal; reused_prefix ]
+        ~neighbors:[ neighbor "R1"; neighbor "R2" ];
+    ]
+
+(* When a chain references a map that does not exist yet, Topology.make
+   rejects it; during incremental construction we install empty
+   placeholder maps first. *)
+let placeholder_maps names =
+  List.fold_left
+    (fun db name ->
+      Config.Database.add_route_map db (Config.Route_map.make name []))
+    Config.Database.empty names
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written reference configuration implementing the five global
+   policies (used as ground truth by tests and by the intent-driven
+   oracle in the evaluation).                                          *)
+(* ------------------------------------------------------------------ *)
+
+let reference_border ~maps:(from_isp, to_isp, from_dc, from_m, to_m)
+    ~own_community ~other_community () =
+  let src =
+    Printf.sprintf
+      {|
+ip prefix-list BOGONS seq 10 permit 0.0.0.0/8 le 32
+ip prefix-list BOGONS seq 20 permit 10.0.0.0/8 le 32
+ip prefix-list BOGONS seq 30 permit 127.0.0.0/8 le 32
+ip prefix-list BOGONS seq 40 permit 169.254.0.0/16 le 32
+ip prefix-list BOGONS seq 50 permit 172.16.0.0/12 le 32
+ip prefix-list BOGONS seq 60 permit 192.168.0.0/16 le 32
+ip prefix-list BOGONS seq 70 permit 224.0.0.0/4 le 32
+ip prefix-list REUSED seq 10 permit 192.168.0.0/16 le 32
+ip prefix-list SERVICE seq 10 permit 10.1.0.0/16
+ip community-list expanded OTHER_ISP permit _%s_
+route-map %s deny 10
+ match ip address prefix-list BOGONS
+route-map %s permit 20
+ set community %s additive
+route-map %s deny 10
+ match ip address prefix-list BOGONS
+route-map %s deny 20
+ match community OTHER_ISP
+route-map %s permit 30
+route-map %s permit 10
+ match ip address prefix-list SERVICE
+route-map %s deny 20
+ match ip address prefix-list REUSED
+route-map %s permit 30
+route-map %s deny 10
+ match ip address prefix-list REUSED
+route-map %s permit 20
+route-map %s deny 10
+ match ip address prefix-list REUSED
+route-map %s permit 20
+|}
+      (Bgp.Community.to_string other_community)
+      from_isp from_isp
+      (Bgp.Community.to_string own_community)
+      to_isp to_isp to_isp from_dc from_dc from_dc from_m from_m to_m to_m
+  in
+  match Config.Parser.parse src with
+  | Ok db -> db
+  | Error m -> failwith ("Figure3.reference_border: " ^ m)
+
+let reference_m () =
+  let src =
+    {|
+ip prefix-list SERVICE seq 10 permit 10.1.0.0/16
+ip prefix-list REUSED seq 10 permit 192.168.0.0/16 le 32
+route-map M_FROM_R1 permit 10
+ match ip address prefix-list SERVICE
+ set local-preference 200
+route-map M_FROM_R1 deny 20
+ match ip address prefix-list REUSED
+route-map M_FROM_R1 permit 30
+route-map M_FROM_R2 deny 10
+ match ip address prefix-list REUSED
+route-map M_FROM_R2 permit 20
+route-map M_TO_R1 deny 10
+ match ip address prefix-list REUSED
+route-map M_TO_R1 permit 20
+route-map M_TO_R2 deny 10
+ match ip address prefix-list REUSED
+route-map M_TO_R2 permit 20
+|}
+  in
+  match Config.Parser.parse src with
+  | Ok db -> db
+  | Error m -> failwith ("Figure3.reference_m: " ^ m)
+
+let reference () =
+  let r1_config =
+    reference_border
+      ~maps:("R1_FROM_ISP1", "R1_TO_ISP1", "R1_FROM_DC", "R1_FROM_M", "R1_TO_M")
+      ~own_community:from_isp1_community ~other_community:from_isp2_community
+      ()
+  in
+  let r2_config =
+    reference_border
+      ~maps:("R2_FROM_ISP2", "R2_TO_ISP2", "R2_FROM_DC", "R2_FROM_M", "R2_TO_M")
+      ~own_community:from_isp2_community ~other_community:from_isp1_community
+      ()
+  in
+  topology ~r1_config ~r2_config ~m_config:(reference_m ())
+    ~dc_config:Config.Database.empty

@@ -1,0 +1,118 @@
+(** Checkers for the five global policies of the paper's Section 5
+    evaluation, against a converged simulation of the Figure 3 network. *)
+
+type result = { policy : string; holds : bool; detail : string }
+
+let check_all (state : Simulator.state) =
+  let learned router prefix =
+    match Simulator.lookup state ~router ~prefix with
+    | Some { learned_from = Some via; route; _ } -> Some (via, route)
+    | _ -> None
+  in
+  (* 1. Reused prefixes are mutually invisible: each owner sees only its
+     own origination, and no other router carries the reused prefix. *)
+  let p1 =
+    let locally_owned router =
+      match Simulator.lookup state ~router ~prefix:Figure3.reused_prefix with
+      | Some { learned_from = None; _ } -> true
+      | _ -> false
+    in
+    let leaked =
+      List.filter
+        (fun r ->
+          learned r Figure3.reused_prefix <> None)
+        [ "M"; "DC"; "R1"; "R2"; "ISP1"; "ISP2" ]
+    in
+    {
+      policy = "P1 reused prefixes mutually invisible";
+      holds = locally_owned "M" && locally_owned "DC" && leaked = [];
+      detail =
+        (if leaked = [] then "no router learned 192.168.100.0/24 over BGP"
+         else "leaked to: " ^ String.concat ", " leaked);
+    }
+  in
+  (* 2. The service prefix is visible to M. *)
+  let p2 =
+    match learned "M" Figure3.service_prefix with
+    | Some (via, _) ->
+        {
+          policy = "P2 10.1.0.0/16 visible to M";
+          holds = true;
+          detail = "learned via " ^ via;
+        }
+    | None ->
+        {
+          policy = "P2 10.1.0.0/16 visible to M";
+          holds = false;
+          detail = "absent from M's RIB";
+        }
+  in
+  (* 3. M prefers the path through R1. *)
+  let p3 =
+    match learned "M" Figure3.service_prefix with
+    | Some (via, route) ->
+        {
+          policy = "P3 M prefers R1 for 10.1.0.0/16";
+          holds = via = "R1";
+          detail =
+            Printf.sprintf "best path via %s (local-pref %d)" via
+              route.Bgp.Route.local_pref;
+        }
+    | None ->
+        {
+          policy = "P3 M prefers R1 for 10.1.0.0/16";
+          holds = false;
+          detail = "absent from M's RIB";
+        }
+  in
+  (* 4. No bogon prefixes are advertised to the ISPs. *)
+  let p4 =
+    let offending router =
+      List.filter_map
+        (fun (p, (e : Simulator.rib_entry)) ->
+          if
+            e.learned_from <> None
+            && List.exists (fun b -> Netaddr.Prefix.subset p b) Figure3.bogons
+          then Some (Netaddr.Prefix.to_string p)
+          else None)
+        (Simulator.rib state router)
+    in
+    let bad = offending "ISP1" @ offending "ISP2" in
+    {
+      policy = "P4 no bogons advertised";
+      holds = bad = [];
+      detail =
+        (if bad = [] then "ISP RIBs contain no bogon routes"
+         else "bogons at ISPs: " ^ String.concat ", " bad);
+    }
+  in
+  (* 5. ISP1 and ISP2 are mutually unreachable through our network. *)
+  let p5 =
+    let sees router prefix = learned router prefix <> None in
+    let isp1_sees_isp2 = sees "ISP1" Figure3.isp2_prefix in
+    let isp2_sees_isp1 = sees "ISP2" Figure3.isp1_prefix in
+    {
+      policy = "P5 ISP1 and ISP2 mutually unreachable via us";
+      holds = (not isp1_sees_isp2) && not isp2_sees_isp1;
+      detail =
+        String.concat "; "
+          (List.filter
+             (fun s -> s <> "")
+             [
+               (if isp1_sees_isp2 then "ISP1 reaches 70.0.0.0/8" else "");
+               (if isp2_sees_isp1 then "ISP2 reaches 60.0.0.0/8" else "");
+             ])
+        |> fun s -> if s = "" then "no cross-ISP leakage" else s;
+    }
+  in
+  [ p1; p2; p3; p4; p5 ]
+
+let all_hold results = List.for_all (fun r -> r.holds) results
+
+let pp fmt results =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-45s %s  (%s)@." r.policy
+        (if r.holds then "PASS" else "FAIL")
+        r.detail)
+    results

@@ -1,0 +1,15 @@
+(** Checkers for the five global policies of the paper's Section 5
+    evaluation, against a converged simulation of the Figure 3 network:
+
+    1. reused prefixes in the datacenter and management are mutually
+       invisible;
+    2. the service prefix 10.1.0.0/16 is visible to M;
+    3. M prefers the path through R1 for the service prefix;
+    4. no bogon prefixes are advertised to the ISPs;
+    5. ISP1 and ISP2 are mutually unreachable through our network. *)
+
+type result = { policy : string; holds : bool; detail : string }
+
+val check_all : Simulator.state -> result list
+val all_hold : result list -> bool
+val pp : Format.formatter -> result list -> unit

@@ -1,0 +1,1 @@
+lib/overlap/acl_overlap.ml: Bdd Config List Symbdd Symbolic

@@ -1,0 +1,1 @@
+lib/overlap/acl_overlap.mli: Config

@@ -1,0 +1,1 @@
+lib/overlap/corpus.ml: Acl_overlap Config Format List Route_map_overlap Symbdd

@@ -1,0 +1,1 @@
+lib/overlap/corpus.mli: Config Format

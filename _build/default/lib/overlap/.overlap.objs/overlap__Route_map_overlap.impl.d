@@ -1,0 +1,1 @@
+lib/overlap/route_map_overlap.ml: Bdd Config List Symbdd Symbolic

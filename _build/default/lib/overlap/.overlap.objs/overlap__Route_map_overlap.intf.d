@@ -1,0 +1,1 @@
+lib/overlap/route_map_overlap.mli: Bgp Config

@@ -1,0 +1,64 @@
+(** Rule-overlap analysis for ACLs (the paper's Section 3 Batfish
+    extension).
+
+    Two rules have an {e overlap} when some packet matches both; the
+    overlap is {e conflicting} when their actions differ, and {e
+    trivial} when one rule's match set is a subset of the other's (e.g.
+    [permit tcp host 1.1.1.1 host 2.2.2.2] against [deny ip any any]). *)
+
+open Symbdd
+
+type pair = {
+  rule_a : Config.Acl.rule;
+  rule_b : Config.Acl.rule;
+  conflicting : bool;
+  subset : bool; (* one match set contained in the other *)
+}
+
+type stats = {
+  name : string;
+  rules : int;
+  overlap_pairs : int;
+  conflict_pairs : int;
+  nontrivial_conflicts : int; (* conflicting and not subset *)
+}
+
+let pairs (acl : Config.Acl.t) =
+  let rules =
+    List.map (fun r -> (r, Symbolic.Packet_space.of_rule r)) acl.Config.Acl.rules
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (r1, b1) :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc (r2, b2) ->
+              let inter = Bdd.conj b1 b2 in
+              if Bdd.is_sat inter then
+                {
+                  rule_a = r1;
+                  rule_b = r2;
+                  conflicting = not (Config.Action.equal r1.action r2.action);
+                  subset = Bdd.implies b1 b2 || Bdd.implies b2 b1;
+                }
+                :: acc
+              else acc)
+            acc rest
+        in
+        go acc rest
+  in
+  go [] rules
+
+let analyze (acl : Config.Acl.t) =
+  let ps = pairs acl in
+  {
+    name = acl.Config.Acl.name;
+    rules = List.length acl.Config.Acl.rules;
+    overlap_pairs = List.length ps;
+    conflict_pairs = List.length (List.filter (fun p -> p.conflicting) ps);
+    nontrivial_conflicts =
+      List.length (List.filter (fun p -> p.conflicting && not p.subset) ps);
+  }
+
+(** A packet witnessing an overlapping pair. *)
+let witness p = Symbolic.Packet_space.overlap_witness p.rule_a p.rule_b

@@ -1,0 +1,30 @@
+(** Rule-overlap analysis for ACLs (the paper's Section 3 Batfish
+    extension).
+
+    Two rules {e overlap} when some packet matches both; the overlap is
+    {e conflicting} when their actions differ, and {e trivial} when one
+    rule's match set is a subset of the other's (e.g. [permit tcp host
+    1.1.1.1 host 2.2.2.2] against [deny ip any any]). *)
+
+type pair = {
+  rule_a : Config.Acl.rule;
+  rule_b : Config.Acl.rule;
+  conflicting : bool;
+  subset : bool; (* one match set contained in the other *)
+}
+
+type stats = {
+  name : string;
+  rules : int;
+  overlap_pairs : int;
+  conflict_pairs : int;
+  nontrivial_conflicts : int; (* conflicting and not subset *)
+}
+
+val pairs : Config.Acl.t -> pair list
+(** Every overlapping rule pair, via BDD intersection. *)
+
+val analyze : Config.Acl.t -> stats
+
+val witness : pair -> Config.Packet.t option
+(** A packet matched by both rules of the pair. *)

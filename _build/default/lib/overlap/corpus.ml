@@ -1,0 +1,91 @@
+(** Corpus-level aggregation of overlap statistics, producing the
+    quantities reported in the paper's Section 3. *)
+
+type acl_summary = {
+  total : int;
+  with_overlaps : int; (* >= 1 overlapping pair *)
+  heavy_overlaps : int; (* > threshold overlapping pairs *)
+  with_conflicts : int;
+  heavy_conflicts : int; (* of the conflicting ones, > threshold pairs *)
+  with_nontrivial : int;
+  heavy_nontrivial : int;
+  max_overlaps : int; (* largest per-ACL overlap count *)
+}
+
+let default_threshold = 20
+
+let summarize_acls ?(threshold = default_threshold)
+    ?(progress = fun (_ : int) -> ()) (acls : Config.Acl.t list) =
+  let stats =
+    List.mapi
+      (fun i acl ->
+        progress i;
+        (* Bound memory across very large corpora. *)
+        if i mod 512 = 511 then Symbdd.Bdd.clear_caches ();
+        Acl_overlap.analyze acl)
+      acls
+  in
+  let count f = List.length (List.filter f stats) in
+  {
+    total = List.length stats;
+    with_overlaps = count (fun (s : Acl_overlap.stats) -> s.overlap_pairs > 0);
+    heavy_overlaps = count (fun s -> s.overlap_pairs > threshold);
+    with_conflicts = count (fun s -> s.conflict_pairs > 0);
+    heavy_conflicts = count (fun s -> s.conflict_pairs > threshold);
+    with_nontrivial = count (fun s -> s.nontrivial_conflicts > 0);
+    heavy_nontrivial = count (fun s -> s.nontrivial_conflicts > threshold);
+    max_overlaps =
+      List.fold_left (fun m (s : Acl_overlap.stats) -> max m s.overlap_pairs) 0 stats;
+  }
+
+type route_map_summary = {
+  rm_total : int;
+  rm_with_overlaps : int;
+  rm_heavy_overlaps : int;
+  rm_max_overlaps : int;
+  rm_conflicting_pairs_total : int;
+}
+
+let summarize_route_maps ?(threshold = default_threshold) db
+    (rms : Config.Route_map.t list) =
+  let stats = List.map (Route_map_overlap.analyze db) rms in
+  {
+    rm_total = List.length stats;
+    rm_with_overlaps =
+      List.length
+        (List.filter (fun (s : Route_map_overlap.stats) -> s.overlap_pairs > 0) stats);
+    rm_heavy_overlaps =
+      List.length (List.filter (fun s -> s.Route_map_overlap.overlap_pairs > threshold) stats);
+    rm_max_overlaps =
+      List.fold_left
+        (fun m (s : Route_map_overlap.stats) -> max m s.overlap_pairs)
+        0 stats;
+    rm_conflicting_pairs_total =
+      List.fold_left
+        (fun acc (s : Route_map_overlap.stats) -> acc + s.conflict_pairs)
+        0 stats;
+  }
+
+let pct part whole =
+  if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+let pp_acl_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>ACLs analyzed: %d@ with >=1 overlap: %d (%.1f%%)@ with >%d \
+     overlaps: %d@ with conflicting overlaps: %d (%.1f%%)@ conflicting and \
+     >%d: %d (%.1f%% of conflicting)@ with non-trivial conflicts: %d \
+     (%.1f%%)@ non-trivial and >%d: %d (%.1f%% of non-trivial)@ max overlap \
+     count: %d@]"
+    s.total s.with_overlaps (pct s.with_overlaps s.total) default_threshold
+    s.heavy_overlaps s.with_conflicts (pct s.with_conflicts s.total)
+    default_threshold s.heavy_conflicts (pct s.heavy_conflicts s.with_conflicts)
+    s.with_nontrivial (pct s.with_nontrivial s.total) default_threshold
+    s.heavy_nontrivial (pct s.heavy_nontrivial s.with_nontrivial)
+    s.max_overlaps
+
+let pp_route_map_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>route-maps analyzed: %d@ with overlaps: %d@ with >%d overlaps: %d@ \
+     max overlap count: %d@ conflicting stanza pairs: %d@]"
+    s.rm_total s.rm_with_overlaps default_threshold s.rm_heavy_overlaps
+    s.rm_max_overlaps s.rm_conflicting_pairs_total

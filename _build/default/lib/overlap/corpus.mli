@@ -1,0 +1,38 @@
+(** Corpus-level aggregation of overlap statistics, producing the
+    quantities reported in the paper's Section 3. *)
+
+type acl_summary = {
+  total : int;
+  with_overlaps : int; (* >= 1 overlapping pair *)
+  heavy_overlaps : int; (* > threshold overlapping pairs *)
+  with_conflicts : int;
+  heavy_conflicts : int;
+  with_nontrivial : int;
+  heavy_nontrivial : int;
+  max_overlaps : int; (* largest per-ACL overlap count *)
+}
+
+val default_threshold : int
+(** 20, the paper's reporting threshold. *)
+
+val summarize_acls :
+  ?threshold:int -> ?progress:(int -> unit) -> Config.Acl.t list -> acl_summary
+(** BDD caches are cleared periodically to bound memory on very large
+    corpora. *)
+
+type route_map_summary = {
+  rm_total : int;
+  rm_with_overlaps : int;
+  rm_heavy_overlaps : int;
+  rm_max_overlaps : int;
+  rm_conflicting_pairs_total : int;
+}
+
+val summarize_route_maps :
+  ?threshold:int ->
+  Config.Database.t ->
+  Config.Route_map.t list ->
+  route_map_summary
+
+val pp_acl_summary : Format.formatter -> acl_summary -> unit
+val pp_route_map_summary : Format.formatter -> route_map_summary -> unit

@@ -1,0 +1,1 @@
+lib/sre/alphabet.ml: Char Format Netaddr Option

@@ -1,0 +1,1 @@
+lib/sre/as_path_regex.ml: Alphabet Format List Netaddr Option Printf Regex String

@@ -1,0 +1,1 @@
+lib/sre/as_path_regex.mli: Alphabet Format Regex

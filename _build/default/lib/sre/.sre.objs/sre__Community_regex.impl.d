@@ -1,0 +1,1 @@
+lib/sre/community_regex.ml: Alphabet Char Format List Netaddr Option Printf Regex String

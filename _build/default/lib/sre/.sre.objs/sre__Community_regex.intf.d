@@ -1,0 +1,1 @@
+lib/sre/community_regex.mli: Alphabet Format Regex

@@ -1,0 +1,1 @@
+lib/sre/regex.ml: Alphabet Array Format List Map Option Queue

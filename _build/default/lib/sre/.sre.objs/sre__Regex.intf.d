@@ -1,0 +1,1 @@
+lib/sre/regex.mli: Alphabet Format

@@ -1,0 +1,60 @@
+(** Predicate alphabets for symbolic regular expressions.
+
+    Predicates must be pure data: the regex engine uses structural
+    comparison on them to canonicalize states. *)
+
+module type S = sig
+  type sym
+  type pred
+
+  val tt : pred
+  val ff : pred
+  val conj : pred -> pred -> pred
+  val neg : pred -> pred
+  val is_empty : pred -> bool
+  val mem : sym -> pred -> bool
+
+  val witness : pred -> sym option
+  (** Some symbol satisfying the predicate; [None] iff unsatisfiable. *)
+
+  val compare : pred -> pred -> int
+  val pp_pred : Format.formatter -> pred -> unit
+  val pp_sym : Format.formatter -> sym -> unit
+end
+
+(** Alphabet of 32-bit AS numbers with interval-set predicates. *)
+module Asn : S with type sym = int and type pred = Netaddr.Intset.t = struct
+  type sym = int
+  type pred = Netaddr.Intset.t
+
+  let max_asn = (1 lsl 32) - 1
+  let tt = Netaddr.Intset.full ~max:max_asn
+  let ff = Netaddr.Intset.empty
+  let conj = Netaddr.Intset.inter
+  let neg = Netaddr.Intset.compl ~max:max_asn
+  let is_empty = Netaddr.Intset.is_empty
+  let mem = Netaddr.Intset.mem
+  let witness = Netaddr.Intset.choose
+  let compare = Netaddr.Intset.compare
+  let pp_pred = Netaddr.Intset.pp
+  let pp_sym fmt n = Format.fprintf fmt "%d" n
+end
+
+(** Alphabet of bytes with interval-set predicates, for character-level
+    regexes (expanded community lists). *)
+module Char_ : S with type sym = char and type pred = Netaddr.Intset.t =
+struct
+  type sym = char
+  type pred = Netaddr.Intset.t
+
+  let tt = Netaddr.Intset.full ~max:255
+  let ff = Netaddr.Intset.empty
+  let conj = Netaddr.Intset.inter
+  let neg = Netaddr.Intset.compl ~max:255
+  let is_empty = Netaddr.Intset.is_empty
+  let mem c p = Netaddr.Intset.mem (Char.code c) p
+  let witness p = Option.map Char.chr (Netaddr.Intset.choose p)
+  let compare = Netaddr.Intset.compare
+  let pp_pred = Netaddr.Intset.pp
+  let pp_sym fmt c = Format.fprintf fmt "%C" c
+end

@@ -1,0 +1,211 @@
+(** Cisco-style AS-path regular expressions, interpreted at the level of
+    AS-number tokens.
+
+    A BGP AS path is a sequence of AS numbers. Cisco matches its regex
+    against the textual rendering of the path; we instead interpret the
+    common surface syntax directly over ASN tokens, which avoids the
+    substring pitfalls of character-level matching (e.g. [32] matching
+    inside [132]) while agreeing with the idiomatic uses:
+
+    - [^] / [$] anchor the start / end of the path; an unanchored
+      pattern is padded with [.*] on the corresponding side.
+    - [_] is a token boundary and contributes no token of its own.
+    - A decimal literal matches exactly that ASN as a whole token.
+    - [.] matches any single ASN.
+    - [[n-m]] matches an ASN in the inclusive range; multi-digit bounds
+      are accepted ([[100-200]]). The idiom [[0-9]+] (a class of digits
+      under [+]) is recognized as "any single ASN".
+    - [( )], [|], [*], [+], [?] have their usual meanings over tokens.
+
+    Examples: [_32$] — paths originated by AS 32; [^32_] — paths whose
+    first hop is AS 32; [^$] — the empty path; [_32_] — paths containing
+    AS 32; [.*] — everything. *)
+
+module R = Regex.Make (Alphabet.Asn)
+
+exception Parse_error of string
+
+let max_asn = (1 lsl 32) - 1
+
+type token =
+  | Tcaret
+  | Tdollar
+  | Tunderscore
+  | Tdot
+  | Tstar
+  | Tplus
+  | Topt
+  | Tbar
+  | Tlparen
+  | Trparen
+  | Tclass of Netaddr.Intset.t * bool (* predicate, was-a-digit-class *)
+  | Tasn of int
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    (match s.[!i] with
+    | '^' -> push Tcaret; incr i
+    | '$' -> push Tdollar; incr i
+    | '_' -> push Tunderscore; incr i
+    | '.' -> push Tdot; incr i
+    | '*' -> push Tstar; incr i
+    | '+' -> push Tplus; incr i
+    | '?' -> push Topt; incr i
+    | '|' -> push Tbar; incr i
+    | '(' -> push Tlparen; incr i
+    | ')' -> push Trparen; incr i
+    | '[' ->
+        let j = ref (!i + 1) in
+        while !j < n && s.[!j] <> ']' do incr j done;
+        if !j >= n then fail "unterminated character class in %S" s;
+        let body = String.sub s (!i + 1) (!j - !i - 1) in
+        let digit_class = body = "0-9" in
+        let parse_num str =
+          match int_of_string_opt str with
+          | Some v when v >= 0 && v <= max_asn -> v
+          | _ -> fail "bad number %S in class" str
+        in
+        let set =
+          String.split_on_char ',' body
+          |> List.fold_left
+               (fun acc item ->
+                 match String.index_opt item '-' with
+                 | Some k ->
+                     let lo = parse_num (String.sub item 0 k) in
+                     let hi =
+                       parse_num
+                         (String.sub item (k + 1) (String.length item - k - 1))
+                     in
+                     if lo > hi then fail "empty range in class %S" body;
+                     Netaddr.Intset.union acc (Netaddr.Intset.range lo hi)
+                 | None ->
+                     Netaddr.Intset.union acc
+                       (Netaddr.Intset.singleton (parse_num item)))
+               Netaddr.Intset.empty
+        in
+        push (Tclass (set, digit_class));
+        i := !j + 1
+    | '0' .. '9' ->
+        let j = ref !i in
+        while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+        let lit = String.sub s !i (!j - !i) in
+        (match int_of_string_opt lit with
+        | Some v when v <= max_asn -> push (Tasn v)
+        | _ -> fail "AS number %S out of range" lit);
+        i := !j
+    | ' ' -> incr i
+    | c -> fail "unexpected character %C in AS-path regex %S" c s);
+  done;
+  List.rev !toks
+
+(* Recursive-descent grammar:
+   body   := term ('|' term)*
+   term   := factor*
+   factor := atom ('*'|'+'|'?')*
+   atom   := ASN | '.' | class | '_' | '(' body ')'              *)
+let parse_tokens toks =
+  let toks = ref toks in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+  let rec body () =
+    let t = term () in
+    match peek () with
+    | Some Tbar ->
+        advance ();
+        R.alt t (body ())
+    | _ -> t
+  and term () =
+    match peek () with
+    | None | Some (Tbar | Trparen | Tdollar) -> R.eps
+    | Some _ -> (
+        match factor () with
+        | None -> R.eps
+        | Some f -> R.cat f (term ()))
+  and factor () =
+    let base =
+      match peek () with
+      | Some (Tasn v) ->
+          advance ();
+          Some (R.pred (Netaddr.Intset.singleton v))
+      | Some Tdot ->
+          advance ();
+          Some R.any
+      | Some (Tclass (set, digit_class)) ->
+          advance ();
+          (* "[0-9]+" is the Cisco idiom for "any ASN". *)
+          if digit_class && peek () = Some Tplus then begin
+            advance ();
+            Some R.any
+          end
+          else Some (R.pred set)
+      | Some Tunderscore ->
+          advance ();
+          Some R.eps
+      | Some Tlparen ->
+          advance ();
+          let r = body () in
+          (match peek () with
+          | Some Trparen -> advance ()
+          | _ -> fail "expected ')'");
+          Some r
+      | Some (Tcaret | Tdollar) -> fail "misplaced anchor"
+      | Some (Tstar | Tplus | Topt) -> fail "dangling postfix operator"
+      | Some (Tbar | Trparen) | None -> None
+    in
+    match base with
+    | None -> None
+    | Some r ->
+        let rec postfix r =
+          match peek () with
+          | Some Tstar -> advance (); postfix (R.star r)
+          | Some Tplus -> advance (); postfix (R.plus r)
+          | Some Topt -> advance (); postfix (R.opt r)
+          | _ -> r
+        in
+        Some (postfix r)
+  in
+  let anchored_start =
+    match peek () with
+    | Some Tcaret ->
+        advance ();
+        true
+    | _ -> false
+  in
+  let r = body () in
+  let anchored_end =
+    match peek () with
+    | Some Tdollar ->
+        advance ();
+        if peek () <> None then fail "trailing tokens after '$'";
+        true
+    | None -> false
+    | Some _ -> fail "unparsed trailing tokens"
+  in
+  let all = R.star R.any in
+  let r = if anchored_start then r else R.cat all r in
+  if anchored_end then r else R.cat r all
+
+type t = { source : string; re : R.re }
+
+let compile source = { source; re = parse_tokens (tokenize source) }
+let source t = t.source
+let regex t = t.re
+let matches t path = R.matches t.re path
+let pp fmt t = Format.fprintf fmt "%s" t.source
+
+(** Satisfiability of a conjunction of positive and negated path
+    constraints; returns a concrete witness path. *)
+let sat_witness ~pos ~neg =
+  let r =
+    R.inter_list
+      (List.map regex pos @ List.map (fun t -> R.compl t.re) neg)
+  in
+  R.shortest_witness r
+
+let intersects a b = Option.is_some (sat_witness ~pos:[ a; b ] ~neg:[])

@@ -1,0 +1,39 @@
+(** Cisco-style AS-path regular expressions, interpreted at the level of
+    AS-number tokens.
+
+    A BGP AS path is a sequence of AS numbers. Cisco matches its regex
+    against the textual rendering of the path; we instead interpret the
+    common surface syntax directly over ASN tokens, which avoids the
+    substring pitfalls of character-level matching (e.g. [32] matching
+    inside [132]) while agreeing with idiomatic use:
+
+    - [^] / [$] anchor the start / end; an unanchored pattern is padded
+      with [.*] on the corresponding side;
+    - [_] is a token boundary contributing no token of its own;
+    - a decimal literal matches exactly that ASN as a whole token;
+    - [.] matches any single ASN; [[n-m]] an ASN range (multi-digit
+      bounds allowed); the idiom [[0-9]+] means "any single ASN";
+    - [( )], [|], [*], [+], [?] have their usual meanings over tokens.
+
+    Examples: [_32$] — paths originated by AS 32; [^32_] — first hop
+    32; [^$] — the empty path; [_32_] — paths containing 32. *)
+
+module R : module type of Regex.Make (Alphabet.Asn)
+
+exception Parse_error of string
+
+type t
+
+val compile : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val source : t -> string
+val regex : t -> R.re
+val matches : t -> int list -> bool
+val pp : Format.formatter -> t -> unit
+
+val sat_witness : pos:t list -> neg:t list -> int list option
+(** A concrete AS path in every [pos] language and no [neg] language,
+    if one exists (decided exactly with the symbolic regex engine). *)
+
+val intersects : t -> t -> bool

@@ -1,0 +1,190 @@
+(** Expanded community-list regular expressions.
+
+    Cisco matches expanded community lists against the textual rendering
+    of a route's communities. We interpret the regex against each
+    individual community rendered as ["A:B"]: a route satisfies the
+    regex iff at least one of its communities matches. Within a single
+    community string:
+
+    - a leading [_] (or [^]) anchors the start, a trailing [_] (or [$])
+      anchors the end; an unanchored pattern is padded with [.*];
+    - an internal [_] matches the [:] separator;
+    - digits, [:], [.], [[..]] classes, [()], [|], [*], [+], [?] have
+      their usual character-level meanings. *)
+
+module R = Regex.Make (Alphabet.Char_)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let char_pred c = Netaddr.Intset.singleton (Char.code c)
+let digit_pred = Netaddr.Intset.range (Char.code '0') (Char.code '9')
+
+(* Characters that can legitimately appear in a community string. *)
+let any_comm_char = Netaddr.Intset.union digit_pred (char_pred ':')
+
+(* Parse the regex body (anchors already stripped). *)
+let parse_body source =
+  let n = String.length source in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some source.[!pos] else None in
+  let advance () = incr pos in
+  let rec body () =
+    let t = term () in
+    match peek () with
+    | Some '|' ->
+        advance ();
+        R.alt t (body ())
+    | _ -> t
+  and term () =
+    match peek () with
+    | None | Some ('|' | ')') -> R.eps
+    | Some _ -> (
+        match factor () with None -> R.eps | Some f -> R.cat f (term ()))
+  and factor () =
+    let base =
+      match peek () with
+      | Some ('0' .. '9' as c) ->
+          advance ();
+          Some (R.pred (char_pred c))
+      | Some ':' ->
+          advance ();
+          Some (R.pred (char_pred ':'))
+      | Some '.' ->
+          advance ();
+          Some (R.pred any_comm_char)
+      | Some '_' ->
+          advance ();
+          Some (R.pred (char_pred ':'))
+      | Some '[' ->
+          advance ();
+          let set = ref Netaddr.Intset.empty in
+          let continue = ref true in
+          while !continue do
+            match peek () with
+            | Some ']' ->
+                advance ();
+                continue := false
+            | Some c -> (
+                advance ();
+                match peek () with
+                | Some '-' -> (
+                    advance ();
+                    match peek () with
+                    | Some hi when hi <> ']' ->
+                        advance ();
+                        if Char.code c > Char.code hi then
+                          fail "empty class range in %S" source;
+                        set :=
+                          Netaddr.Intset.union !set
+                            (Netaddr.Intset.range (Char.code c) (Char.code hi))
+                    | _ -> fail "bad class range in %S" source)
+                | _ -> set := Netaddr.Intset.union !set (char_pred c))
+            | None -> fail "unterminated class in %S" source
+          done;
+          Some (R.pred !set)
+      | Some '(' ->
+          advance ();
+          let r = body () in
+          (match peek () with
+          | Some ')' -> advance ()
+          | _ -> fail "expected ')' in %S" source);
+          Some r
+      | Some ('*' | '+' | '?') -> fail "dangling postfix in %S" source
+      | Some ('^' | '$') -> assert false (* anchors pre-stripped *)
+      | Some c -> fail "unexpected %C in community regex %S" c source
+      | None -> None
+    in
+    match base with
+    | None -> None
+    | Some r ->
+        let rec postfix r =
+          match peek () with
+          | Some '*' -> advance (); postfix (R.star r)
+          | Some '+' -> advance (); postfix (R.plus r)
+          | Some '?' -> advance (); postfix (R.opt r)
+          | _ -> r
+        in
+        Some (postfix r)
+  in
+  let r = body () in
+  if !pos < n then fail "unparsed trailing characters in %S" source;
+  r
+
+type t = { source : string; re : R.re }
+
+let any_word = R.star (R.pred any_comm_char)
+
+let compile source =
+  let n = String.length source in
+  let start_anchor =
+    n > 0 && (match source.[0] with '^' | '_' -> true | _ -> false)
+  in
+  (* A single '_' is both a leading and a trailing anchor; guard so we
+     do not strip the same character twice. *)
+  let end_anchor =
+    n > (if start_anchor then 1 else 0)
+    &&
+    match source.[n - 1] with
+    | '_' -> true
+    | '$' -> true
+    | _ -> false
+  in
+  let lo = if start_anchor then 1 else 0 in
+  let hi = if end_anchor then n - 1 else n in
+  let body = parse_body (String.sub source lo (hi - lo)) in
+  let body = if start_anchor then body else R.cat any_word body in
+  let body = if end_anchor then body else R.cat body any_word in
+  { source; re = body }
+
+let source t = t.source
+let regex t = t.re
+
+let matches_string t s =
+  R.matches t.re (List.init (String.length s) (String.get s))
+
+(* Matching is defined per community; (a, b) is rendered as "a:b". *)
+let render (a, b) = Printf.sprintf "%d:%d" a b
+let matches t comm = matches_string t (render comm)
+
+(* The language of syntactically valid community strings whose halves
+   also satisfy the 16-bit bound is approximated by bounding each side
+   to at most 5 digits; witnesses are bound-checked after extraction. *)
+let valid_community =
+  let digit = R.pred digit_pred in
+  let digits_1_5 =
+    R.cat digit (R.cat (R.opt digit) (R.cat (R.opt digit) (R.cat (R.opt digit) (R.opt digit))))
+  in
+  R.cat digits_1_5 (R.cat (R.pred (char_pred ':')) digits_1_5)
+
+let parse_community s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let a = String.sub s 0 i and b = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b when a >= 0 && a <= 65535 && b >= 0 && b <= 65535 ->
+          Some (a, b)
+      | _ -> None)
+
+(** A concrete community matching all of [pos] and none of [neg], if one
+    can be found. Complete up to the witness-enumeration budget: a [None]
+    answer is almost always genuine infeasibility, but an adversarial
+    regex whose only witnesses exceed 16-bit bounds could be missed. *)
+let sat_witness ~pos ~neg =
+  let r =
+    R.inter_list
+      (valid_community
+       :: (List.map regex pos @ List.map (fun t -> R.compl t.re) neg))
+  in
+  let words = R.witnesses ~limit:64 r in
+  List.find_map
+    (fun word ->
+      let s = String.init (List.length word) (List.nth word) in
+      parse_community s)
+    words
+
+let intersects a b = Option.is_some (sat_witness ~pos:[ a; b ] ~neg:[])
+let is_empty t = Option.is_some (R.shortest_witness t.re) = false
+let pp fmt t = Format.fprintf fmt "%s" t.source

@@ -1,0 +1,1 @@
+lib/symbolic/packet_space.ml: Bdd Bvec Config List Netaddr Symbdd

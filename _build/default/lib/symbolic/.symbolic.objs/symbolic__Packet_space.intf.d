@@ -1,0 +1,1 @@
+lib/symbolic/packet_space.mli: Bdd Bvec Config Symbdd

@@ -1,0 +1,1 @@
+lib/symbolic/route_ctx.ml: Array Bdd Bgp Bvec Config Fun Hashtbl List Netaddr Option Printf Sre Stdlib Symbdd

@@ -1,0 +1,1 @@
+lib/symbolic/route_ctx.mli: Bdd Bgp Bvec Config Hashtbl Netaddr Sre Symbdd

@@ -1,0 +1,121 @@
+(** Symbolic IPv4 packet header space over BDD variables.
+
+    Variable layout (MSB-first within each field):
+    src 0-31, dst 32-63, protocol 64-71, src port 72-87, dst port 88-103,
+    established 104. *)
+
+open Symbdd
+
+let src = Bvec.sequential ~first:0 ~width:32
+let dst = Bvec.sequential ~first:32 ~width:32
+let protocol = Bvec.sequential ~first:64 ~width:8
+let src_port = Bvec.sequential ~first:72 ~width:16
+let dst_port = Bvec.sequential ~first:88 ~width:16
+let established_var = 104
+
+let of_addr_spec field = function
+  | Config.Acl.Any -> Bdd.one
+  | Config.Acl.Host ip ->
+      Bvec.eq_const field (Netaddr.Ipv4.to_int ip)
+  | Config.Acl.Wildcard (base, wild) ->
+      (* Constrain exactly the bits the wildcard marks as significant. *)
+      let acc = ref Bdd.one in
+      for i = 0 to 31 do
+        if not (Netaddr.Ipv4.bit wild i) then begin
+          let v = List.nth (Bvec.vars field) i in
+          let lit = if Netaddr.Ipv4.bit base i then Bdd.var v else Bdd.nvar v in
+          acc := Bdd.conj lit !acc
+        end
+      done;
+      !acc
+
+let of_port_spec field = function
+  | Config.Acl.Any_port -> Bdd.one
+  | Config.Acl.Eq n -> Bvec.eq_const field n
+  | Config.Acl.Neq n -> Bdd.neg (Bvec.eq_const field n)
+  | Config.Acl.Lt n -> if n = 0 then Bdd.zero else Bvec.le_const field (n - 1)
+  | Config.Acl.Gt n ->
+      if n >= 65535 then Bdd.zero else Bvec.ge_const field (n + 1)
+  | Config.Acl.Range (a, b) -> Bvec.in_range field a b
+
+let of_protocol = function
+  | Config.Packet.Ip -> Bdd.one
+  | p -> Bvec.eq_const protocol (Config.Packet.protocol_number p)
+
+(** The match condition of one ACL rule (ignoring its action). *)
+let of_rule (r : Config.Acl.rule) =
+  Bdd.conj_list
+    [
+      of_protocol r.protocol;
+      of_addr_spec src r.src;
+      of_addr_spec dst r.dst;
+      of_port_spec src_port r.src_port;
+      of_port_spec dst_port r.dst_port;
+      (if r.established then Bdd.var established_var else Bdd.one);
+    ]
+
+type cell = {
+  guard : Bdd.t; (* packets reaching and matching this rule *)
+  action : Config.Action.t;
+  rule_seq : int option; (* [None] for the implicit trailing deny *)
+}
+
+(** Ordered first-match partition of the packet space: each cell's guard
+    is the rule's match condition minus everything matched earlier; the
+    final cell is the implicit deny. Guards partition the space. *)
+let exec (acl : Config.Acl.t) =
+  let rec go unmatched = function
+    | [] ->
+        [ { guard = unmatched; action = Config.Action.Deny; rule_seq = None } ]
+    | (r : Config.Acl.rule) :: rest ->
+        let m = of_rule r in
+        let guard = Bdd.conj unmatched m in
+        { guard; action = r.action; rule_seq = Some r.seq }
+        :: go (Bdd.conj unmatched (Bdd.neg m)) rest
+  in
+  go Bdd.one acl.Config.Acl.rules
+
+(** The set of packets an ACL permits. *)
+let permitted acl =
+  Bdd.disj_list
+    (List.filter_map
+       (fun c ->
+         if Config.Action.equal c.action Config.Action.Permit then Some c.guard
+         else None)
+       (exec acl))
+
+(** Extract a concrete packet from a non-empty region. Prefers familiar
+    protocols (TCP, then UDP, then ICMP) when the region allows them. *)
+let to_packet bdd =
+  if Bdd.is_zero bdd then None
+  else
+    let bdd =
+      let candidates =
+        [
+          Bdd.conj bdd (Bvec.eq_const protocol 6);
+          Bdd.conj bdd (Bvec.eq_const protocol 17);
+          Bdd.conj bdd (Bvec.eq_const protocol 1);
+        ]
+      in
+      match List.find_opt Bdd.is_sat candidates with
+      | Some refined -> refined
+      | None -> bdd
+    in
+    let a = Bdd.any_sat bdd in
+    let field bv = Bvec.decode bv a in
+    let protocol_v = Config.Packet.protocol_of_number (field protocol) in
+    Some
+      {
+        Config.Packet.src = Netaddr.Ipv4.of_int (field src);
+        dst = Netaddr.Ipv4.of_int (field dst);
+        protocol = protocol_v;
+        src_port = field src_port;
+        dst_port = field dst_port;
+        established =
+          (match List.assoc_opt established_var a with
+          | Some b -> b
+          | None -> false);
+      }
+
+(** A packet matched by both rules, if any — the overlap witness. *)
+let overlap_witness r1 r2 = to_packet (Bdd.conj (of_rule r1) (of_rule r2))

@@ -1,0 +1,1 @@
+lib/workload/acl_gen.mli: Config Random

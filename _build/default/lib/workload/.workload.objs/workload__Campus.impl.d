@@ -1,0 +1,1 @@
+lib/workload/campus.ml: Acl_gen Array Config List Printf Random Route_map_gen

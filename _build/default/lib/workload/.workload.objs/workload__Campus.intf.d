@@ -1,0 +1,1 @@
+lib/workload/campus.mli: Config

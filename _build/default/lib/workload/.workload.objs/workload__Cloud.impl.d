@@ -1,0 +1,1 @@
+lib/workload/cloud.ml: Acl_gen Array Config List Printf Random Route_map_gen

@@ -1,0 +1,1 @@
+lib/workload/random_corpus.ml: Config List Netaddr Printf Random

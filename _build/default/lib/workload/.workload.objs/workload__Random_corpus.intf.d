@@ -1,0 +1,1 @@
+lib/workload/random_corpus.mli: Config Random

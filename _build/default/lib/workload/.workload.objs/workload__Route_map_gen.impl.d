@@ -1,0 +1,1 @@
+lib/workload/route_map_gen.ml: Config List Netaddr Printf

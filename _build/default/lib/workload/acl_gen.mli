@@ -1,0 +1,28 @@
+(** Synthetic ACL generation with exact overlap accounting.
+
+    ACLs are assembled from building blocks whose pairwise interactions
+    are known in closed form (verified against the analyzer by property
+    tests):
+
+    - [plain] pairwise-disjoint permit rules;
+    - [crossing] pairs of partially-overlapping rules with opposite
+      actions confined to pair-private address space: one {e non-trivial}
+      conflicting overlap each;
+    - an optional trailing [deny ip any any], overlapping every
+      preceding rule and conflicting (trivially) with every permit.
+
+    With the trailing deny: overlaps = 3·crossing + plain, conflicts =
+    2·crossing + plain, non-trivial = crossing. Without it, all three
+    equal [crossing]. *)
+
+val make :
+  rng:Random.State.t ->
+  name:string ->
+  plain:int ->
+  crossing:int ->
+  trailing_deny_any:bool ->
+  Config.Acl.t
+(** @raise Invalid_argument when [crossing > 255]. *)
+
+val expected : plain:int -> crossing:int -> trailing_deny_any:bool -> int * int * int
+(** [(overlaps, conflicts, nontrivial)] the analyzer will report. *)

@@ -1,0 +1,117 @@
+(** The "campus network" corpus profile, calibrated to Section 3.2:
+
+    - 11,088 ACLs: 37.7% (4,180) with conflicting overlaps, of which 27%
+      (1,129) have more than 20 conflicts; 18.6% (2,062) with
+      non-trivial conflicts (one rule not a subset of the other), of
+      which 16.3% (336) exceed 20.
+    - 169 route-maps: two with overlapping stanzas, one of them with
+      three overlapping pairs of which two conflict.
+
+    [scale] shrinks every group proportionally (floor, minimum 1 per
+    non-empty group) so tests and quick runs stay fast; the percentages
+    are preserved to within rounding. *)
+
+let default_seed = 1421 (* the paper's device count, for flavour *)
+
+type t = {
+  acls : Config.Acl.t list;
+  route_map_db : Config.Database.t;
+  route_maps : Config.Route_map.t list;
+}
+
+(* Group sizes at full scale. *)
+let total_acls = 11_088
+let conflicting = 4_180 (* 37.7% *)
+let heavy_conflicting = 1_129 (* 27% of conflicting *)
+let nontrivial = 2_062 (* 18.6% of total *)
+let heavy_nontrivial = 336 (* 16.3% of nontrivial *)
+
+let scaled scale n = max 1 (int_of_float (float_of_int n *. scale))
+
+let acls ?(seed = default_seed) ?(scale = 1.0) () =
+  let rng = Random.State.make [| seed |] in
+  let n_plain = scaled scale (total_acls - conflicting) in
+  let n_trivial_only = scaled scale (conflicting - nontrivial) in
+  (* Non-trivial group, split into heavy (k > 20) and light. Among the
+     light non-trivial ones, enough get a large trailing-deny fan-out to
+     reach the heavy-conflict quota. *)
+  let n_nontrivial_heavy = scaled scale heavy_nontrivial in
+  let n_nontrivial_light = scaled scale (nontrivial - heavy_nontrivial) in
+  let heavy_conflict_target = scaled scale heavy_conflicting in
+  (* heavy non-trivial ACLs are automatically heavy-conflict (2k+p>20) *)
+  let n_light_heavy_conflict =
+    max 0 (heavy_conflict_target - n_nontrivial_heavy)
+  in
+  let plain =
+    List.init n_plain (fun i ->
+        Acl_gen.make ~rng
+          ~name:(Printf.sprintf "CAMPUS_PLAIN_%d" i)
+          ~plain:(3 + Random.State.int rng 10)
+          ~crossing:0 ~trailing_deny_any:false)
+  in
+  (* Trivial-only: conflicts = p (all subset pairs), kept at <= 20. *)
+  let trivial_only =
+    List.init n_trivial_only (fun i ->
+        Acl_gen.make ~rng
+          ~name:(Printf.sprintf "CAMPUS_TRIVIAL_%d" i)
+          ~plain:(3 + Random.State.int rng 10)
+          ~crossing:0 ~trailing_deny_any:true)
+  in
+  (* Light non-trivial: k in 1..5. The first [n_light_heavy_conflict]
+     get p large enough that 2k + p > 20. *)
+  let nontrivial_light =
+    List.init n_nontrivial_light (fun i ->
+        let k = 1 + Random.State.int rng 5 in
+        let p =
+          if i < n_light_heavy_conflict then 21 + Random.State.int rng 10
+          else Random.State.int rng (max 1 (19 - (2 * k)))
+        in
+        Acl_gen.make ~rng
+          ~name:(Printf.sprintf "CAMPUS_NT_LIGHT_%d" i)
+          ~plain:p ~crossing:k ~trailing_deny_any:true)
+  in
+  let nontrivial_heavy =
+    List.init n_nontrivial_heavy (fun i ->
+        Acl_gen.make ~rng
+          ~name:(Printf.sprintf "CAMPUS_NT_HEAVY_%d" i)
+          ~plain:(Random.State.int rng 10)
+          ~crossing:(21 + Random.State.int rng 10)
+          ~trailing_deny_any:true)
+  in
+  plain @ trivial_only @ nontrivial_light @ nontrivial_heavy
+
+let route_maps ?(seed = default_seed) ?(scale = 1.0) () =
+  let rng = Random.State.make [| seed + 1 |] in
+  let actions = [| Config.Action.Permit; Config.Action.Deny |] in
+  let action () = actions.(Random.State.int rng 2) in
+  let db = ref Config.Database.empty in
+  let maps = ref [] in
+  let n_plain = scaled scale 167 in
+  for i = 0 to n_plain - 1 do
+    let b =
+      Route_map_gen.make ~db:!db
+        ~name:(Printf.sprintf "CAMPUS_RM_%d" i)
+        ~disjoint:(List.init (2 + Random.State.int rng 4) (fun _ -> action ()))
+        ~windows:[] ~catch_all:false
+    in
+    db := b.Route_map_gen.db;
+    maps := b.Route_map_gen.route_map :: !maps
+  done;
+  (* One map with a single overlapping pair. *)
+  let b1 =
+    Route_map_gen.make ~db:!db ~name:"CAMPUS_RM_PAIR"
+      ~disjoint:[ Config.Action.Permit ]
+      ~windows:[ (Config.Action.Permit, Config.Action.Permit) ]
+      ~catch_all:false
+  in
+  db := b1.Route_map_gen.db;
+  maps := b1.Route_map_gen.route_map :: !maps;
+  (* One map with three overlapping pairs, two of them conflicting. *)
+  let b2 = Route_map_gen.triple_overlap ~db:!db ~name:"CAMPUS_RM_TRIPLE" in
+  db := b2.Route_map_gen.db;
+  maps := b2.Route_map_gen.route_map :: !maps;
+  (!db, List.rev !maps)
+
+let generate ?(seed = default_seed) ?(scale = 1.0) () =
+  let route_map_db, rms = route_maps ~seed ~scale () in
+  { acls = acls ~seed ~scale (); route_map_db; route_maps = rms }

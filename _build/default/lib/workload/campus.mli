@@ -1,0 +1,24 @@
+(** The "campus network" corpus profile, calibrated to Section 3.2 of
+    the paper: 11,088 ACLs (37.7% with conflicting overlaps, 27% of
+    those above 20 conflicts; 18.6% with non-trivial conflicts, 16.3%
+    of those above 20) and 169 route-maps (two with overlapping
+    stanzas, one of them with three pairs of which two conflict).
+
+    [scale] shrinks every group proportionally (minimum one per
+    non-empty group) so quick runs stay fast while preserving the
+    percentages to within rounding. *)
+
+val default_seed : int
+
+type t = {
+  acls : Config.Acl.t list;
+  route_map_db : Config.Database.t;
+  route_maps : Config.Route_map.t list;
+}
+
+val acls : ?seed:int -> ?scale:float -> unit -> Config.Acl.t list
+
+val route_maps :
+  ?seed:int -> ?scale:float -> unit -> Config.Database.t * Config.Route_map.t list
+
+val generate : ?seed:int -> ?scale:float -> unit -> t

@@ -1,0 +1,87 @@
+(** The "cloud WAN" corpus profile, calibrated to Section 3.1 of the
+    paper: 237 ACLs of which 69 have at least one overlap and 48 have
+    more than 20 (including one gateway ACL with over 100 overlapping
+    pairs); 800 route-maps of which 140 contain overlaps and 3 have more
+    than 20. *)
+
+let default_seed = 2025
+
+type t = {
+  acls : Config.Acl.t list;
+  route_map_db : Config.Database.t;
+  route_maps : Config.Route_map.t list;
+}
+
+let acls ?(seed = default_seed) () =
+  let rng = Random.State.make [| seed |] in
+  let plain_group =
+    List.init 168 (fun i ->
+        Acl_gen.make ~rng
+          ~name:(Printf.sprintf "CLOUD_PLAIN_%d" i)
+          ~plain:(4 + Random.State.int rng 8)
+          ~crossing:0 ~trailing_deny_any:false)
+  in
+  (* Light: 3k + p overlaps with k=1..2, p <= 10 stays within 1..20. *)
+  let light_group =
+    List.init 21 (fun i ->
+        Acl_gen.make ~rng
+          ~name:(Printf.sprintf "CLOUD_LIGHT_%d" i)
+          ~plain:(2 + Random.State.int rng 8)
+          ~crossing:(1 + Random.State.int rng 2)
+          ~trailing_deny_any:true)
+  in
+  (* Heavy: 3k + p > 20. The first one is the paper's gateway ACL with
+     over 100 overlapping pairs of source/destination/protocol combos. *)
+  let heavy_group =
+    List.init 48 (fun i ->
+        if i = 0 then
+          Acl_gen.make ~rng ~name:"CLOUD_GATEWAY"
+            ~plain:70 ~crossing:12 ~trailing_deny_any:true
+        else
+          Acl_gen.make ~rng
+            ~name:(Printf.sprintf "CLOUD_HEAVY_%d" i)
+            ~plain:(10 + Random.State.int rng 10)
+            ~crossing:(5 + Random.State.int rng 4)
+            ~trailing_deny_any:true)
+  in
+  plain_group @ light_group @ heavy_group
+
+let route_maps ?(seed = default_seed) () =
+  let rng = Random.State.make [| seed + 1 |] in
+  let actions = [| Config.Action.Permit; Config.Action.Deny |] in
+  let action () = actions.(Random.State.int rng 2) in
+  let db = ref Config.Database.empty in
+  let maps = ref [] in
+  let build ~name ~disjoint ~windows ~catch_all =
+    let b = Route_map_gen.make ~db:!db ~name ~disjoint ~windows ~catch_all in
+    db := b.Route_map_gen.db;
+    maps := b.Route_map_gen.route_map :: !maps
+  in
+  (* 660 without overlaps. *)
+  for i = 0 to 659 do
+    build
+      ~name:(Printf.sprintf "CLOUD_RM_PLAIN_%d" i)
+      ~disjoint:(List.init (3 + Random.State.int rng 4) (fun _ -> action ()))
+      ~windows:[] ~catch_all:false
+  done;
+  (* 137 with 1..3 overlapping pairs. *)
+  for i = 0 to 136 do
+    build
+      ~name:(Printf.sprintf "CLOUD_RM_LIGHT_%d" i)
+      ~disjoint:(List.init (1 + Random.State.int rng 3) (fun _ -> action ()))
+      ~windows:
+        (List.init (1 + Random.State.int rng 3) (fun _ -> (action (), action ())))
+      ~catch_all:false
+  done;
+  (* 3 with more than 20 overlaps: a catch-all over many stanzas. *)
+  for i = 0 to 2 do
+    build
+      ~name:(Printf.sprintf "CLOUD_RM_HEAVY_%d" i)
+      ~disjoint:(List.init 25 (fun _ -> action ()))
+      ~windows:[] ~catch_all:true
+  done;
+  (!db, List.rev !maps)
+
+let generate ?(seed = default_seed) () =
+  let route_map_db, rms = route_maps ~seed () in
+  { acls = acls ~seed (); route_map_db; route_maps = rms }

@@ -1,0 +1,17 @@
+(** The "cloud WAN" corpus profile, calibrated to Section 3.1 of the
+    paper: 237 ACLs of which 69 have at least one overlap and 48 have
+    more than 20 (including one gateway ACL with over 100 overlapping
+    pairs); 800 route-maps of which 140 contain overlaps and 3 have more
+    than 20. Fully deterministic per seed. *)
+
+val default_seed : int
+
+type t = {
+  acls : Config.Acl.t list;
+  route_map_db : Config.Database.t;
+  route_maps : Config.Route_map.t list;
+}
+
+val acls : ?seed:int -> unit -> Config.Acl.t list
+val route_maps : ?seed:int -> unit -> Config.Database.t * Config.Route_map.t list
+val generate : ?seed:int -> unit -> t

@@ -1,0 +1,21 @@
+(** Fully random configuration generation with a tunable overlap
+    density, for fuzzing and the density-sweep benchmark. Overlap counts
+    are emergent (measured by the analyzer), but the density knob moves
+    them monotonically: 0.0 produces pairwise-disjoint rules, 1.0
+    heavily entangled ones. *)
+
+val acl :
+  rng:Random.State.t ->
+  name:string ->
+  rules:int ->
+  overlap_density:float ->
+  Config.Acl.t
+(** @raise Invalid_argument when density is outside [0, 1]. *)
+
+val route_map :
+  rng:Random.State.t ->
+  db:Config.Database.t ->
+  name:string ->
+  stanzas:int ->
+  overlap_density:float ->
+  Config.Database.t * Config.Route_map.t

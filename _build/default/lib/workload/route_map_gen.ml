@@ -1,0 +1,101 @@
+(** Synthetic route-map generation with exact overlap accounting.
+
+    Building blocks:
+    - [disjoint] stanzas each matching a private exact prefix: no
+      overlaps;
+    - [window] pairs: two stanzas whose prefix-lists share a base prefix
+      with nested length windows, one overlap per pair (conflicting when
+      the actions differ);
+    - an optional [catch_all] permit stanza with no match clauses, which
+      overlaps every other stanza. *)
+
+let ip = Netaddr.Ipv4.of_octets
+
+type built = {
+  db : Config.Database.t; (* accumulated prefix lists *)
+  route_map : Config.Route_map.t;
+}
+
+let add_prefix_list db name range =
+  Config.Database.add_prefix_list db
+    (Config.Prefix_list.make name
+       [ Config.Prefix_list.entry ~seq:10 ~action:Config.Action.Permit range ])
+
+(** Build one route-map named [name] into [db].
+    [disjoint]: count of non-overlapping stanzas.
+    [windows]: list of action pairs, one overlapping stanza pair each.
+    [catch_all]: append a match-everything permit stanza. *)
+let make ~db ~name ~disjoint ~windows ~catch_all =
+  let db = ref db in
+  let stanzas = ref [] in
+  let seq = ref 0 in
+  let next_seq () =
+    incr seq;
+    !seq * 10
+  in
+  let add_stanza ?(matches = []) ?(sets = []) action =
+    stanzas := Config.Route_map.stanza ~seq:(next_seq ()) ~matches ~sets action :: !stanzas
+  in
+  (* Disjoint stanzas: exact /24s under 40.<i>.<j>.0, pairwise distinct. *)
+  List.iteri
+    (fun i action ->
+      let pl_name = Printf.sprintf "%s_D%d" name i in
+      db :=
+        add_prefix_list !db pl_name
+          (Netaddr.Prefix_range.exact
+             (Netaddr.Prefix.make (ip 40 (i / 256) (i mod 256) 0) 24));
+      add_stanza
+        ~matches:[ Config.Route_map.Match_prefix_list [ pl_name ] ]
+        action)
+    disjoint;
+  (* Window pairs: base 50.<k>.0.0/16, one stanza le 24 and one le 20 —
+     any /16..20 route under the base matches both. *)
+  List.iteri
+    (fun k (action1, action2) ->
+      let base = Netaddr.Prefix.make (ip 50 (k land 0xff) 0 0) 16 in
+      let n1 = Printf.sprintf "%s_W%dA" name k in
+      let n2 = Printf.sprintf "%s_W%dB" name k in
+      db :=
+        add_prefix_list !db n1
+          (Netaddr.Prefix_range.make base ~ge:None ~le:(Some 24));
+      db :=
+        add_prefix_list !db n2
+          (Netaddr.Prefix_range.make base ~ge:None ~le:(Some 20));
+      add_stanza ~matches:[ Config.Route_map.Match_prefix_list [ n1 ] ] action1;
+      add_stanza ~matches:[ Config.Route_map.Match_prefix_list [ n2 ] ] action2)
+    windows;
+  if catch_all then add_stanza Config.Action.Permit;
+  let route_map = Config.Route_map.make name (List.rev !stanzas) in
+  { db = Config.Database.add_route_map !db route_map; route_map }
+
+(** Expected overlap count: one per window pair, plus (for a catch-all)
+    one per other stanza. *)
+let expected ~disjoint ~windows ~catch_all =
+  let d = List.length disjoint and w = List.length windows in
+  let base = w in
+  if catch_all then base + d + (2 * w) else base
+
+(** The campus corpus's distinguished map: three pairwise-overlapping
+    stanzas (permit, deny, deny) — three overlaps, two conflicting. *)
+let triple_overlap ~db ~name =
+  let base = Netaddr.Prefix.make (ip 50 200 0 0) 16 in
+  let mk i le =
+    let pl = Printf.sprintf "%s_T%d" name i in
+    (pl, Netaddr.Prefix_range.make base ~ge:None ~le:(Some le))
+  in
+  let n1, r1 = mk 1 24 and n2, r2 = mk 2 22 and n3, r3 = mk 3 20 in
+  let db = add_prefix_list (add_prefix_list (add_prefix_list db n1 r1) n2 r2) n3 r3 in
+  let stanza seq action pl =
+    Config.Route_map.stanza ~seq
+      ~matches:[ Config.Route_map.Match_prefix_list [ pl ] ]
+      action
+  in
+  let route_map =
+    Config.Route_map.make name
+      [
+        stanza 10 Config.Action.Permit n1;
+        stanza 20 Config.Action.Deny n2;
+        stanza 30 Config.Action.Deny n3;
+      ]
+  in
+  { db = Config.Database.add_route_map db route_map; route_map }

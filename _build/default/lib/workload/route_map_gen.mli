@@ -1,0 +1,31 @@
+(** Synthetic route-map generation with exact overlap accounting.
+
+    Building blocks: [disjoint] stanzas on private exact prefixes (no
+    overlaps), [windows] pairs of stanzas with nested prefix-length
+    windows (one overlap per pair, conflicting when the actions differ),
+    and an optional match-everything [catch_all] permit stanza
+    (overlapping every other stanza). *)
+
+type built = {
+  db : Config.Database.t; (* accumulated prefix lists *)
+  route_map : Config.Route_map.t;
+}
+
+val make :
+  db:Config.Database.t ->
+  name:string ->
+  disjoint:Config.Action.t list ->
+  windows:(Config.Action.t * Config.Action.t) list ->
+  catch_all:bool ->
+  built
+
+val expected :
+  disjoint:Config.Action.t list ->
+  windows:(Config.Action.t * Config.Action.t) list ->
+  catch_all:bool ->
+  int
+(** The overlap-pair count the analyzer will report. *)
+
+val triple_overlap : db:Config.Database.t -> name:string -> built
+(** The campus corpus's distinguished map: three pairwise-overlapping
+    stanzas (permit, deny, deny) — three overlaps, two conflicting. *)

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd Bvec Fun List Printf QCheck QCheck_alcotest Symbdd

@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Bgp Format List Netaddr QCheck QCheck_alcotest String

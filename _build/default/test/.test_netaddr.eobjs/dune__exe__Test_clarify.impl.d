@@ -1,0 +1,1 @@
+test/test_clarify.ml: Acl Action Alcotest Bgp Clarify Config Database Engine List Llm Netaddr Option Packet Parser QCheck QCheck_alcotest Route_map Semantics

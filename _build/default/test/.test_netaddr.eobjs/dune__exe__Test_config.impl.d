@@ -1,0 +1,1 @@
+test/test_config.ml: Acl Action Alcotest As_path_list Bgp Community_list Config Database Format List Netaddr Option Packet Parser Prefix_list QCheck QCheck_alcotest Route_map Semantics Transform

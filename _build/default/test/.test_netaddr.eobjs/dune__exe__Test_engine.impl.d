@@ -1,0 +1,1 @@
+test/test_engine.ml: Action Alcotest As_path_list Bgp Config Database Engine Format List Netaddr Option Packet Parser Printf Route_map Semantics Str_replace

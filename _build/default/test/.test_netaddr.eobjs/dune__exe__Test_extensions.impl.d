@@ -1,0 +1,1 @@
+test/test_extensions.ml: Action Alcotest Clarify Config Database Engine Evaluation List Llm Netaddr Netsim Option Parser Prefix_list QCheck QCheck_alcotest Route_map Semantics

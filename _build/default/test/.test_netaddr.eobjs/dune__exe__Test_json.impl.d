@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Hashtbl Json List QCheck QCheck_alcotest Result

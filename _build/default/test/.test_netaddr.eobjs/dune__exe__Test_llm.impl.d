@@ -1,0 +1,1 @@
+test/test_llm.ml: Acl Action Alcotest Bgp Config Database Engine Format Hashtbl Json List Llm Netaddr Packet Parser QCheck QCheck_alcotest Result Route_map

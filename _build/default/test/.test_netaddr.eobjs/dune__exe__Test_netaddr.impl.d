@@ -1,0 +1,1 @@
+test/test_netaddr.ml: Alcotest Format Intset Ipv4 List Netaddr Prefix Prefix_range QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Bgp Config Figure3 Format Int List Netaddr Netsim Policies Printf QCheck QCheck_alcotest Simulator Topology

@@ -1,0 +1,1 @@
+test/test_overlap.ml: Acl Action Alcotest Config Database List Option Overlap Parser QCheck QCheck_alcotest Random Route_map Semantics Workload

@@ -1,0 +1,1 @@
+test/test_pipeline_random.ml: Action Alcotest Bgp Clarify Config Database Engine Format List Llm Netaddr Parser QCheck QCheck_alcotest Route_map Semantics

@@ -1,0 +1,1 @@
+test/test_sre.ml: Alcotest Alphabet As_path_regex Community_regex List Netaddr Printf QCheck QCheck_alcotest Regex Sre String

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Acl Action Alcotest Array As_path_list Bdd Bgp Config Database Format Fun List Netaddr Option Packet Parser QCheck QCheck_alcotest Route_map Semantics Sre Symbdd Symbolic

@@ -1,0 +1,15 @@
+(** Test helper: replace the first occurrence of [needle] in [haystack];
+    fails loudly when the needle is absent so tests cannot silently test
+    the unmodified input. *)
+let replace haystack needle replacement =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec find i =
+    if i + nn > hn then None
+    else if String.sub haystack i nn = needle then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> failwith (Printf.sprintf "Str_replace.replace: %S not found" needle)
+  | Some i ->
+      String.sub haystack 0 i ^ replacement
+      ^ String.sub haystack (i + nn) (hn - i - nn)

@@ -1,0 +1,417 @@
+open Config
+module Srp = Engine.Search_route_policies
+module Crp = Engine.Compare_route_policies
+module Sf = Engine.Search_filters
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let pfx = Netaddr.Prefix.of_string_exn
+let comm = Bgp.Community.of_string_exn
+
+let parse_ok src =
+  match Parser.parse src with
+  | Ok db -> db
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Spec JSON round-trips (the paper's Section 2.1 format)             *)
+(* ------------------------------------------------------------------ *)
+
+let paper_spec_json =
+  {|{
+  "permit": true,
+  "prefix": ["100.0.0.0/16:16-23"],
+  "community": "/_300:3_/",
+  "set": { "metric": 55 }
+}|}
+
+let paper_spec () =
+  match Engine.Spec.of_string paper_spec_json with
+  | Ok s -> s
+  | Error m -> Alcotest.failf "spec parse failed: %s" m
+
+let test_spec_parse () =
+  let s = paper_spec () in
+  check "permit" true (s.Engine.Spec.action = Action.Permit);
+  check_int "one prefix" 1 (List.length s.Engine.Spec.prefixes);
+  (match s.Engine.Spec.prefixes with
+  | [ r ] ->
+      check "prefix range" true
+        (Netaddr.Prefix_range.equal r
+           (Netaddr.Prefix_range.make (pfx "100.0.0.0/16") ~ge:(Some 16)
+              ~le:(Some 23)))
+  | _ -> Alcotest.fail "expected one prefix");
+  check "community regex" true (s.Engine.Spec.community <> None);
+  check "metric set" true
+    (s.Engine.Spec.sets = [ Route_map.Set_metric 55 ])
+
+let test_spec_roundtrip () =
+  let s = paper_spec () in
+  match Engine.Spec.of_string (Engine.Spec.to_string s) with
+  | Ok s2 ->
+      check "same action" true (s2.Engine.Spec.action = s.Engine.Spec.action);
+      check "same prefixes" true (s2.Engine.Spec.prefixes = s.Engine.Spec.prefixes);
+      check "same sets" true (s2.Engine.Spec.sets = s.Engine.Spec.sets)
+  | Error m -> Alcotest.failf "roundtrip failed: %s" m
+
+let test_spec_matches_concrete () =
+  let s = paper_spec () in
+  let good =
+    Bgp.Route.make ~communities:[ comm "300:3" ] (pfx "100.0.0.0/20")
+  in
+  let wrong_comm = Bgp.Route.make (pfx "100.0.0.0/20") in
+  let wrong_len =
+    Bgp.Route.make ~communities:[ comm "300:3" ] (pfx "100.0.0.0/24")
+  in
+  check "good" true (Engine.Spec.matches s good);
+  check "missing community" false (Engine.Spec.matches s wrong_comm);
+  check "mask too long" false (Engine.Spec.matches s wrong_len)
+
+let test_spec_errors () =
+  let expect_err j =
+    match Engine.Spec.of_string j with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected spec error for %s" j
+  in
+  List.iter expect_err
+    [
+      {|{"prefix": ["1.0.0.0/8"]}|};
+      {|{"permit": "yes"}|};
+      {|{"permit": true, "prefix": "1.2.3.4"}|};
+      {|{"permit": true, "set": {"bogus": 1}}|};
+      {|{"permit": true|};
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Stanza verification (paper's verification step)                    *)
+(* ------------------------------------------------------------------ *)
+
+let correct_snippet =
+  {|
+ip community-list expanded COM_LIST permit _300:3_
+ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23
+route-map SET_METRIC permit 10
+ match community COM_LIST
+ match ip address prefix-list PREFIX_100
+ set metric 55
+|}
+
+let verify src =
+  let d = parse_ok src in
+  let rm = Option.get (Database.route_map d "SET_METRIC") in
+  Srp.verify_stanza d rm (paper_spec ())
+
+let test_verify_correct () =
+  match verify correct_snippet with
+  | Srp.Verified -> ()
+  | v -> Alcotest.failf "expected Verified, got %s" (Format.asprintf "%a" Srp.pp_verdict v)
+
+let test_verify_wrong_action () =
+  let bad = Str_replace.replace correct_snippet "route-map SET_METRIC permit 10"
+      "route-map SET_METRIC deny 10" in
+  match verify bad with
+  | Srp.Wrong_action _ -> ()
+  | _ -> Alcotest.fail "expected Wrong_action"
+
+let test_verify_too_broad () =
+  (* le 24 instead of le 23: matches /24 routes the spec excludes. *)
+  let bad =
+    Str_replace.replace correct_snippet "permit 100.0.0.0/16 le 23"
+      "permit 100.0.0.0/16 le 24"
+  in
+  match verify bad with
+  | Srp.Match_too_broad r ->
+      check "counterexample outside spec" false
+        (Engine.Spec.matches (paper_spec ()) r);
+      check_int "mask length 24" 24 r.Bgp.Route.prefix.Netaddr.Prefix.len
+  | v -> Alcotest.failf "expected Match_too_broad, got %s" (Format.asprintf "%a" Srp.pp_verdict v)
+
+let test_verify_too_narrow () =
+  (* le 20 misses /21../23 routes the spec covers. *)
+  let bad =
+    Str_replace.replace correct_snippet "permit 100.0.0.0/16 le 23"
+      "permit 100.0.0.0/16 le 20"
+  in
+  match verify bad with
+  | Srp.Match_too_narrow r ->
+      check "counterexample inside spec" true
+        (Engine.Spec.matches (paper_spec ()) r)
+  | _ -> Alcotest.fail "expected Match_too_narrow"
+
+let test_verify_wrong_sets () =
+  let bad = Str_replace.replace correct_snippet "set metric 55" "set metric 56" in
+  match verify bad with
+  | Srp.Wrong_sets _ -> ()
+  | _ -> Alcotest.fail "expected Wrong_sets"
+
+let test_verify_missing_set () =
+  let bad = Str_replace.replace correct_snippet "\n set metric 55" "" in
+  match verify bad with
+  | Srp.Wrong_sets _ -> ()
+  | _ -> Alcotest.fail "expected Wrong_sets for dropped set clause"
+
+let test_verify_undefined_reference () =
+  (* A hallucinated list name. *)
+  let bad =
+    Str_replace.replace correct_snippet "match community COM_LIST"
+      "match community HALLUCINATED"
+  in
+  match verify bad with
+  | Srp.Undefined_references names -> check "names" true (List.mem "HALLUCINATED" names)
+  | _ -> Alcotest.fail "expected Undefined_references"
+
+let test_search_route_policies () =
+  let d = parse_ok correct_snippet in
+  let rm = Option.get (Database.route_map d "SET_METRIC") in
+  (* Find a permitted route within the spec space. *)
+  (match Srp.search d rm ~constraint_spec:(paper_spec ()) ~action:Action.Permit with
+  | Some r ->
+      check "matches spec" true (Engine.Spec.matches (paper_spec ()) r)
+  | None -> Alcotest.fail "expected a permitted route");
+  (* No denied route within the spec space (the stanza covers it all). *)
+  check "no denied route inside spec" true
+    (Srp.search d rm ~constraint_spec:(paper_spec ()) ~action:Action.Deny = None)
+
+(* ------------------------------------------------------------------ *)
+(* compareRoutePolicies: the paper's Figure 2 (a) vs (b)              *)
+(* ------------------------------------------------------------------ *)
+
+let fig2a =
+  {|
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+ip community-list expanded D2 permit _300:3_
+ip prefix-list D3 permit 100.0.0.0/16 le 23
+route-map ISP_OUT permit 10
+ match community D2
+ match ip address prefix-list D3
+ set metric 55
+route-map ISP_OUT deny 20
+ match as-path D0
+route-map ISP_OUT deny 30
+ match ip address prefix-list D1
+route-map ISP_OUT permit 40
+ match local-preference 300
+|}
+
+let fig2b =
+  {|
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+ip community-list expanded D2 permit _300:3_
+ip prefix-list D3 permit 100.0.0.0/16 le 23
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+route-map ISP_OUT permit 40
+ match community D2
+ match ip address prefix-list D3
+ set metric 55
+|}
+
+let test_compare_fig2 () =
+  let da = parse_ok fig2a and db_ = parse_ok fig2b in
+  let rma = Option.get (Database.route_map da "ISP_OUT") in
+  let rmb = Option.get (Database.route_map db_ "ISP_OUT") in
+  let diffs = Crp.compare ~db_a:da ~db_b:db_ rma rmb in
+  check "differences exist" true (diffs <> []);
+  (* Every reported difference is a genuine behavioural difference. *)
+  List.iter
+    (fun (d : Crp.difference) ->
+      let ra = Semantics.eval_route_map da rma d.route in
+      let rb = Semantics.eval_route_map db_ rmb d.route in
+      check "result_a faithful" true (Semantics.route_result_equal ra d.result_a);
+      check "result_b faithful" true (Semantics.route_result_equal rb d.result_b);
+      check "really differ" false (Semantics.route_result_equal ra rb))
+    diffs;
+  (* The paper's canonical differential input: prefix 100.0.0.0/16,
+     as-path [32], community 300:3 — permitted with metric 55 under (a),
+     denied under (b). *)
+  let paper_route =
+    Bgp.Route.make ~as_path:[ 32 ] ~communities:[ comm "300:3" ]
+      (pfx "100.0.0.0/16")
+  in
+  let ra = Semantics.eval_route_map da rma paper_route in
+  let rb = Semantics.eval_route_map db_ rmb paper_route in
+  (match ra with
+  | Semantics.Accept r -> check_int "metric 55 under (a)" 55 r.Bgp.Route.metric
+  | Semantics.Reject -> Alcotest.fail "paper route should be accepted under (a)");
+  check "denied under (b)" true (rb = Semantics.Reject);
+  (* The engine must find a difference covering this cell: some diff
+     route matching the new stanza and as-path list D0. *)
+  check "found a D0-vs-new-stanza difference" true
+    (List.exists
+       (fun (d : Crp.difference) ->
+         let r = d.route in
+         As_path_list.matches
+           (Option.get (Database.as_path_list da "D0"))
+           r.Bgp.Route.as_path
+         && List.exists (Bgp.Community.equal (comm "300:3")) r.Bgp.Route.communities)
+       diffs)
+
+let test_compare_equal_maps () =
+  let d = parse_ok fig2a in
+  let rm = Option.get (Database.route_map d "ISP_OUT") in
+  check "map equals itself" true (Crp.equal_behavior ~db_a:d ~db_b:d rm rm)
+
+let test_compare_set_difference () =
+  (* Same matches, different transform: must be reported. *)
+  let mk metric =
+    parse_ok
+      (Printf.sprintf
+         {|
+ip prefix-list P permit 10.0.0.0/8 le 24
+route-map M permit 10
+ match ip address prefix-list P
+ set metric %d
+|}
+         metric)
+  in
+  let da = mk 5 and db_ = mk 7 in
+  let rma = Option.get (Database.route_map da "M") in
+  let rmb = Option.get (Database.route_map db_ "M") in
+  match Crp.first_difference ~db_a:da ~db_b:db_ rma rmb with
+  | Some d -> (
+      match (d.result_a, d.result_b) with
+      | Semantics.Accept a, Semantics.Accept b ->
+          check_int "metric a" 5 a.Bgp.Route.metric;
+          check_int "metric b" 7 b.Bgp.Route.metric
+      | _ -> Alcotest.fail "expected two accepts")
+  | None -> Alcotest.fail "expected a difference"
+
+let test_compare_community_transform_difference () =
+  (* Transforms that differ only on community handling: the engine must
+     sample a route that separates them. *)
+  let mk op =
+    parse_ok
+      (Printf.sprintf
+         {|
+ip community-list expanded SCRUB permit _65000:.*_
+ip prefix-list P permit 10.0.0.0/8 le 24
+route-map M permit 10
+ match ip address prefix-list P
+%s
+|}
+         op)
+  in
+  let da = mk " set comm-list SCRUB delete" in
+  let db_ = mk "" in
+  let rma = Option.get (Database.route_map da "M") in
+  let rmb = Option.get (Database.route_map db_ "M") in
+  match Crp.first_difference ~db_a:da ~db_b:db_ rma rmb with
+  | Some d ->
+      check "route carries a scrubbable community" true
+        (List.exists
+           (fun c -> (Bgp.Community.to_pair c |> fst) = 65000)
+           d.route.Bgp.Route.communities)
+  | None -> Alcotest.fail "expected a community-transform difference"
+
+let test_compare_shadowed_stanza_no_difference () =
+  (* The differing stanza is fully shadowed: no behavioural change. *)
+  let mk extra =
+    parse_ok
+      (Printf.sprintf
+         {|
+ip prefix-list P permit 10.0.0.0/8 le 32
+ip prefix-list Q permit 10.1.0.0/16 le 32
+route-map M deny 10
+ match ip address prefix-list P
+%s
+|}
+         extra)
+  in
+  let da = mk "route-map M permit 20\n match ip address prefix-list Q\n" in
+  let db_ = mk "" in
+  let rma = Option.get (Database.route_map da "M") in
+  let rmb = Option.get (Database.route_map db_ "M") in
+  check "no difference" true (Crp.equal_behavior ~db_a:da ~db_b:db_ rma rmb)
+
+(* ------------------------------------------------------------------ *)
+(* searchFilters                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fw =
+  {|
+ip access-list extended FW
+ permit tcp 10.0.0.0/8 any eq 443
+ deny ip any any
+|}
+
+let test_search_filters () =
+  let d = parse_ok fw in
+  let acl = Option.get (Database.acl d "FW") in
+  (match Sf.search acl (Sf.any_query Action.Permit) with
+  | Some p ->
+      check "permitted packet found" true
+        (Semantics.eval_acl acl p = Action.Permit);
+      check "tcp 443" true
+        (p.Packet.protocol = Packet.Tcp && p.Packet.dst_port = 443)
+  | None -> Alcotest.fail "expected a permitted packet");
+  match Sf.search acl (Sf.any_query Action.Deny) with
+  | Some p -> check "denied packet found" true (Semantics.eval_acl acl p = Action.Deny)
+  | None -> Alcotest.fail "expected a denied packet"
+
+let test_search_filters_differ () =
+  let d = parse_ok fw in
+  let acl = Option.get (Database.acl d "FW") in
+  check "acl equals itself" true (Sf.differ acl acl = None);
+  let d2 =
+    parse_ok
+      {|
+ip access-list extended FW
+ permit tcp 10.0.0.0/8 any eq 443
+ permit tcp 10.0.0.0/8 any eq 80
+ deny ip any any
+|}
+  in
+  let acl2 = Option.get (Database.acl d2 "FW") in
+  match Sf.differ acl acl2 with
+  | Some p ->
+      check "differs on port 80" true
+        (Semantics.eval_acl acl p <> Semantics.eval_acl acl2 p)
+  | None -> Alcotest.fail "expected a differing packet"
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse paper spec" `Quick test_spec_parse;
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "concrete matching" `Quick test_spec_matches_concrete;
+          Alcotest.test_case "rejects malformed" `Quick test_spec_errors;
+        ] );
+      ( "searchRoutePolicies",
+        [
+          Alcotest.test_case "verify correct snippet" `Quick test_verify_correct;
+          Alcotest.test_case "wrong action" `Quick test_verify_wrong_action;
+          Alcotest.test_case "match too broad" `Quick test_verify_too_broad;
+          Alcotest.test_case "match too narrow" `Quick test_verify_too_narrow;
+          Alcotest.test_case "wrong sets" `Quick test_verify_wrong_sets;
+          Alcotest.test_case "missing set" `Quick test_verify_missing_set;
+          Alcotest.test_case "undefined reference" `Quick test_verify_undefined_reference;
+          Alcotest.test_case "search" `Quick test_search_route_policies;
+        ] );
+      ( "compareRoutePolicies",
+        [
+          Alcotest.test_case "Figure 2 (a) vs (b)" `Quick test_compare_fig2;
+          Alcotest.test_case "equal maps" `Quick test_compare_equal_maps;
+          Alcotest.test_case "set-clause difference" `Quick test_compare_set_difference;
+          Alcotest.test_case "community transform difference" `Quick
+            test_compare_community_transform_difference;
+          Alcotest.test_case "shadowed stanza" `Quick
+            test_compare_shadowed_stanza_no_difference;
+        ] );
+      ( "searchFilters",
+        [
+          Alcotest.test_case "find permit/deny packets" `Quick test_search_filters;
+          Alcotest.test_case "differ" `Quick test_search_filters_differ;
+        ] );
+    ]

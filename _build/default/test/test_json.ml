@@ -1,0 +1,131 @@
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "parse failed on %s: %s" s m
+
+let test_values () =
+  check "null" true (parse_ok "null" = Json.Null);
+  check "true" true (parse_ok "true" = Json.Bool true);
+  check "false" true (parse_ok "false" = Json.Bool false);
+  check "int" true (parse_ok "42" = Json.Int 42);
+  check "negative" true (parse_ok "-7" = Json.Int (-7));
+  check "float" true (parse_ok "3.5" = Json.Float 3.5);
+  check "exp" true (parse_ok "1e3" = Json.Float 1000.0);
+  check "string" true (parse_ok {|"hi"|} = Json.String "hi");
+  check "empty list" true (parse_ok "[]" = Json.List []);
+  check "empty obj" true (parse_ok "{}" = Json.Obj [])
+
+let test_nested () =
+  let j = parse_ok {|{"a": [1, 2, {"b": true}], "c": "x"}|} in
+  check "member a" true
+    (Json.member "a" j = Some (Json.List [ Json.Int 1; Json.Int 2; Json.Obj [ ("b", Json.Bool true) ] ]));
+  check "member c" true (Json.member "c" j = Some (Json.String "x"));
+  check "missing" true (Json.member "zz" j = None)
+
+let test_escapes () =
+  check "newline" true (parse_ok {|"a\nb"|} = Json.String "a\nb");
+  check "tab" true (parse_ok {|"a\tb"|} = Json.String "a\tb");
+  check "quote" true (parse_ok {|"a\"b"|} = Json.String "a\"b");
+  check "backslash" true (parse_ok {|"a\\b"|} = Json.String "a\\b");
+  check "unicode ascii" true (parse_ok {|"A"|} = Json.String "A");
+  check "unicode 2-byte" true (parse_ok {|"é"|} = Json.String "\xc3\xa9")
+
+let test_errors () =
+  let fails s = check ("reject " ^ s) true (Result.is_error (Json.parse s)) in
+  List.iter fails
+    [ ""; "{"; "["; {|{"a"}|}; {|{"a":}|}; "[1,]"; "tru"; {|"unterminated|};
+      "1 2"; "{,}"; {|{"a":1,}|} ]
+
+let test_whitespace () =
+  check "spaces ok" true
+    (parse_ok " {\n \"a\" :\t1 } " = Json.Obj [ ("a", Json.Int 1) ])
+
+let test_print_compact () =
+  let j = Json.Obj [ ("a", Json.List [ Json.Int 1 ]); ("b", Json.String "x") ] in
+  check_str "compact" {|{"a":[1],"b":"x"}|} (Json.to_string ~indent:0 j)
+
+let test_paper_spec_format () =
+  (* The paper's JSON spec example round-trips. *)
+  let src =
+    {|{"permit": true, "prefix": ["100.0.0.0/16:16-23"], "community": "/_300:3_/", "set": {"metric": 55}}|}
+  in
+  let j = parse_ok src in
+  check "roundtrip" true (parse_ok (Json.to_string j) = j);
+  check "permit field" true (Json.member "permit" j = Some (Json.Bool true))
+
+let gen_json =
+  QCheck.Gen.(
+    sized_size (int_range 0 6) @@ fix (fun self size ->
+        if size <= 1 then
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun n -> Json.Int n) (int_range (-1000000) 1000000);
+              map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 10));
+            ]
+        else
+          oneof
+            [
+              map (fun l -> Json.List l) (list_size (int_range 0 4) (self (size / 2)));
+              map
+                (fun fields -> Json.Obj fields)
+                (list_size (int_range 0 4)
+                   (pair (string_size ~gen:printable (int_range 1 8)) (self (size / 2))));
+            ]))
+
+(* Object keys must be unique for roundtrip comparison. *)
+let rec dedup_keys = function
+  | Json.Obj fields ->
+      let seen = Hashtbl.create 8 in
+      Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if Hashtbl.mem seen k then None
+             else begin
+               Hashtbl.add seen k ();
+               Some (k, dedup_keys v)
+             end)
+           fields)
+  | Json.List l -> Json.List (List.map dedup_keys l)
+  | j -> j
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:500
+    (QCheck.make ~print:Json.to_string (QCheck.Gen.map dedup_keys gen_json))
+    (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> Json.equal j j'
+      | Error m -> QCheck.Test.fail_reportf "reparse failed: %s" m)
+
+let prop_roundtrip_compact =
+  QCheck.Test.make ~name:"compact print/parse roundtrip" ~count:500
+    (QCheck.make ~print:Json.to_string (QCheck.Gen.map dedup_keys gen_json))
+    (fun j ->
+      match Json.parse (Json.to_string ~indent:0 j) with
+      | Ok j' -> Json.equal j j'
+      | Error m -> QCheck.Test.fail_reportf "reparse failed: %s" m)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "json"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "values" `Quick test_values;
+          Alcotest.test_case "nested" `Quick test_nested;
+          Alcotest.test_case "escapes" `Quick test_escapes;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "whitespace" `Quick test_whitespace;
+          Alcotest.test_case "paper spec format" `Quick test_paper_spec_format;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "compact" `Quick test_print_compact;
+          q prop_roundtrip;
+          q prop_roundtrip_compact;
+        ] );
+    ]

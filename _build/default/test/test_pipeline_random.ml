@@ -1,0 +1,241 @@
+(* Randomized end-to-end pipeline property tests.
+
+   For a random existing configuration and a random single-stanza
+   intent, running the full Clarify pipeline with the "always prefer the
+   new stanza" user must produce a configuration that satisfies the
+   paper's incremental-update conditions on every probe route:
+
+   - routes matching the intent's spec get exactly the intent's
+     behaviour (conditions 1-2, new-first);
+   - routes not matching the spec behave exactly as before (condition 1).
+
+   A second property checks the symmetric "always keep existing
+   behaviour" user, and a third that injected faults never change the
+   final result, only the number of attempts. *)
+
+open Config
+module I = Llm.Intent
+module D = Clarify.Disambiguator
+module P = Clarify.Pipeline
+
+let pfx = Netaddr.Prefix.of_string_exn
+let comm = Bgp.Community.of_string_exn
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_action = QCheck.Gen.oneofl [ Action.Permit; Action.Deny ]
+
+(* A small existing configuration: 1-3 stanzas over a fixed pool of
+   lists, guaranteeing interesting overlap structure with the intents
+   below. *)
+let base_lists =
+  {|ip prefix-list WIDE permit 10.0.0.0/8 le 24
+ip prefix-list NARROW permit 10.1.0.0/16 le 32
+ip prefix-list OTHER permit 99.0.0.0/8 le 16
+ip as-path access-list FROM32 permit _32$
+ip community-list expanded GOLD permit _300:3_
+|}
+
+let gen_existing_map =
+  QCheck.Gen.(
+    list_size (int_range 1 3)
+      (pair gen_action
+         (oneofl
+            [
+              [ Route_map.Match_prefix_list [ "WIDE" ] ];
+              [ Route_map.Match_prefix_list [ "NARROW" ] ];
+              [ Route_map.Match_prefix_list [ "OTHER" ] ];
+              [ Route_map.Match_as_path [ "FROM32" ] ];
+              [ Route_map.Match_community [ "GOLD" ] ];
+              [ Route_map.Match_local_pref 300 ];
+              [];
+            ]))
+    >>= fun stanzas ->
+    let rm =
+      Route_map.make "TARGET"
+        (List.mapi
+           (fun i (action, matches) ->
+             Route_map.stanza ~seq:((i + 1) * 10) ~matches action)
+           stanzas)
+    in
+    return rm)
+
+let gen_intent =
+  QCheck.Gen.(
+    gen_action >>= fun action ->
+    oneofl
+      [
+        [ Netaddr.Prefix_range.make (pfx "10.0.0.0/8") ~ge:None ~le:(Some 16) ];
+        [ Netaddr.Prefix_range.make (pfx "10.1.0.0/16") ~ge:None ~le:(Some 24) ];
+        [ Netaddr.Prefix_range.exact (pfx "99.0.0.0/8") ];
+        [];
+      ]
+    >>= fun prefixes ->
+    oneofl [ []; [ comm "300:3" ]; [ comm "65000:7" ] ] >>= fun communities ->
+    oneofl [ None; Some 32; Some 77 ] >>= fun as_path_origin ->
+    oneofl [ []; [ Route_map.Set_metric 55 ]; [ Route_map.Set_local_pref 200 ] ]
+    >>= fun sets ->
+    (* A completely unconstrained deny with no sets could synthesize an
+       empty-match deny stanza: fine, keep it. *)
+    return
+      {
+        I.action;
+        prefixes;
+        communities;
+        as_path_origin;
+        as_path_contains = None;
+        local_pref = None;
+        metric_match = None;
+        tag_match = None;
+        sets;
+      })
+
+let gen_probe_route =
+  QCheck.Gen.(
+    oneofl
+      [
+        pfx "10.0.0.0/8"; pfx "10.0.0.0/12"; pfx "10.1.0.0/16";
+        pfx "10.1.2.0/24"; pfx "10.1.2.0/28"; pfx "99.0.0.0/8";
+        pfx "99.5.0.0/16"; pfx "200.0.0.0/8";
+      ]
+    >>= fun prefix ->
+    oneofl [ []; [ 32 ]; [ 44; 32 ]; [ 77 ]; [ 44 ] ] >>= fun as_path ->
+    oneofl [ []; [ comm "300:3" ]; [ comm "65000:7" ]; [ comm "300:3"; comm "65000:7" ] ]
+    >>= fun communities ->
+    oneofl [ 100; 300 ] >>= fun local_pref ->
+    return (Bgp.Route.make ~as_path ~communities ~local_pref prefix))
+
+let gen_scenario =
+  QCheck.Gen.(
+    triple gen_existing_map gen_intent (list_size (return 40) gen_probe_route))
+
+let arb_scenario =
+  QCheck.make
+    ~print:(fun (rm, intent, _) ->
+      Format.asprintf "%a@.intent: %s" Route_map.pp rm
+        (I.to_prompt (I.Route_map intent)))
+    gen_scenario
+
+let setup rm =
+  match Parser.parse base_lists with
+  | Ok db -> Database.add_route_map db rm
+  | Error m -> failwith m
+
+(* The behaviour the intent demands on a route it matches. *)
+let intended_result db (intent : I.route_map_intent) r =
+  match intent.I.action with
+  | Action.Deny -> Semantics.Reject
+  | Action.Permit -> Semantics.Accept (Semantics.apply_sets db r intent.I.sets)
+
+let run_pipeline ?(faults = []) ~oracle rm intent =
+  let db = setup rm in
+  let llm = Llm.Mock_llm.create ~faults () in
+  P.run_route_map_update ~llm ~oracle ~db ~target:"TARGET"
+    ~prompt:(I.to_prompt (I.Route_map intent))
+    ()
+
+let prop_new_first_semantics =
+  QCheck.Test.make ~name:"pipeline + always-new realizes the intent on top"
+    ~count:150 arb_scenario
+    (fun (rm, intent, probes) ->
+      let db = setup rm in
+      let spec = I.spec_of_route_map intent in
+      match run_pipeline ~oracle:D.always_new rm intent with
+      | Error e -> QCheck.Test.fail_reportf "pipeline: %s" (P.error_to_string e)
+      | Ok report ->
+          List.for_all
+            (fun r ->
+              let final =
+                Semantics.eval_route_map report.P.db report.P.map r
+              in
+              let expected =
+                if Engine.Spec.matches spec r then
+                  intended_result report.P.db intent r
+                else Semantics.eval_route_map db rm r
+              in
+              Semantics.route_result_equal final expected)
+            probes)
+
+let prop_old_first_preserves =
+  QCheck.Test.make
+    ~name:"pipeline + always-old never changes handled routes" ~count:150
+    arb_scenario
+    (fun (rm, intent, probes) ->
+      let db = setup rm in
+      match run_pipeline ~oracle:D.always_old rm intent with
+      | Error e -> QCheck.Test.fail_reportf "pipeline: %s" (P.error_to_string e)
+      | Ok report ->
+          List.for_all
+            (fun r ->
+              (* Any route the original map handled (matched by some
+                 stanza) must behave exactly as before. *)
+              match Semantics.matching_stanza db rm r with
+              | None -> true
+              | Some _ ->
+                  Semantics.route_result_equal
+                    (Semantics.eval_route_map report.P.db report.P.map r)
+                    (Semantics.eval_route_map db rm r))
+            probes)
+
+let prop_faults_only_cost_attempts =
+  QCheck.Test.make
+    ~name:"injected faults change attempts, never the outcome" ~count:75
+    (QCheck.pair arb_scenario (QCheck.make QCheck.Gen.(int_range 1 3)))
+    (fun ((rm, intent, probes), n_faults) ->
+      let faults = Llm.Fault_injector.schedule ~seed:5 ~faulty_attempts:n_faults in
+      match
+        ( run_pipeline ~oracle:D.always_new rm intent,
+          run_pipeline ~faults ~oracle:D.always_new rm intent )
+      with
+      | Ok clean, Ok faulty ->
+          clean.P.synthesis_attempts = 1
+          && faulty.P.synthesis_attempts >= 1
+          && List.for_all
+               (fun r ->
+                 Semantics.route_result_equal
+                   (Semantics.eval_route_map clean.P.db clean.P.map r)
+                   (Semantics.eval_route_map faulty.P.db faulty.P.map r))
+               probes
+      | Error e, _ | _, Error e ->
+          QCheck.Test.fail_reportf "pipeline: %s" (P.error_to_string e))
+
+let prop_clean_llm_single_pass =
+  QCheck.Test.make ~name:"clean LLM verifies in a single pass" ~count:150
+    arb_scenario
+    (fun (rm, intent, _) ->
+      match run_pipeline ~oracle:D.always_new rm intent with
+      | Ok report ->
+          report.P.synthesis_attempts = 1 && report.P.llm_calls = 3
+      | Error e -> QCheck.Test.fail_reportf "pipeline: %s" (P.error_to_string e))
+
+let prop_question_count_logarithmic =
+  QCheck.Test.make ~name:"questions <= ceil(log2(boundaries)) + 1" ~count:150
+    arb_scenario
+    (fun (rm, intent, _) ->
+      match run_pipeline ~oracle:D.always_new rm intent with
+      | Ok report ->
+          let k = report.P.boundaries in
+          let bound =
+            if k = 0 then 0
+            else
+              let rec log2 n = if n <= 1 then 0 else 1 + log2 ((n + 1) / 2) in
+              log2 k + 1
+          in
+          List.length report.P.questions <= bound
+      | Error e -> QCheck.Test.fail_reportf "pipeline: %s" (P.error_to_string e))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "pipeline-random"
+    [
+      ( "end-to-end",
+        [
+          q prop_new_first_semantics;
+          q prop_old_first_preserves;
+          q prop_faults_only_cost_attempts;
+          q prop_clean_llm_single_pass;
+          q prop_question_count_logarithmic;
+        ] );
+    ]

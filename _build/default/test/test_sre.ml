@@ -1,0 +1,334 @@
+open Sre
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Reference semantics: an independent test-side regex AST with a
+   denotational membership function, compared against the library's
+   derivative-based engine on all short words.                         *)
+(* ------------------------------------------------------------------ *)
+
+module R = Regex.Make (Alphabet.Asn)
+
+type tre =
+  | Sym of int list
+  | Eps
+  | Cat of tre * tre
+  | Alt of tre * tre
+  | Inter of tre * tre
+  | Compl of tre
+  | Star of tre
+
+let rec mem_ref w r =
+  match r with
+  | Sym s -> ( match w with [ c ] -> List.mem c s | _ -> false)
+  | Eps -> w = []
+  | Alt (a, b) -> mem_ref w a || mem_ref w b
+  | Inter (a, b) -> mem_ref w a && mem_ref w b
+  | Compl a -> not (mem_ref w a)
+  | Cat (a, b) ->
+      let n = List.length w in
+      let rec split i =
+        if i > n then false
+        else
+          let w1 = List.filteri (fun j _ -> j < i) w in
+          let w2 = List.filteri (fun j _ -> j >= i) w in
+          (mem_ref w1 a && mem_ref w2 b) || split (i + 1)
+      in
+      split 0
+  | Star a ->
+      w = []
+      ||
+      let n = List.length w in
+      let rec split i =
+        if i > n then false
+        else
+          let w1 = List.filteri (fun j _ -> j < i) w in
+          let w2 = List.filteri (fun j _ -> j >= i) w in
+          (w1 <> [] && mem_ref w1 a && mem_ref w2 (Star a)) || split (i + 1)
+      in
+      split 1
+
+let rec to_lib = function
+  | Sym s -> R.pred (Netaddr.Intset.of_list s)
+  | Eps -> R.eps
+  | Cat (a, b) -> R.cat (to_lib a) (to_lib b)
+  | Alt (a, b) -> R.alt (to_lib a) (to_lib b)
+  | Inter (a, b) -> R.inter (to_lib a) (to_lib b)
+  | Compl a -> R.compl (to_lib a)
+  | Star a -> R.star (to_lib a)
+
+let alphabet = [ 0; 1; 2 ]
+
+let words_up_to n =
+  let rec go n =
+    if n = 0 then [ [] ]
+    else
+      let shorter = go (n - 1) in
+      shorter
+      @ List.concat_map
+          (fun w -> if List.length w = n - 1 then List.map (fun c -> c :: w) alphabet else [])
+          shorter
+  in
+  go n
+
+let all_words = words_up_to 5
+
+let gen_tre =
+  QCheck.Gen.(
+    sized_size (int_range 0 12) @@ fix (fun self size ->
+        if size <= 1 then
+          oneof
+            [ map (fun cs -> Sym cs) (list_size (int_range 1 2) (oneofl alphabet));
+              return Eps ]
+        else
+          frequency
+            [
+              (2, map (fun cs -> Sym cs) (list_size (int_range 1 2) (oneofl alphabet)));
+              (3, map2 (fun a b -> Cat (a, b)) (self (size / 2)) (self (size / 2)));
+              (3, map2 (fun a b -> Alt (a, b)) (self (size / 2)) (self (size / 2)));
+              (1, map2 (fun a b -> Inter (a, b)) (self (size / 2)) (self (size / 2)));
+              (1, map (fun a -> Compl a) (self (size - 1)));
+              (2, map (fun a -> Star a) (self (size - 1)));
+            ]))
+
+let rec show_tre = function
+  | Sym s -> Printf.sprintf "[%s]" (String.concat "," (List.map string_of_int s))
+  | Eps -> "ε"
+  | Cat (a, b) -> Printf.sprintf "(%s·%s)" (show_tre a) (show_tre b)
+  | Alt (a, b) -> Printf.sprintf "(%s|%s)" (show_tre a) (show_tre b)
+  | Inter (a, b) -> Printf.sprintf "(%s&%s)" (show_tre a) (show_tre b)
+  | Compl a -> Printf.sprintf "¬(%s)" (show_tre a)
+  | Star a -> Printf.sprintf "(%s)*" (show_tre a)
+
+
+
+let arb_tre = QCheck.make ~print:show_tre gen_tre
+
+let prop_matches_agree =
+  QCheck.Test.make ~name:"derivative matching agrees with reference" ~count:200
+    arb_tre
+    (fun t ->
+      let r = to_lib t in
+      List.for_all (fun w -> R.matches r w = mem_ref w t) all_words)
+
+let prop_dfa_agrees =
+  QCheck.Test.make ~name:"DFA acceptance agrees with reference" ~count:100
+    arb_tre
+    (fun t ->
+      let r = to_lib t in
+      let dfa = R.build_dfa r in
+      List.for_all (fun w -> R.dfa_accepts dfa w = mem_ref w t) all_words)
+
+let prop_shortest_witness =
+  QCheck.Test.make ~name:"shortest_witness is accepted and minimal" ~count:200
+    arb_tre
+    (fun t ->
+      let r = to_lib t in
+      match R.shortest_witness r with
+      | None ->
+          (* No witness: no short word may be accepted either. *)
+          List.for_all (fun w -> not (mem_ref w t)) all_words
+      | Some w ->
+          R.matches r w
+          && List.for_all
+               (fun w' ->
+                 List.length w' >= List.length w || not (mem_ref w' t))
+               all_words)
+
+let prop_witnesses_accepted =
+  QCheck.Test.make ~name:"all enumerated witnesses are accepted" ~count:100
+    arb_tre
+    (fun t ->
+      let r = to_lib t in
+      List.for_all (fun w -> R.matches r w) (R.witnesses ~limit:10 r))
+
+let prop_inter_is_conjunction =
+  QCheck.Test.make ~name:"intersection witness in both languages" ~count:200
+    QCheck.(pair arb_tre arb_tre)
+    (fun (a, b) ->
+      let ra = to_lib a and rb = to_lib b in
+      match R.shortest_witness (R.inter ra rb) with
+      | Some w -> R.matches ra w && R.matches rb w
+      | None ->
+          List.for_all (fun w -> not (mem_ref w a && mem_ref w b)) all_words)
+
+(* ------------------------------------------------------------------ *)
+(* AS-path regexes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ap = As_path_regex.compile
+
+let test_aspath_origin () =
+  (* The paper's D0 list: _32$ — routes originating from ASN 32. *)
+  let r = ap "_32$" in
+  check "origin only" true (As_path_regex.matches r [ 32 ]);
+  check "longer path" true (As_path_regex.matches r [ 44; 100; 32 ]);
+  check "not origin" false (As_path_regex.matches r [ 32; 44 ]);
+  check "different asn" false (As_path_regex.matches r [ 132 ]);
+  check "empty" false (As_path_regex.matches r [])
+
+let test_aspath_first_hop () =
+  let r = ap "^32_" in
+  check "starts with" true (As_path_regex.matches r [ 32; 44 ]);
+  check "alone" true (As_path_regex.matches r [ 32 ]);
+  check "not first" false (As_path_regex.matches r [ 44; 32 ])
+
+let test_aspath_empty () =
+  let r = ap "^$" in
+  check "empty path" true (As_path_regex.matches r []);
+  check "nonempty" false (As_path_regex.matches r [ 1 ])
+
+let test_aspath_contains () =
+  let r = ap "_701_" in
+  check "contains" true (As_path_regex.matches r [ 3356; 701; 64512 ]);
+  check "at start" true (As_path_regex.matches r [ 701 ]);
+  check "absent" false (As_path_regex.matches r [ 3356; 64512 ])
+
+let test_aspath_any () =
+  let r = ap ".*" in
+  check "empty" true (As_path_regex.matches r []);
+  check "anything" true (As_path_regex.matches r [ 1; 2; 3 ])
+
+let test_aspath_class () =
+  let r = ap "^[64512-65534]$" in
+  check "private asn" true (As_path_regex.matches r [ 64900 ]);
+  check "public asn" false (As_path_regex.matches r [ 3356 ]);
+  check "two hops" false (As_path_regex.matches r [ 64900; 64901 ])
+
+let test_aspath_digit_class_idiom () =
+  (* ^65000(_[0-9]+)*$ — paths through 65000 then anything. *)
+  let r = ap "^65000(_[0-9]+)*$" in
+  check "alone" true (As_path_regex.matches r [ 65000 ]);
+  check "with tail" true (As_path_regex.matches r [ 65000; 3356; 701 ]);
+  check "wrong head" false (As_path_regex.matches r [ 3356; 65000 ])
+
+let test_aspath_alternation () =
+  let r = ap "^(32|44)_" in
+  check "first alt" true (As_path_regex.matches r [ 32; 7 ]);
+  check "second alt" true (As_path_regex.matches r [ 44 ]);
+  check "neither" false (As_path_regex.matches r [ 7; 32 ])
+
+let test_aspath_sat_witness () =
+  (match As_path_regex.sat_witness ~pos:[ ap "_32$"; ap "^44_" ] ~neg:[] with
+  | Some w ->
+      check "pos1" true (As_path_regex.matches (ap "_32$") w);
+      check "pos2" true (As_path_regex.matches (ap "^44_") w)
+  | None -> Alcotest.fail "expected witness");
+  (match As_path_regex.sat_witness ~pos:[ ap "_32_" ] ~neg:[ ap "^32_" ] with
+  | Some w ->
+      check "contains 32" true (As_path_regex.matches (ap "_32_") w);
+      check "does not start with 32" false (As_path_regex.matches (ap "^32_") w)
+  | None -> Alcotest.fail "expected witness");
+  check "unsat: empty and nonempty" true
+    (As_path_regex.sat_witness ~pos:[ ap "^$"; ap "_32_" ] ~neg:[] = None)
+
+let test_aspath_intersects () =
+  check "origin vs contains" true
+    (As_path_regex.intersects (ap "_32$") (ap "_44_"));
+  check "two different singletons" false
+    (As_path_regex.intersects (ap "^32$") (ap "^44$"))
+
+let test_aspath_parse_errors () =
+  let expect_fail s =
+    match As_path_regex.compile s with
+    | exception As_path_regex.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  List.iter expect_fail [ "("; "[12"; "*"; "a"; "32$44"; "[9-2]" ]
+
+(* ------------------------------------------------------------------ *)
+(* Community regexes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cr = Community_regex.compile
+
+let test_comm_exact () =
+  (* The paper's COM_LIST: _300:3_. *)
+  let r = cr "_300:3_" in
+  check "exact" true (Community_regex.matches r (300, 3));
+  check "prefix asn" false (Community_regex.matches r (1300, 3));
+  check "suffix val" false (Community_regex.matches r (300, 31));
+  check "other" false (Community_regex.matches r (300, 4))
+
+let test_comm_prefix_anchor () =
+  let r = cr "^300:" in
+  check "300:anything" true (Community_regex.matches r (300, 999));
+  check "3001" false (Community_regex.matches r (3001, 5));
+  check "not 300" false (Community_regex.matches r (30, 3))
+
+let test_comm_unanchored () =
+  (* Cisco substring semantics when unanchored. *)
+  let r = cr "300:3" in
+  check "exact" true (Community_regex.matches r (300, 3));
+  check "substring" true (Community_regex.matches r (1300, 31))
+
+let test_comm_class () =
+  let r = cr "_65000:[0-9]+_" in
+  check "any value" true (Community_regex.matches r (65000, 12345));
+  check "other asn" false (Community_regex.matches r (65001, 1))
+
+let test_comm_alternation () =
+  let r = cr "_(100|200):1_" in
+  check "first" true (Community_regex.matches r (100, 1));
+  check "second" true (Community_regex.matches r (200, 1));
+  check "neither" false (Community_regex.matches r (300, 1))
+
+let test_comm_sat_witness () =
+  (match Community_regex.sat_witness ~pos:[ cr "^300:" ] ~neg:[ cr "_300:3_" ] with
+  | Some (a, b) ->
+      check "witness pos" true (Community_regex.matches (cr "^300:") (a, b));
+      check "witness neg" false (Community_regex.matches (cr "_300:3_") (a, b))
+  | None -> Alcotest.fail "expected witness");
+  check "unsat" true
+    (Community_regex.sat_witness ~pos:[ cr "_300:3_" ] ~neg:[ cr "^300:" ] = None)
+
+let test_comm_intersects () =
+  check "compatible" true (Community_regex.intersects (cr "^300:") (cr "_300:3_"));
+  check "incompatible" false (Community_regex.intersects (cr "_300:3_") (cr "_400:4_"))
+
+let test_comm_witness_bounds () =
+  (* Witnesses must respect 16-bit bounds. *)
+  match Community_regex.sat_witness ~pos:[ cr "_[0-9]+:[0-9]+_" ] ~neg:[] with
+  | Some (a, b) ->
+      check "bounds" true (a >= 0 && a <= 65535 && b >= 0 && b <= 65535)
+  | None -> Alcotest.fail "expected witness"
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sre"
+    [
+      ( "regex-core",
+        [
+          q prop_matches_agree;
+          q prop_dfa_agrees;
+          q prop_shortest_witness;
+          q prop_witnesses_accepted;
+          q prop_inter_is_conjunction;
+        ] );
+      ( "as-path",
+        [
+          Alcotest.test_case "origin _32$" `Quick test_aspath_origin;
+          Alcotest.test_case "first hop ^32_" `Quick test_aspath_first_hop;
+          Alcotest.test_case "empty path ^$" `Quick test_aspath_empty;
+          Alcotest.test_case "contains _701_" `Quick test_aspath_contains;
+          Alcotest.test_case "any .*" `Quick test_aspath_any;
+          Alcotest.test_case "asn class" `Quick test_aspath_class;
+          Alcotest.test_case "digit class idiom" `Quick test_aspath_digit_class_idiom;
+          Alcotest.test_case "alternation" `Quick test_aspath_alternation;
+          Alcotest.test_case "sat_witness" `Quick test_aspath_sat_witness;
+          Alcotest.test_case "intersects" `Quick test_aspath_intersects;
+          Alcotest.test_case "parse errors" `Quick test_aspath_parse_errors;
+        ] );
+      ( "community",
+        [
+          Alcotest.test_case "exact _300:3_" `Quick test_comm_exact;
+          Alcotest.test_case "prefix anchor" `Quick test_comm_prefix_anchor;
+          Alcotest.test_case "unanchored substring" `Quick test_comm_unanchored;
+          Alcotest.test_case "value class" `Quick test_comm_class;
+          Alcotest.test_case "alternation" `Quick test_comm_alternation;
+          Alcotest.test_case "sat_witness" `Quick test_comm_sat_witness;
+          Alcotest.test_case "intersects" `Quick test_comm_intersects;
+          Alcotest.test_case "witness bounds" `Quick test_comm_witness_bounds;
+        ] );
+    ]
