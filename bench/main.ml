@@ -18,19 +18,35 @@ let fast = Array.exists (fun a -> a = "--fast") Sys.argv
 (* Experiments                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Each experiment runs under the observability layer; its counter and
+   span snapshot is printed right after its tables so the cost profile
+   (LLM calls, verifier invocations, BDD allocations, stage latencies)
+   is visible per experiment. The layer is disabled again before the
+   Bechamel microbenchmarks so they measure uninstrumented hot paths. *)
+let with_metrics name f =
+  Obs.enable ();
+  Obs.reset ();
+  f ();
+  Format.printf "--- metrics (%s) ---@.%a@.@." name Obs.pp_report ();
+  Obs.disable ()
+
 let run_experiments () =
   let fmt = Format.std_formatter in
-  Evaluation.E1_running_example.(print fmt (run ()));
-  Format.fprintf fmt "@.";
-  Evaluation.E23_overlap_study.(
-    print ~title:"E2: cloud WAN overlap study (Section 3.1)" fmt (cloud ()));
+  with_metrics "E1" (fun () ->
+      Evaluation.E1_running_example.(print fmt (run ()));
+      Format.fprintf fmt "@.");
+  with_metrics "E2" (fun () ->
+      Evaluation.E23_overlap_study.(
+        print ~title:"E2: cloud WAN overlap study (Section 3.1)" fmt (cloud ())));
   let scale = if fast then 0.1 else 1.0 in
   Format.fprintf fmt "(campus corpus scale: %.2f%s)@.@." scale
     (if fast then "; drop --fast for full size" else "");
-  Evaluation.E23_overlap_study.(
-    print ~title:"E3: campus overlap study (Section 3.2)" fmt
-      (campus ~scale ()));
-  Evaluation.E4_lightyear.(print fmt (run ()))
+  with_metrics "E3" (fun () ->
+      Evaluation.E23_overlap_study.(
+        print ~title:"E3: campus overlap study (Section 3.2)" fmt
+          (campus ~scale ())));
+  with_metrics "E4" (fun () ->
+      Evaluation.E4_lightyear.(print fmt (run ())))
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: disambiguation question counts per mode                  *)

@@ -24,6 +24,41 @@ let load_config path =
       exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Observability                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let obs_term =
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print an observability run report at exit: counters (LLM calls, \
+             verification attempts, disambiguation questions, solver \
+             invocations, BDD allocations) and per-stage span latencies.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Stream pipeline span traces to stderr as stages complete \
+             (implies the instrumentation is enabled).")
+  in
+  Term.(const (fun metrics trace -> (metrics, trace)) $ metrics $ trace)
+
+(* Enable the layer before [f] runs; print the report via [at_exit] so
+   it also appears on error paths that call [exit 1]. *)
+let with_obs (metrics, trace) f =
+  if metrics || trace then begin
+    Obs.enable ();
+    if trace then Obs.set_sink (Obs.text_sink Format.err_formatter);
+    if metrics then
+      at_exit (fun () -> Format.printf "@.%a@." Obs.pp_report ())
+  end;
+  f ()
+
+(* ------------------------------------------------------------------ *)
 (* Oracles                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -109,7 +144,8 @@ let update_cmd =
             "Corrupt the first $(docv) LLM answers (seeded), demonstrating \
              the verify-and-repair loop.")
   in
-  let run config target prompt answers acl faults =
+  let run config target prompt answers acl faults obs =
+    with_obs obs @@ fun () ->
     let db = load_config config in
     let llm =
       Llm.Mock_llm.create
@@ -169,7 +205,8 @@ let update_cmd =
   in
   Cmd.v
     (Cmd.info "update" ~doc:"Incrementally add one stanza or rule from an English intent.")
-    Term.(const run $ config $ target $ prompt $ answers $ acl $ faults)
+    Term.(
+      const run $ config $ target $ prompt $ answers $ acl $ faults $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* clarify audit                                                      *)
@@ -277,7 +314,8 @@ let eval_cmd =
       & info [ "scale" ] ~docv:"X"
           ~doc:"Scale factor for the campus corpus (e3); 1.0 = full size.")
   in
-  let run which scale =
+  let run which scale obs =
+    with_obs obs @@ fun () ->
     let fmt = Format.std_formatter in
     let e1 () = Evaluation.E1_running_example.(print fmt (run ())) in
     let e2 () =
@@ -303,7 +341,7 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Regenerate the paper's experiments.")
-    Term.(const run $ which $ scale)
+    Term.(const run $ which $ scale $ obs_term)
 
 let () =
   let doc = "LLM-based incremental network-configuration synthesis with intent disambiguation" in

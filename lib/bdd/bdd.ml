@@ -13,6 +13,11 @@ let one = One
 let unique : (int * int * int, t) Hashtbl.t = Hashtbl.create 65536
 let next_id = ref 2
 
+(* Observability hook, fired once per fresh node allocation. [None]
+   (the default) costs a single match per allocation. *)
+let alloc_hook : (unit -> unit) option ref = ref None
+let set_alloc_hook h = alloc_hook := h
+
 let mk v lo hi =
   if lo == hi then lo
   else
@@ -23,6 +28,7 @@ let mk v lo hi =
         let n = Node { v; lo; hi; id = !next_id } in
         incr next_id;
         Hashtbl.add unique key n;
+        (match !alloc_hook with None -> () | Some f -> f ());
         n
 
 let var i =

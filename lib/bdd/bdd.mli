@@ -70,6 +70,11 @@ val eval : (int -> bool) -> t -> bool
 val node_count : unit -> int
 (** Number of live nodes in the global unique table (diagnostic). *)
 
+val set_alloc_hook : (unit -> unit) option -> unit
+(** Install (or clear) a callback fired once per fresh node allocation.
+    Used by the observability layer to count BDD allocations; [None]
+    keeps the allocation path hook-free apart from one match. *)
+
 val clear_caches : unit -> unit
 (** Drop operation memo tables (unique table is kept). Useful between
     large independent analyses to bound memory. *)

@@ -39,26 +39,44 @@ let insert_rule_at (acl : Config.Acl.t) pos (rule : Config.Acl.rule) =
   Config.Acl.resequence
     { acl with Config.Acl.rules = before @ (rule :: after) }
 
+(* Observability (see DESIGN.md §Observability for the naming scheme). *)
+let questions_counter =
+  Obs.Counter.make "acl_disambiguator.questions"
+    ~help:"differential questions shown to the user"
+
+let boundaries_counter =
+  Obs.Counter.make "acl_disambiguator.boundaries"
+    ~help:"differing insertion boundaries (overlaps) found"
+
+let probes_counter =
+  Obs.Counter.make "acl_disambiguator.binary_search.probes"
+    ~help:"binary-search iterations (search depth)"
+
 let boundaries ~(target : Config.Acl.t) rule =
+  Obs.with_span "find_boundaries" @@ fun () ->
   let n = List.length target.Config.Acl.rules in
   let acl_at p = insert_rule_at target p rule in
-  List.filter_map
-    (fun i ->
-      match
-        Engine.Compare_acls.first_difference (acl_at i) (acl_at (i + 1))
-      with
-      | None -> None
-      | Some d ->
-          Some
-            {
-              position = i;
-              boundary_seq =
-                (List.nth target.Config.Acl.rules i).Config.Acl.seq;
-              packet = d.packet;
-              if_new_first = d.action_a;
-              if_old_first = d.action_b;
-            })
-    (List.init n Fun.id)
+  let bs =
+    List.filter_map
+      (fun i ->
+        match
+          Engine.Compare_acls.first_difference (acl_at i) (acl_at (i + 1))
+        with
+        | None -> None
+        | Some d ->
+            Some
+              {
+                position = i;
+                boundary_seq =
+                  (List.nth target.Config.Acl.rules i).Config.Acl.seq;
+                packet = d.packet;
+                if_new_first = d.action_a;
+                if_old_first = d.action_b;
+              })
+      (List.init n Fun.id)
+  in
+  Obs.Counter.incr ~by:(List.length bs) boundaries_counter;
+  bs
 
 let run ?(mode = Binary_search) ~(target : Config.Acl.t)
     ~(rule : Config.Acl.rule) ~(oracle : oracle) () =
@@ -67,6 +85,7 @@ let run ?(mode = Binary_search) ~(target : Config.Acl.t)
   let asked = ref [] in
   let ask q =
     asked := q :: !asked;
+    Obs.Counter.incr questions_counter;
     oracle q
   in
   match mode with
@@ -111,6 +130,7 @@ let run ?(mode = Binary_search) ~(target : Config.Acl.t)
         let lo = ref 0 and hi = ref k in
         while !lo < !hi do
           let mid = (!lo + !hi) / 2 in
+          Obs.Counter.incr probes_counter;
           match ask arr.(mid) with
           | Prefer_new -> hi := mid
           | Prefer_old -> lo := mid + 1

@@ -52,30 +52,49 @@ let pp_question fmt q =
     q.boundary_seq Bgp.Route.pp q.route Config.Semantics.pp_route_result
     q.if_new_first Config.Semantics.pp_route_result q.if_old_first
 
+(* Observability (see DESIGN.md §Observability for the naming scheme). *)
+let questions_counter =
+  Obs.Counter.make "disambiguator.questions"
+    ~help:"differential questions shown to the user"
+
+let boundaries_counter =
+  Obs.Counter.make "disambiguator.boundaries"
+    ~help:"differing insertion boundaries (overlaps) found"
+
+let probes_counter =
+  Obs.Counter.make "disambiguator.binary_search.probes"
+    ~help:"binary-search iterations (search depth)"
+
 (* Boundary questions: position i differs from i+1 exactly on routes
    handled by original stanza i and matched by the new stanza. *)
 let boundaries ~db ~(target : Config.Route_map.t) stanza =
+  Obs.with_span "find_boundaries" @@ fun () ->
   let n = List.length target.Config.Route_map.stanzas in
   let map_at p = Config.Route_map.insert_at target p stanza in
-  List.filter_map
-    (fun i ->
-      match
-        Engine.Compare_route_policies.first_difference ~db_a:db ~db_b:db
-          (map_at i)
-          (map_at (i + 1))
-      with
-      | None -> None
-      | Some d ->
-          Some
-            {
-              position = i;
-              boundary_seq =
-                (List.nth target.Config.Route_map.stanzas i).Config.Route_map.seq;
-              route = d.route;
-              if_new_first = d.result_a;
-              if_old_first = d.result_b;
-            })
-    (List.init n Fun.id)
+  let bs =
+    List.filter_map
+      (fun i ->
+        match
+          Engine.Compare_route_policies.first_difference ~db_a:db ~db_b:db
+            (map_at i)
+            (map_at (i + 1))
+        with
+        | None -> None
+        | Some d ->
+            Some
+              {
+                position = i;
+                boundary_seq =
+                  (List.nth target.Config.Route_map.stanzas i)
+                    .Config.Route_map.seq;
+                route = d.route;
+                if_new_first = d.result_a;
+                if_old_first = d.result_b;
+              })
+      (List.init n Fun.id)
+  in
+  Obs.Counter.incr ~by:(List.length bs) boundaries_counter;
+  bs
 
 let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
     ~(stanza : Config.Route_map.stanza) ~(oracle : oracle) () =
@@ -84,6 +103,7 @@ let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
   let asked = ref [] in
   let ask q =
     asked := q :: !asked;
+    Obs.Counter.incr questions_counter;
     oracle q
   in
   match mode with
@@ -140,6 +160,7 @@ let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
         (* invariant: boundaries < lo answered Prefer_old; >= hi Prefer_new *)
         while !lo < !hi do
           let mid = (!lo + !hi) / 2 in
+          Obs.Counter.incr probes_counter;
           match ask arr.(mid) with
           | Prefer_new -> hi := mid
           | Prefer_old -> lo := mid + 1

@@ -48,12 +48,42 @@ type route_map_report = {
 
 let default_max_attempts = 5
 
+(* Observability (see DESIGN.md §Observability for the naming scheme).
+   Stage latencies are recorded automatically by the spans below. *)
+let runs_counter =
+  Obs.Counter.make "pipeline.runs" ~help:"end-to-end pipeline invocations"
+
+let errors_counter =
+  Obs.Counter.make "pipeline.errors" ~help:"pipeline runs ending in an error"
+
+let llm_calls_counter =
+  Obs.Counter.make "pipeline.llm_calls"
+    ~help:"LLM calls consumed by pipeline runs (all endpoints)"
+
+let attempts_counter =
+  Obs.Counter.make "pipeline.synthesis_attempts"
+    ~help:"synthesis attempts (>=1 per run)"
+
+let verification_counter =
+  Obs.Counter.make "pipeline.verification_attempts"
+    ~help:"verifier invocations on parsed candidate snippets"
+
+let cex_loops_counter =
+  Obs.Counter.make "pipeline.counterexample_loops"
+    ~help:"failed attempts fed back to the LLM as counterexamples"
+
 (* The verify-repair loop: ask the LLM for a snippet until it parses and
    verifies against the spec, feeding failures back into the prompt. *)
 let synthesis_loop llm ~max_attempts ~entry ~prompt ~spec =
+  Obs.with_span "synthesize" @@ fun () ->
   let rec attempt n ~feedback history =
     if n > max_attempts then Error (Verification_exhausted (List.rev history))
-    else
+    else begin
+      Obs.Counter.incr attempts_counter;
+      let loop_back msg history' =
+        Obs.Counter.incr cex_loops_counter;
+        attempt (n + 1) ~feedback:(Some msg) history'
+      in
       let user =
         match feedback with
         | None -> prompt
@@ -66,19 +96,23 @@ let synthesis_loop llm ~max_attempts ~entry ~prompt ~spec =
           user;
         }
       in
-      match Llm.Mock_llm.synthesize llm req with
+      match Obs.with_span "llm" (fun () -> Llm.Mock_llm.synthesize llm req) with
       | Error m -> Error (Llm_error m)
       | Ok text -> (
           match Config.Parser.parse text with
           | Error m ->
-              attempt (n + 1)
-                ~feedback:(Some ("syntax error: " ^ m))
+              loop_back ("syntax error: " ^ m)
                 (("attempt " ^ string_of_int n ^ ": syntax error: " ^ m)
                 :: history)
           | Ok snippet -> (
               match Config.Database.route_maps snippet with
               | [ rm ] -> (
-                  match Engine.Search_route_policies.verify_stanza snippet rm spec with
+                  match
+                    Obs.with_span "verify" (fun () ->
+                        Obs.Counter.incr verification_counter;
+                        Engine.Search_route_policies.verify_stanza snippet rm
+                          spec)
+                  with
                   | Engine.Search_route_policies.Verified ->
                       Ok (snippet, rm, n, List.rev history)
                   | verdict ->
@@ -86,72 +120,92 @@ let synthesis_loop llm ~max_attempts ~entry ~prompt ~spec =
                         Format.asprintf "%a"
                           Engine.Search_route_policies.pp_verdict verdict
                       in
-                      attempt (n + 1) ~feedback:(Some msg)
+                      loop_back msg
                         (("attempt " ^ string_of_int n ^ ": " ^ msg) :: history))
               | rms ->
                   Error
                     (Snippet_shape
                        (Printf.sprintf "expected one route-map, found %d"
                           (List.length rms)))))
+    end
   in
   attempt 1 ~feedback:None []
 
 (** Run one incremental route-map update end to end. *)
 let run_route_map_update ?(max_attempts = default_max_attempts)
     ?(mode = Disambiguator.Binary_search) ~llm ~oracle ~db ~target ~prompt () =
+  Obs.with_span "pipeline.route_map_update" @@ fun () ->
+  Obs.Counter.incr runs_counter;
   let calls_before = Llm.Mock_llm.total_calls llm in
-  match Config.Database.route_map db target with
-  | None -> Error (Target_not_found target)
-  | Some target_map -> (
-      match Llm.Mock_llm.classify llm prompt with
-      | `Acl -> Error (Wrong_query_type { expected = "route-map"; got = "acl" })
-      | `Route_map -> (
-          let entry = Llm.Prompt_db.retrieve `Route_map in
-          match Llm.Mock_llm.generate_spec llm prompt with
-          | Error m -> Error (Spec_error m)
-          | Ok spec -> (
-              (* The paper has the user vet the spec here; our simulated
-                 spec generator is faithful by construction. *)
-              match synthesis_loop llm ~max_attempts ~entry ~prompt ~spec with
-              | Error e -> Error e
-              | Ok (snippet, rm, attempts, history) -> (
-                  match
-                    Naming.import_route_map_snippet ~db ~snippet rm
-                  with
-                  | Error m -> Error (Snippet_shape m)
-                  | Ok { db = db'; stanza; renaming } -> (
-                      match
-                        Disambiguator.run ~mode ~db:db' ~target:target_map
-                          ~stanza ~oracle ()
-                      with
-                      | Error (Disambiguator.Inconsistent_intent _) ->
-                          Error
-                            (Disambiguation_failed
-                               "answers are inconsistent: no single insertion \
-                                point implements this intent")
-                      | Error (Disambiguator.Top_bottom_insufficient _) ->
-                          Error
-                            (Disambiguation_failed
-                               "top/bottom placement cannot satisfy the intent")
-                      | Ok outcome ->
-                          let db'' =
-                            Config.Database.add_route_map db' outcome.map
-                          in
-                          Ok
-                            {
-                              db = db'';
-                              map = outcome.map;
-                              spec;
-                              stanza;
-                              renaming;
-                              synthesis_attempts = attempts;
-                              verification_history = history;
-                              llm_calls =
-                                Llm.Mock_llm.total_calls llm - calls_before;
-                              questions = outcome.questions;
-                              position = outcome.position;
-                              boundaries = outcome.boundaries;
-                            })))))
+  let result =
+    match Config.Database.route_map db target with
+    | None -> Error (Target_not_found target)
+    | Some target_map -> (
+        match
+          Obs.with_span "classify" (fun () -> Llm.Mock_llm.classify llm prompt)
+        with
+        | `Acl ->
+            Error (Wrong_query_type { expected = "route-map"; got = "acl" })
+        | `Route_map -> (
+            let entry = Llm.Prompt_db.retrieve `Route_map in
+            match
+              Obs.with_span "spec_extract" (fun () ->
+                  Llm.Mock_llm.generate_spec llm prompt)
+            with
+            | Error m -> Error (Spec_error m)
+            | Ok spec -> (
+                (* The paper has the user vet the spec here; our simulated
+                   spec generator is faithful by construction. *)
+                match synthesis_loop llm ~max_attempts ~entry ~prompt ~spec with
+                | Error e -> Error e
+                | Ok (snippet, rm, attempts, history) -> (
+                    match
+                      Obs.with_span "import" (fun () ->
+                          Naming.import_route_map_snippet ~db ~snippet rm)
+                    with
+                    | Error m -> Error (Snippet_shape m)
+                    | Ok { db = db'; stanza; renaming } -> (
+                        match
+                          Obs.with_span "disambiguate" (fun () ->
+                              Disambiguator.run ~mode ~db:db' ~target:target_map
+                                ~stanza ~oracle ())
+                        with
+                        | Error (Disambiguator.Inconsistent_intent _) ->
+                            Error
+                              (Disambiguation_failed
+                                 "answers are inconsistent: no single \
+                                  insertion point implements this intent")
+                        | Error (Disambiguator.Top_bottom_insufficient _) ->
+                            Error
+                              (Disambiguation_failed
+                                 "top/bottom placement cannot satisfy the \
+                                  intent")
+                        | Ok outcome ->
+                            let db'' =
+                              Config.Database.add_route_map db' outcome.map
+                            in
+                            Ok
+                              {
+                                db = db'';
+                                map = outcome.map;
+                                spec;
+                                stanza;
+                                renaming;
+                                synthesis_attempts = attempts;
+                                verification_history = history;
+                                llm_calls =
+                                  Llm.Mock_llm.total_calls llm - calls_before;
+                                questions = outcome.questions;
+                                position = outcome.position;
+                                boundaries = outcome.boundaries;
+                              })))))
+  in
+  Obs.Counter.incr llm_calls_counter
+    ~by:(Llm.Mock_llm.total_calls llm - calls_before);
+  (match result with
+  | Error _ -> Obs.Counter.incr errors_counter
+  | Ok _ -> ());
+  result
 
 (* ------------------------------------------------------------------ *)
 (* ACL updates                                                        *)
@@ -172,10 +226,13 @@ type acl_report = {
 (* For ACLs the intent itself is the spec: expected rule derived from
    the parsed intent; verification compares header spaces and actions. *)
 let acl_synthesis_loop llm ~max_attempts ~entry ~prompt =
-  match Llm.Nl_parser.parse `Acl prompt with
+  match
+    Obs.with_span "spec_extract" (fun () -> Llm.Nl_parser.parse `Acl prompt)
+  with
   | Error e -> Error (Spec_error (Llm.Nl_parser.error_message e))
   | Ok (Llm.Intent.Route_map _) -> assert false
-  | Ok (Llm.Intent.Acl intent) -> (
+  | Ok (Llm.Intent.Acl intent) ->
+      Obs.with_span "synthesize" @@ fun () ->
       let expected =
         Config.Acl.rule ~seq:10 ~protocol:intent.Llm.Intent.protocol
           ~src:intent.src ~src_port:intent.src_port ~dst:intent.dst
@@ -186,7 +243,12 @@ let acl_synthesis_loop llm ~max_attempts ~entry ~prompt =
       let rec attempt n ~feedback history =
         if n > max_attempts then
           Error (Verification_exhausted (List.rev history))
-        else
+        else begin
+          Obs.Counter.incr attempts_counter;
+          let loop_back msg history' =
+            Obs.Counter.incr cex_loops_counter;
+            attempt (n + 1) ~feedback:(Some msg) history'
+          in
           let user =
             match feedback with
             | None -> prompt
@@ -199,26 +261,29 @@ let acl_synthesis_loop llm ~max_attempts ~entry ~prompt =
               user;
             }
           in
-          match Llm.Mock_llm.synthesize llm req with
+          match
+            Obs.with_span "llm" (fun () -> Llm.Mock_llm.synthesize llm req)
+          with
           | Error m -> Error (Llm_error m)
           | Ok text -> (
               match Config.Parser.parse text with
               | Error m ->
-                  attempt (n + 1)
-                    ~feedback:(Some ("syntax error: " ^ m))
+                  loop_back ("syntax error: " ^ m)
                     (("attempt " ^ string_of_int n ^ ": syntax error: " ^ m)
                     :: history)
               | Ok snippet -> (
                   match Config.Database.acls snippet with
                   | [ { Config.Acl.rules = [ rule ]; _ } ] -> (
                       match
-                        Engine.Search_filters.verify_rule rule ~spec_space
-                          ~action:intent.acl_action
+                        Obs.with_span "verify" (fun () ->
+                            Obs.Counter.incr verification_counter;
+                            Engine.Search_filters.verify_rule rule ~spec_space
+                              ~action:intent.acl_action)
                       with
                       | Engine.Search_filters.Verified ->
                           Ok (rule, n, List.rev history)
                       | Engine.Search_filters.Wrong_action _ ->
-                          attempt (n + 1) ~feedback:(Some "wrong action")
+                          loop_back "wrong action"
                             (("attempt " ^ string_of_int n ^ ": wrong action")
                             :: history)
                       | Engine.Search_filters.Match_too_broad p ->
@@ -227,7 +292,7 @@ let acl_synthesis_loop llm ~max_attempts ~entry ~prompt =
                               "rule matches a packet outside the intent: %a"
                               Config.Packet.pp p
                           in
-                          attempt (n + 1) ~feedback:(Some msg)
+                          loop_back msg
                             (("attempt " ^ string_of_int n ^ ": " ^ msg)
                             :: history)
                       | Engine.Search_filters.Match_too_narrow p ->
@@ -236,53 +301,66 @@ let acl_synthesis_loop llm ~max_attempts ~entry ~prompt =
                               "rule misses a packet the intent covers: %a"
                               Config.Packet.pp p
                           in
-                          attempt (n + 1) ~feedback:(Some msg)
+                          loop_back msg
                             (("attempt " ^ string_of_int n ^ ": " ^ msg)
                             :: history))
                   | _ ->
-                      attempt (n + 1)
-                        ~feedback:(Some "produce exactly one ACL rule")
-                        (("attempt " ^ string_of_int n
-                         ^ ": wrong snippet shape")
+                      loop_back "produce exactly one ACL rule"
+                        (("attempt " ^ string_of_int n ^ ": wrong snippet shape")
                         :: history)))
+        end
       in
-      attempt 1 ~feedback:None [])
+      attempt 1 ~feedback:None []
 
 (** Run one incremental ACL update end to end. *)
 let run_acl_update ?(max_attempts = default_max_attempts)
     ?(mode = Acl_disambiguator.Binary_search) ~llm ~oracle ~db ~target ~prompt
     () =
+  Obs.with_span "pipeline.acl_update" @@ fun () ->
+  Obs.Counter.incr runs_counter;
   let calls_before = Llm.Mock_llm.total_calls llm in
-  match Config.Database.acl db target with
-  | None -> Error (Target_not_found target)
-  | Some target_acl -> (
-      match Llm.Mock_llm.classify llm prompt with
-      | `Route_map ->
-          Error (Wrong_query_type { expected = "acl"; got = "route-map" })
-      | `Acl -> (
-          let entry = Llm.Prompt_db.retrieve `Acl in
-          match acl_synthesis_loop llm ~max_attempts ~entry ~prompt with
-          | Error e -> Error e
-          | Ok (rule, attempts, history) -> (
-              match
-                Acl_disambiguator.run ~mode ~target:target_acl ~rule ~oracle ()
-              with
-              | Error (Acl_disambiguator.Inconsistent_intent _) ->
-                  Error
-                    (Disambiguation_failed
-                       "answers are inconsistent: no single insertion point \
-                        implements this intent")
-              | Ok outcome ->
-                  let db' = Config.Database.add_acl db outcome.acl in
-                  Ok
-                    {
-                      db = db';
-                      acl = outcome.acl;
-                      rule;
-                      synthesis_attempts = attempts;
-                      verification_history = history;
-                      llm_calls = Llm.Mock_llm.total_calls llm - calls_before;
-                      questions = outcome.questions;
-                      position = outcome.position;
-                      boundaries = outcome.boundaries;
-                    })))
+  let result =
+    match Config.Database.acl db target with
+    | None -> Error (Target_not_found target)
+    | Some target_acl -> (
+        match
+          Obs.with_span "classify" (fun () -> Llm.Mock_llm.classify llm prompt)
+        with
+        | `Route_map ->
+            Error (Wrong_query_type { expected = "acl"; got = "route-map" })
+        | `Acl -> (
+            let entry = Llm.Prompt_db.retrieve `Acl in
+            match acl_synthesis_loop llm ~max_attempts ~entry ~prompt with
+            | Error e -> Error e
+            | Ok (rule, attempts, history) -> (
+                match
+                  Obs.with_span "disambiguate" (fun () ->
+                      Acl_disambiguator.run ~mode ~target:target_acl ~rule
+                        ~oracle ())
+                with
+                | Error (Acl_disambiguator.Inconsistent_intent _) ->
+                    Error
+                      (Disambiguation_failed
+                         "answers are inconsistent: no single insertion point \
+                          implements this intent")
+                | Ok outcome ->
+                    let db' = Config.Database.add_acl db outcome.acl in
+                    Ok
+                      {
+                        db = db';
+                        acl = outcome.acl;
+                        rule;
+                        synthesis_attempts = attempts;
+                        verification_history = history;
+                        llm_calls = Llm.Mock_llm.total_calls llm - calls_before;
+                        questions = outcome.questions;
+                        position = outcome.position;
+                        boundaries = outcome.boundaries;
+                      })))
+  in
+  Obs.Counter.incr llm_calls_counter
+    ~by:(Llm.Mock_llm.total_calls llm - calls_before);
+  (match result with
+  | Error _ -> Obs.Counter.incr errors_counter
+  | Ok _ -> ());
+  result

@@ -15,6 +15,7 @@ type difference = {
 (** All behavioural differences, one example packet per differing pair
     of execution cells, capped at [limit]. *)
 let compare ?(limit = max_int) (a : Config.Acl.t) (b : Config.Acl.t) =
+  Obs.Counter.incr Metrics.compare_acls_calls;
   let cells_a = Ps.exec a and cells_b = Ps.exec b in
   let out = ref [] in
   let count = ref 0 in

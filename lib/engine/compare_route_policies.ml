@@ -82,6 +82,7 @@ let concrete_results ~db_a ~db_b rm_a rm_b route =
     execution cells, capped at [limit]. *)
 let compare ?(limit = max_int) ~db_a ~db_b (rm_a : Config.Route_map.t)
     (rm_b : Config.Route_map.t) =
+  Obs.Counter.incr Metrics.compare_route_policies_calls;
   let ctx = context ~db_a ~db_b rm_a rm_b in
   let cells_a = Ctx.exec ctx db_a rm_a in
   let cells_b = Ctx.exec ctx db_b rm_b in

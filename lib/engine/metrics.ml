@@ -1,0 +1,32 @@
+(** Observability counters for the symbolic engine.
+
+    Defined here (and referenced from every engine analysis) so that a
+    single module owns the naming scheme and the BDD allocation hook is
+    wired exactly once. *)
+
+let search_filters_calls =
+  Obs.Counter.make "engine.search_filters.solver_calls"
+    ~help:"searchFilters invocations (search/differ/verify_rule)"
+
+let search_route_policies_calls =
+  Obs.Counter.make "engine.search_route_policies.solver_calls"
+    ~help:"searchRoutePolicies invocations (search/verify_stanza)"
+
+let compare_route_policies_calls =
+  Obs.Counter.make "engine.compare_route_policies.solver_calls"
+    ~help:"compareRoutePolicies invocations"
+
+let compare_acls_calls =
+  Obs.Counter.make "engine.compare_acls.solver_calls"
+    ~help:"compareAcls invocations"
+
+let bdd_nodes =
+  Obs.Counter.make "bdd.nodes_allocated"
+    ~help:"fresh BDD nodes allocated in the global unique table"
+
+(* The hook is installed only while the layer is enabled, so the BDD
+   allocation path stays a single [match] when observability is off. *)
+let () =
+  Obs.subscribe_state (fun on ->
+      Symbdd.Bdd.set_alloc_hook
+        (if on then Some (fun () -> Obs.Counter.incr bdd_nodes) else None))

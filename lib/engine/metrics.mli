@@ -1,0 +1,8 @@
+(** Observability counters for the symbolic engine. Referencing this
+    module also wires the BDD allocation hook to the [obs] lifecycle. *)
+
+val search_filters_calls : Obs.Counter.t
+val search_route_policies_calls : Obs.Counter.t
+val compare_route_policies_calls : Obs.Counter.t
+val compare_acls_calls : Obs.Counter.t
+val bdd_nodes : Obs.Counter.t

@@ -21,11 +21,13 @@ let action_space (acl : Config.Acl.t) action =
 
 (** A packet satisfying the query, if any. *)
 let search (acl : Config.Acl.t) (q : query) =
+  Obs.Counter.incr Metrics.search_filters_calls;
   Symbolic.Packet_space.to_packet (Bdd.conj q.within (action_space acl q.action))
 
 (** Are the two ACLs behaviourally identical? Returns a differing packet
     otherwise. *)
 let differ (a : Config.Acl.t) (b : Config.Acl.t) =
+  Obs.Counter.incr Metrics.search_filters_calls;
   let pa = action_space a Config.Action.Permit in
   let pb = action_space b Config.Action.Permit in
   Symbolic.Packet_space.to_packet (Bdd.xor pa pb)
@@ -40,6 +42,7 @@ type verdict =
     given as (match-space BDD, expected action): the rule's match
     condition must equal the spec space and the action must agree. *)
 let verify_rule (rule : Config.Acl.rule) ~spec_space ~action =
+  Obs.Counter.incr Metrics.search_filters_calls;
   if not (Config.Action.equal rule.action action) then
     Wrong_action { expected = action }
   else

@@ -59,6 +59,7 @@ let context_for db rm (spec : Spec.t) =
 (** Find a route the policy treats with the given action inside a
     spec-shaped constraint (Batfish's searchRoutePolicies). *)
 let search db rm ~(constraint_spec : Spec.t) ~(action : Config.Action.t) =
+  Obs.Counter.incr Metrics.search_route_policies_calls;
   let ctx = context_for db rm constraint_spec in
   let space = spec_space ctx constraint_spec in
   let target =
@@ -102,6 +103,7 @@ let pp_verdict fmt = function
     same match set, same action, same transform. Counterexamples are
     concrete routes. *)
 let verify_stanza db (rm : Config.Route_map.t) (spec : Spec.t) =
+  Obs.Counter.incr Metrics.search_route_policies_calls;
   match Config.Database.undefined_references db rm with
   | _ :: _ as undef -> Undefined_references (List.map snd undef)
   | [] -> (

@@ -36,6 +36,16 @@ let fault_to_string = function
   | Wrong_community -> "wrong-community"
   | Syntax_error -> "syntax-error"
 
+(* Observability: total injections plus one counter per fault class,
+   pre-registered so the report shows a stable set of names. *)
+let injected_total =
+  Obs.Counter.make "llm.faults.injected" ~help:"faults injected into completions"
+
+let class_counter fault =
+  Obs.Counter.make ("llm.faults." ^ fault_to_string fault)
+
+let () = List.iter (fun f -> ignore (class_counter f)) all_faults
+
 let map_lines f text =
   String.split_on_char '\n' text |> List.filter_map f |> String.concat "\n"
 
@@ -150,7 +160,12 @@ let apply fault text =
                else None))
           text
   in
-  if !changed then Some result else None
+  if !changed then begin
+    Obs.Counter.incr injected_total;
+    Obs.Counter.incr (class_counter fault);
+    Some result
+  end
+  else None
 
 (** A deterministic schedule of faults drawn from a seed: attempt [i]
     of a synthesis loop consumes entry [i]; an empty tail means clean

@@ -23,6 +23,16 @@ type stats = {
 
 type t = { mutable pending_faults : Fault_injector.fault list; stats : stats }
 
+(* Observability: one counter per endpoint, shared by every instance. *)
+let classify_counter =
+  Obs.Counter.make "llm.calls.classify" ~help:"classification calls"
+
+let synthesize_counter =
+  Obs.Counter.make "llm.calls.synthesize" ~help:"synthesis calls"
+
+let spec_counter =
+  Obs.Counter.make "llm.calls.spec" ~help:"spec-extraction calls"
+
 let create ?(faults = []) () =
   {
     pending_faults = faults;
@@ -43,12 +53,14 @@ let total_calls t =
 (** The classification call (paper step 1). *)
 let classify t prompt =
   t.stats.classify_calls <- t.stats.classify_calls + 1;
+  Obs.Counter.incr classify_counter;
   Classifier.classify prompt
 
 (** The synthesis call (paper step 3): returns Cisco IOS text. [Error]
     models a refusal/unparseable intent. *)
 let synthesize t (req : request) =
   t.stats.synthesis_calls <- t.stats.synthesis_calls + 1;
+  Obs.Counter.incr synthesize_counter;
   (* Counterexample feedback appended by the repair loop guides a real
      LLM; the simulated one simply re-reads the original intent. *)
   let user =
@@ -77,6 +89,7 @@ let synthesize t (req : request) =
     before verification. *)
 let generate_spec t prompt =
   t.stats.spec_calls <- t.stats.spec_calls + 1;
+  Obs.Counter.incr spec_counter;
   match Nl_parser.parse_route_map prompt with
   | Error e -> Error (Nl_parser.error_message e)
   | Ok intent -> Ok (Intent.spec_of_route_map intent)

@@ -1,0 +1,324 @@
+(* Process-global observability registry. Single-threaded by design,
+   like the rest of the system: no locks, no domains. *)
+
+(* ------------------------------------------------------------------ *)
+(* State and lifecycle                                                *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = ref false
+let clock = ref Sys.time
+let state_subscribers : (bool -> unit) list ref = ref []
+
+let enabled () = !enabled_flag
+
+let subscribe_state f =
+  state_subscribers := f :: !state_subscribers;
+  f !enabled_flag
+
+let set_state b =
+  if !enabled_flag <> b then begin
+    enabled_flag := b;
+    List.iter (fun f -> f b) !state_subscribers
+  end
+
+let enable () = set_state true
+let disable () = set_state false
+let set_clock c = clock := c
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { name : string; help : string; mutable value : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make ?(help = "") name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; help; value = 0 } in
+        Hashtbl.add registry name c;
+        c
+
+  let incr ?(by = 1) c = if !enabled_flag then c.value <- c.value + by
+  let value c = c.value
+  let name c = c.name
+  let find name = Hashtbl.find_opt registry name
+
+  let all () =
+    Hashtbl.fold (fun _ c acc -> c :: acc) registry []
+    |> List.sort (fun a b -> String.compare a.name b.name)
+
+  let reset () = Hashtbl.iter (fun _ c -> c.value <- 0) registry
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  (* Upper bounds in ns: 1us .. 10s, then +inf as the overflow bucket. *)
+  let bounds =
+    [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10; infinity |]
+
+  type t = {
+    name : string;
+    help : string;
+    counts : int array; (* one slot per bound *)
+    mutable count : int;
+    mutable sum_ns : float;
+    mutable max_ns : float;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make ?(help = "") name =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            name;
+            help;
+            counts = Array.make (Array.length bounds) 0;
+            count = 0;
+            sum_ns = 0.;
+            max_ns = 0.;
+          }
+        in
+        Hashtbl.add registry name h;
+        h
+
+  let slot ns =
+    let rec go i = if ns <= bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let observe_ns h ns =
+    if !enabled_flag then begin
+      let ns = if ns < 0. then 0. else ns in
+      h.counts.(slot ns) <- h.counts.(slot ns) + 1;
+      h.count <- h.count + 1;
+      h.sum_ns <- h.sum_ns +. ns;
+      if ns > h.max_ns then h.max_ns <- ns
+    end
+
+  let count h = h.count
+  let sum_ns h = h.sum_ns
+  let max_ns h = h.max_ns
+
+  let buckets h =
+    let cum = ref 0 in
+    Array.to_list
+      (Array.mapi
+         (fun i b ->
+           cum := !cum + h.counts.(i);
+           (b, !cum))
+         bounds)
+
+  let name h = h.name
+  let find name = Hashtbl.find_opt registry name
+
+  let all () =
+    Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+    |> List.sort (fun a b -> String.compare a.name b.name)
+
+  let reset () =
+    Hashtbl.iter
+      (fun _ h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.count <- 0;
+        h.sum_ns <- 0.;
+        h.max_ns <- 0.)
+      registry
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Span = struct
+  type t = { path : string; depth : int; duration_ns : float; seq : int }
+end
+
+type sink = { on_span : Span.t -> unit }
+
+let silent = { on_span = (fun _ -> ()) }
+
+let pp_duration fmt ns =
+  if ns >= 1e9 then Format.fprintf fmt "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Format.fprintf fmt "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Format.fprintf fmt "%.2f us" (ns /. 1e3)
+  else Format.fprintf fmt "%.0f ns" ns
+
+let text_sink fmt =
+  {
+    on_span =
+      (fun (s : Span.t) ->
+        Format.fprintf fmt "[trace] %*s%s %a@." (2 * s.depth) "" s.path
+          pp_duration s.duration_ns);
+  }
+
+let json_sink buf =
+  {
+    on_span =
+      (fun (s : Span.t) ->
+        Buffer.add_string buf
+          (Json.to_string ~indent:0
+             (Json.Obj
+                [
+                  ("path", Json.String s.path);
+                  ("depth", Json.Int s.depth);
+                  ("duration_ns", Json.Float s.duration_ns);
+                  ("seq", Json.Int s.seq);
+                ]));
+        Buffer.add_char buf '\n');
+  }
+
+let current_sink = ref silent
+let set_sink s = current_sink := s
+
+let max_recorded_spans = 16_384
+let recorded : Span.t list ref = ref [] (* newest first *)
+let recorded_len = ref 0
+let dropped = ref 0
+let next_seq = ref 0
+
+(* Stack of open spans: (path, start seconds). *)
+let stack : (string * float) list ref = ref []
+
+let record (s : Span.t) =
+  if !recorded_len < max_recorded_spans then begin
+    recorded := s :: !recorded;
+    incr recorded_len
+  end
+  else incr dropped;
+  !current_sink.on_span s
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let path =
+      match !stack with [] -> name | (parent, _) :: _ -> parent ^ "." ^ name
+    in
+    let depth = List.length !stack in
+    stack := (path, !clock ()) :: !stack;
+    let finish () =
+      match !stack with
+      | (p, t0) :: rest when p == path ->
+          stack := rest;
+          let duration_ns = (!clock () -. t0) *. 1e9 in
+          let duration_ns = if duration_ns < 0. then 0. else duration_ns in
+          let seq = !next_seq in
+          incr next_seq;
+          Histogram.observe_ns (Histogram.make path) duration_ns;
+          record { Span.path; depth; duration_ns; seq }
+      | _ -> () (* disabled or reset mid-span: drop silently *)
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let spans () = List.rev !recorded
+let dropped_spans () = !dropped
+
+let reset () =
+  Counter.reset ();
+  Histogram.reset ();
+  recorded := [];
+  recorded_len := 0;
+  dropped := 0;
+  next_seq := 0;
+  stack := []
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pp_report fmt () =
+  let counters = List.filter (fun c -> Counter.value c > 0) (Counter.all ()) in
+  let hists = List.filter (fun h -> Histogram.count h > 0) (Histogram.all ()) in
+  Format.fprintf fmt "@[<v>=== Observability snapshot ===@,";
+  if counters = [] && hists = [] then
+    Format.fprintf fmt "(no events recorded; is the layer enabled?)@,"
+  else begin
+    if counters <> [] then begin
+      Format.fprintf fmt "counters:@,";
+      List.iter
+        (fun c ->
+          Format.fprintf fmt "  %-48s %10d@," (Counter.name c)
+            (Counter.value c))
+        counters
+    end;
+    if hists <> [] then begin
+      Format.fprintf fmt "latencies (per span path):@,";
+      List.iter
+        (fun h ->
+          let n = Histogram.count h in
+          let mean = Histogram.sum_ns h /. float_of_int n in
+          Format.fprintf fmt "  %-48s n=%-6d total=%a mean=%a max=%a@,"
+            (Histogram.name h) n pp_duration (Histogram.sum_ns h) pp_duration
+            mean pp_duration (Histogram.max_ns h))
+        hists
+    end;
+    if !dropped > 0 then
+      Format.fprintf fmt "(%d spans dropped beyond the %d-span buffer)@,"
+        !dropped max_recorded_spans
+  end;
+  Format.fprintf fmt "@]"
+
+let to_json () =
+  let counters =
+    List.filter_map
+      (fun c ->
+        if Counter.value c = 0 then None
+        else Some (Counter.name c, Json.Int (Counter.value c)))
+      (Counter.all ())
+  in
+  let histograms =
+    List.filter_map
+      (fun h ->
+        if Histogram.count h = 0 then None
+        else
+          Some
+            ( Histogram.name h,
+              Json.Obj
+                [
+                  ("count", Json.Int (Histogram.count h));
+                  ("sum_ns", Json.Float (Histogram.sum_ns h));
+                  ("max_ns", Json.Float (Histogram.max_ns h));
+                  ( "buckets",
+                    Json.List
+                      (List.filter_map
+                         (fun (b, c) ->
+                           if b = infinity then
+                             Some (Json.List [ Json.String "inf"; Json.Int c ])
+                           else Some (Json.List [ Json.Float b; Json.Int c ]))
+                         (Histogram.buckets h)) );
+                ] ))
+      (Histogram.all ())
+  in
+  let spans =
+    List.map
+      (fun (s : Span.t) ->
+        Json.Obj
+          [
+            ("path", Json.String s.Span.path);
+            ("depth", Json.Int s.Span.depth);
+            ("duration_ns", Json.Float s.Span.duration_ns);
+            ("seq", Json.Int s.Span.seq);
+          ])
+      (spans ())
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("histograms", Json.Obj histograms);
+      ("spans", Json.List spans);
+    ]

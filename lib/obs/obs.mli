@@ -1,0 +1,122 @@
+(** Process-wide observability: counters, latency histograms and
+    hierarchical spans with pluggable sinks.
+
+    The registry is global and zero-dependency (monotonic-ish time via a
+    pluggable clock, [Sys.time] by default). Instrumented code pays a
+    single [if enabled] branch per event while the layer is disabled, so
+    it is safe to leave instrumentation in hot paths; recording only
+    happens after {!enable}.
+
+    Naming scheme (see DESIGN.md §Observability): counters and spans are
+    dot-separated, [<subsystem>.<event>], e.g. [llm.calls.synthesize],
+    [pipeline.verification_attempts], [bdd.nodes_allocated]. Span
+    latencies are recorded automatically as histograms named by the full
+    span path, e.g. [pipeline.route_map_update.disambiguate]. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val subscribe_state : (bool -> unit) -> unit
+(** [subscribe_state f] calls [f] immediately with the current state and
+    again on every {!enable}/{!disable} transition. Used to wire
+    external hooks (e.g. the BDD allocation hook) so that they cost
+    nothing while the layer is off. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the time source (seconds, monotonically non-decreasing).
+    Default: [Sys.time]. *)
+
+val reset : unit -> unit
+(** Zero every counter and histogram and drop recorded spans. Metric
+    registrations and the enabled state are kept. *)
+
+(** Monotonic event counters. *)
+module Counter : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  (** Register (or look up) the counter with this name. [make] is
+      idempotent: a second call with the same name returns the same
+      counter. *)
+
+  val incr : ?by:int -> t -> unit
+  (** No-op while the layer is disabled. *)
+
+  val value : t -> int
+  val name : t -> string
+  val find : string -> t option
+end
+
+(** Latency histograms over fixed exponential buckets of nanoseconds
+    (1us, 10us, ..., 10s, +inf). *)
+module Histogram : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  (** Idempotent, like {!Counter.make}. *)
+
+  val observe_ns : t -> float -> unit
+  (** No-op while the layer is disabled. *)
+
+  val count : t -> int
+  val sum_ns : t -> float
+  val max_ns : t -> float
+
+  val buckets : t -> (float * int) list
+  (** [(upper_bound_ns, cumulative_count)] pairs; the last upper bound
+      is [infinity]. *)
+
+  val name : t -> string
+  val find : string -> t option
+end
+
+(** A completed span. *)
+module Span : sig
+  type t = {
+    path : string; (* dotted path including enclosing spans *)
+    depth : int; (* 0 = root *)
+    duration_ns : float;
+    seq : int; (* completion order, 0-based since last reset *)
+  }
+end
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span. While disabled this is
+    exactly [f ()]. While enabled the span nests under the innermost
+    open span, its duration is recorded (also into a histogram named by
+    the span path) and it is forwarded to the current sink — including
+    when [f] raises. *)
+
+val spans : unit -> Span.t list
+(** Completed spans since the last {!reset}, in completion order. The
+    buffer is capped; [dropped_spans] counts the overflow. *)
+
+val dropped_spans : unit -> int
+
+(** Where completed spans are streamed. *)
+type sink = { on_span : Span.t -> unit }
+
+val silent : sink
+(** The default: spans are recorded in the buffer but not streamed. *)
+
+val text_sink : Format.formatter -> sink
+(** One indented line per span as it completes (children close before
+    their parents, as in any close-order trace). *)
+
+val json_sink : Buffer.t -> sink
+(** One compact JSON object per line per span (JSONL). *)
+
+val set_sink : sink -> unit
+
+val pp_duration : Format.formatter -> float -> unit
+(** Nanoseconds rendered with a human unit (ns/us/ms/s). *)
+
+val pp_report : Format.formatter -> unit -> unit
+(** The full snapshot: every non-zero counter, then per-span-path
+    latency aggregates (count, total, mean, max), then any other
+    non-empty histogram. *)
+
+val to_json : unit -> Json.t
+(** The same snapshot as a JSON object:
+    [{"counters": {...}, "histograms": {...}, "spans": [...]}]. *)

@@ -1,0 +1,201 @@
+(* Property-based differential testing of the symbolic ACL engine
+   against the concrete interpreter: for random ACLs and packets, the
+   BDD encoding used by [Engine.Search_filters] must agree with
+   [Config.Semantics.eval_acl] packet by packet, and every witness the
+   symbolic search produces must check out concretely. *)
+
+let case_count = 200
+
+(* ------------------------------------------------------------------ *)
+(* Packet <-> BDD assignment, per the Packet_space variable layout:
+   src 0-31, dst 32-63, protocol 64-71, src port 72-87, dst port
+   88-103, established 104 — MSB-first within each field. *)
+(* ------------------------------------------------------------------ *)
+
+let int_bit ~width value i = value land (1 lsl (width - 1 - i)) <> 0
+
+let assignment (p : Config.Packet.t) v =
+  if v < 32 then Netaddr.Ipv4.bit p.src v
+  else if v < 64 then Netaddr.Ipv4.bit p.dst (v - 32)
+  else if v < 72 then
+    int_bit ~width:8 (Config.Packet.protocol_number p.protocol) (v - 64)
+  else if v < 88 then int_bit ~width:16 p.src_port (v - 72)
+  else if v < 104 then int_bit ~width:16 p.dst_port (v - 88)
+  else if v = 104 then p.established
+  else Alcotest.failf "unexpected BDD variable %d" v
+
+let matches space p = Symbdd.Bdd.eval (assignment p) space
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_packet =
+  QCheck.Gen.(
+    let addr =
+      map
+        (fun i -> Netaddr.Ipv4.of_int (i land 0xFFFF_FFFF))
+        (int_bound max_int)
+    in
+    let* protocol =
+      frequency
+        [
+          (4, return Config.Packet.Tcp);
+          (3, return Config.Packet.Udp);
+          (2, return Config.Packet.Icmp);
+          (1, return (Config.Packet.Proto 47));
+        ]
+    in
+    let* src = addr and* dst = addr in
+    let* src_port, dst_port, established =
+      if Config.Packet.has_ports protocol then
+        let* sp = int_bound 65535 and* dp = int_bound 65535 in
+        let* est =
+          if protocol = Config.Packet.Tcp then bool else return false
+        in
+        return (sp, dp, est)
+      else return (0, 0, false)
+    in
+    return
+      (Config.Packet.make ~protocol ~src_port ~dst_port ~established ~src ~dst
+         ()))
+
+(* Two ACL shapes: the fully random corpus generator (density-swept) and
+   the closed-form overlap generator, both driven from a qcheck seed so
+   shrinking reduces to replaying a smaller seed. *)
+let gen_acl =
+  QCheck.Gen.(
+    let* seed = int_bound 1_000_000 and* shape = int_bound 2 in
+    let rng = Random.State.make [| seed |] in
+    match shape with
+    | 0 | 1 ->
+        let* rules = int_range 1 12 and* d = int_bound 10 in
+        return
+          (Workload.Random_corpus.acl ~rng ~name:"DIFF" ~rules
+             ~overlap_density:(float_of_int d /. 10.))
+    | _ ->
+        let* plain = int_bound 4
+        and* crossing = int_bound 3
+        and* trailing = bool in
+        return
+          (Workload.Acl_gen.make ~rng ~name:"DIFF" ~plain ~crossing
+             ~trailing_deny_any:trailing))
+
+let gen_acl_and_packets =
+  QCheck.Gen.(
+    let* acl = gen_acl in
+    (* Random packets rarely hit narrow rules, so also probe with one
+       packet drawn from each cell of the ACL's first-match partition —
+       those exercise every decision region by construction. *)
+    let cell_packets =
+      List.filter_map
+        (fun (c : Symbolic.Packet_space.cell) ->
+          Symbolic.Packet_space.to_packet c.guard)
+        (Symbolic.Packet_space.exec acl)
+    in
+    let* random_packets = list_size (int_range 1 8) gen_packet in
+    return (acl, cell_packets @ random_packets))
+
+let arb_acl_and_packets =
+  QCheck.make gen_acl_and_packets ~print:(fun (acl, packets) ->
+      Format.asprintf "%a@.packets:@.%a" Config.Acl.pp acl
+        (Format.pp_print_list Config.Packet.pp)
+        packets)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The heart of the differential suite: the symbolic action space and
+   the concrete interpreter agree on every probed packet. *)
+let prop_action_space_agrees =
+  QCheck.Test.make ~count:case_count ~name:"action_space agrees with eval_acl"
+    arb_acl_and_packets (fun (acl, packets) ->
+      let permit_space =
+        Engine.Search_filters.action_space acl Config.Action.Permit
+      in
+      let deny_space =
+        Engine.Search_filters.action_space acl Config.Action.Deny
+      in
+      List.for_all
+        (fun p ->
+          let concrete = Config.Semantics.eval_acl acl p in
+          matches permit_space p = (concrete = Config.Action.Permit)
+          && matches deny_space p = (concrete = Config.Action.Deny))
+        packets)
+
+(* Permit and deny spaces partition the full packet space. *)
+let prop_spaces_partition =
+  QCheck.Test.make ~count:case_count ~name:"permit/deny spaces partition"
+    arb_acl_and_packets (fun (acl, _) ->
+      let permit_space =
+        Engine.Search_filters.action_space acl Config.Action.Permit
+      in
+      let deny_space =
+        Engine.Search_filters.action_space acl Config.Action.Deny
+      in
+      Symbdd.Bdd.(
+        equal (conj permit_space deny_space) zero
+        && equal (disj permit_space deny_space) one))
+
+(* Every witness [search] returns satisfies the query concretely. *)
+let prop_search_witness_is_concrete =
+  QCheck.Test.make ~count:case_count ~name:"search witnesses check concretely"
+    arb_acl_and_packets (fun (acl, _) ->
+      List.for_all
+        (fun action ->
+          match
+            Engine.Search_filters.search acl
+              (Engine.Search_filters.any_query action)
+          with
+          | None ->
+              (* No witness: no probed packet may take that action
+                 either; verify on one cell per region. *)
+              List.for_all
+                (fun (c : Symbolic.Packet_space.cell) ->
+                  match Symbolic.Packet_space.to_packet c.guard with
+                  | None -> true
+                  | Some p -> Config.Semantics.eval_acl acl p <> action)
+                (Symbolic.Packet_space.exec acl)
+          | Some p -> Config.Semantics.eval_acl acl p = action)
+        [ Config.Action.Permit; Config.Action.Deny ])
+
+(* An ACL never differs from itself, and when [differ] produces a
+   counterexample for two distinct ACLs it is a real one. *)
+let prop_differ =
+  QCheck.Test.make ~count:case_count ~name:"differ soundness"
+    (QCheck.pair arb_acl_and_packets arb_acl_and_packets)
+    (fun ((a, _), (b, _)) ->
+      Engine.Search_filters.differ a a = None
+      && Engine.Search_filters.differ b b = None
+      &&
+      match Engine.Search_filters.differ a b with
+      | None ->
+          (* Symbolically equivalent: the concrete interpreters must
+             agree on probe packets from both partitions. *)
+          List.for_all
+            (fun acl ->
+              List.for_all
+                (fun (c : Symbolic.Packet_space.cell) ->
+                  match Symbolic.Packet_space.to_packet c.guard with
+                  | None -> true
+                  | Some p ->
+                      Config.Semantics.eval_acl a p
+                      = Config.Semantics.eval_acl b p)
+                (Symbolic.Packet_space.exec acl))
+            [ a; b ]
+      | Some p ->
+          Config.Semantics.eval_acl a p <> Config.Semantics.eval_acl b p)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "symbolic-vs-concrete",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_action_space_agrees;
+            prop_spaces_partition;
+            prop_search_witness_is_concrete;
+            prop_differ;
+          ] );
+    ]

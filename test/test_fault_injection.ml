@@ -1,0 +1,142 @@
+(* End-to-end coverage of every [Llm.Fault_injector] fault class
+   through the full pipeline: with a single attempt each class must
+   surface as [Verification_exhausted] carrying the verdict that
+   characterises it, and with the default attempt budget the verifier's
+   counterexample loop must repair it in exactly one extra round, with
+   the observability counters agreeing. *)
+
+module P = Clarify.Pipeline
+module D = Clarify.Disambiguator
+module F = Llm.Fault_injector
+
+let check_int = Alcotest.(check int)
+
+let parse_ok src =
+  match Config.Parser.parse src with
+  | Ok db -> db
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let run ?max_attempts ~faults () =
+  let llm = Llm.Mock_llm.create ~faults () in
+  P.run_route_map_update ?max_attempts ~llm ~oracle:D.always_new
+    ~db:(parse_ok Evaluation.E1_running_example.isp_out_config)
+    ~target:"ISP_OUT" ~prompt:Evaluation.E1_running_example.prompt ()
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+(* The verdict each fault class must provoke on the E1 scenario. The
+   substrings come from [Search_route_policies.pp_verdict] and the
+   pipeline's own verdict lines. *)
+let expected_verdict = function
+  | F.Mask_off_by_one -> "outside the specification"
+  | F.Flip_action -> "wrong action"
+  | F.Hallucinate_name -> "undefined list references"
+  | F.Drop_set_clause -> "wrong set clauses"
+  | F.Wrong_set_value -> "wrong set clauses"
+  | F.Wrong_community -> "outside the specification"
+  | F.Syntax_error -> "syntax error"
+
+let test_fault_detected fault () =
+  match run ~max_attempts:1 ~faults:[ fault ] () with
+  | Ok _ ->
+      Alcotest.failf "fault %s slipped through verification"
+        (F.fault_to_string fault)
+  | Error (P.Verification_exhausted history) -> (
+      match history with
+      | [ verdict ] ->
+          if not (contains ~needle:(expected_verdict fault) verdict) then
+            Alcotest.failf "fault %s produced verdict %S, expected one about %S"
+              (F.fault_to_string fault) verdict (expected_verdict fault)
+      | _ ->
+          Alcotest.failf "expected exactly one verdict, got %d"
+            (List.length history))
+  | Error e ->
+      Alcotest.failf "fault %s produced unexpected error: %s"
+        (F.fault_to_string fault) (P.error_to_string e)
+
+let counter_value name =
+  match Obs.Counter.find name with
+  | Some c -> Obs.Counter.value c
+  | None -> Alcotest.failf "counter %s is not registered" name
+
+(* With the default budget the counterexample loop repairs the fault:
+   one faulty attempt, one clean retry — visible both in the report and
+   in the obs counters. *)
+let test_fault_repaired fault () =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  match run ~faults:[ fault ] () with
+  | Error e ->
+      Alcotest.failf "fault %s not repaired: %s" (F.fault_to_string fault)
+        (P.error_to_string e)
+  | Ok report ->
+      check_int "two synthesis attempts" 2 report.P.synthesis_attempts;
+      check_int "one feedback line" 1
+        (List.length report.P.verification_history);
+      check_int "attempts counter" 2
+        (counter_value "pipeline.synthesis_attempts");
+      check_int "one counterexample loop" 1
+        (counter_value "pipeline.counterexample_loops");
+      check_int "fault injected once" 1 (counter_value "llm.faults.injected");
+      check_int "per-class counter" 1
+        (counter_value ("llm.faults." ^ F.fault_to_string fault));
+      if
+        not
+          (contains
+             ~needle:(expected_verdict fault)
+             (String.concat "\n" report.P.verification_history))
+      then
+        Alcotest.failf "feedback for %s does not mention %S"
+          (F.fault_to_string fault) (expected_verdict fault)
+
+(* A clean run consumes no faults and loops zero times. *)
+let test_clean_run () =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  match run ~faults:[] () with
+  | Error e -> Alcotest.failf "clean run failed: %s" (P.error_to_string e)
+  | Ok report ->
+      check_int "one attempt" 1 report.P.synthesis_attempts;
+      check_int "no faults" 0 (counter_value "llm.faults.injected");
+      check_int "no loops" 0 (counter_value "pipeline.counterexample_loops")
+
+(* Two scheduled faults: both detected, both repaired on the third try. *)
+let test_two_faults () =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  match run ~faults:[ F.Flip_action; F.Wrong_set_value ] () with
+  | Error e -> Alcotest.failf "double fault not repaired: %s" (P.error_to_string e)
+  | Ok report ->
+      check_int "three attempts" 3 report.P.synthesis_attempts;
+      check_int "two loops" 2 (counter_value "pipeline.counterexample_loops");
+      check_int "two injections" 2 (counter_value "llm.faults.injected")
+
+let () =
+  Alcotest.run "fault-injection"
+    [
+      ( "detected (max_attempts = 1)",
+        List.map
+          (fun fault ->
+            Alcotest.test_case (F.fault_to_string fault) `Quick
+              (test_fault_detected fault))
+          F.all_faults );
+      ( "repaired by the feedback loop",
+        List.map
+          (fun fault ->
+            Alcotest.test_case (F.fault_to_string fault) `Quick
+              (test_fault_repaired fault))
+          F.all_faults );
+      ( "schedules",
+        [
+          Alcotest.test_case "clean run" `Quick test_clean_run;
+          Alcotest.test_case "two faults" `Quick test_two_faults;
+        ] );
+    ]

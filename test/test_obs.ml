@@ -1,0 +1,325 @@
+(* Tests for the observability layer (lib/obs) and its wiring through
+   the Clarify pipeline: primitives first (counters, histograms, spans,
+   sinks), then end-to-end assertions that a full [Pipeline.run_*]
+   emits a span per stage and that the counters match the LLM calls,
+   verification attempts and disambiguation questions the scenario
+   forces. *)
+
+module P = Clarify.Pipeline
+module D = Clarify.Disambiguator
+module Ad = Clarify.Acl_disambiguator
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Every test starts from a clean enabled registry and leaves the layer
+   disabled, so test order cannot matter. *)
+let with_obs f () =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:Obs.disable f
+
+let counter_value name =
+  match Obs.Counter.find name with
+  | Some c -> Obs.Counter.value c
+  | None -> Alcotest.failf "counter %s is not registered" name
+
+let span_paths () = List.map (fun s -> s.Obs.Span.path) (Obs.spans ())
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics =
+  with_obs @@ fun () ->
+  let c = Obs.Counter.make "test.counter" in
+  check_int "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.incr ~by:4 c;
+  check_int "accumulates" 5 (Obs.Counter.value c);
+  check_bool "make is idempotent" true (Obs.Counter.make "test.counter" == c);
+  Obs.reset ();
+  check_int "reset zeroes" 0 (Obs.Counter.value c);
+  Obs.disable ();
+  Obs.Counter.incr c;
+  check_int "disabled incr is a no-op" 0 (Obs.Counter.value c)
+
+let test_histogram_basics =
+  with_obs @@ fun () ->
+  let h = Obs.Histogram.make "test.hist" in
+  List.iter (Obs.Histogram.observe_ns h) [ 500.; 5_000.; 2_000_000. ];
+  check_int "count" 3 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum" 2_005_500. (Obs.Histogram.sum_ns h);
+  Alcotest.(check (float 1e-6)) "max" 2_000_000. (Obs.Histogram.max_ns h);
+  (* 500ns lands in the <=1us bucket, 5us in <=10us, 2ms in <=10ms. *)
+  let cum = Obs.Histogram.buckets h in
+  check_int "first bucket" 1 (snd (List.nth cum 0));
+  check_int "second bucket" 2 (snd (List.nth cum 1));
+  check_int "last bucket is total" 3 (snd (List.nth cum (List.length cum - 1)))
+
+let test_spans_nest =
+  with_obs @@ fun () ->
+  let r =
+    Obs.with_span "outer" (fun () ->
+        Obs.with_span "inner" (fun () -> 21) * 2)
+  in
+  check_int "value passes through" 42 r;
+  (match Obs.spans () with
+  | [ inner; outer ] ->
+      Alcotest.(check string) "inner path" "outer.inner" inner.Obs.Span.path;
+      check_int "inner depth" 1 inner.Obs.Span.depth;
+      Alcotest.(check string) "outer path" "outer" outer.Obs.Span.path;
+      check_int "outer depth" 0 outer.Obs.Span.depth;
+      check_bool "children complete first" true
+        (inner.Obs.Span.seq < outer.Obs.Span.seq)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans));
+  (* Span latencies are recorded as histograms named by the path. *)
+  (match Obs.Histogram.find "outer.inner" with
+  | Some h -> check_int "span histogram count" 1 (Obs.Histogram.count h)
+  | None -> Alcotest.fail "no histogram for span path");
+  (* A raising body still closes its span. *)
+  (try Obs.with_span "outer" (fun () -> failwith "boom") with Failure _ -> ());
+  check_int "span recorded on raise" 3 (List.length (Obs.spans ()))
+
+let test_disabled_is_passthrough () =
+  Obs.disable ();
+  Obs.reset ();
+  let r = Obs.with_span "ghost" (fun () -> 7) in
+  check_int "value passes through" 7 r;
+  check_int "no spans recorded" 0 (List.length (Obs.spans ()))
+
+let test_sinks =
+  with_obs @@ fun () ->
+  let buf = Buffer.create 128 in
+  let fmt = Format.formatter_of_buffer buf in
+  Obs.set_sink (Obs.text_sink fmt);
+  Obs.with_span "sinked" (fun () -> ());
+  Format.pp_print_flush fmt ();
+  Obs.set_sink Obs.silent;
+  let text = Buffer.contents buf in
+  check_bool "text sink mentions the span" true
+    (String.length text > 0
+    && String.length text >= String.length "sinked");
+  let jbuf = Buffer.create 128 in
+  Obs.set_sink (Obs.json_sink jbuf);
+  Obs.with_span "jsonned" (fun () -> ());
+  Obs.set_sink Obs.silent;
+  match Json.parse (String.trim (Buffer.contents jbuf)) with
+  | Error m -> Alcotest.failf "json sink line does not parse: %s" m
+  | Ok j ->
+      Alcotest.(check (option string))
+        "path field" (Some "jsonned")
+        (Option.bind (Json.member "path" j) Json.to_str)
+
+let test_snapshot_json =
+  with_obs @@ fun () ->
+  Obs.Counter.incr ~by:3 (Obs.Counter.make "test.snapshot.events");
+  Obs.with_span "snap" (fun () -> ());
+  let j = Obs.to_json () in
+  Alcotest.(check (option int))
+    "counter in snapshot" (Some 3)
+    (Option.bind
+       (Option.bind (Json.member "counters" j)
+          (Json.member "test.snapshot.events"))
+       Json.to_int);
+  let spans = Option.bind (Json.member "spans" j) Json.to_list in
+  check_int "span in snapshot" 1 (List.length (Option.get spans))
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok src =
+  match Config.Parser.parse src with
+  | Ok db -> db
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let isp_db () = parse_ok Evaluation.E1_running_example.isp_out_config
+
+let run_e1 ?(faults = []) () =
+  let llm = Llm.Mock_llm.create ~faults () in
+  match
+    P.run_route_map_update ~llm ~oracle:D.always_new ~db:(isp_db ())
+      ~target:"ISP_OUT" ~prompt:Evaluation.E1_running_example.prompt ()
+  with
+  | Ok report -> report
+  | Error e -> Alcotest.failf "pipeline: %s" (P.error_to_string e)
+
+let route_map_stage_spans =
+  [
+    "pipeline.route_map_update";
+    "pipeline.route_map_update.classify";
+    "pipeline.route_map_update.spec_extract";
+    "pipeline.route_map_update.synthesize";
+    "pipeline.route_map_update.synthesize.llm";
+    "pipeline.route_map_update.synthesize.verify";
+    "pipeline.route_map_update.import";
+    "pipeline.route_map_update.disambiguate";
+    "pipeline.route_map_update.disambiguate.find_boundaries";
+  ]
+
+let test_pipeline_emits_stage_spans =
+  with_obs @@ fun () ->
+  let _report = run_e1 () in
+  let paths = span_paths () in
+  List.iter
+    (fun stage ->
+      check_bool ("span " ^ stage) true (List.mem stage paths))
+    route_map_stage_spans;
+  (* BDD nodes are hash-consed process-wide, so fresh allocations are
+     only guaranteed on the first pipeline run in the binary — which is
+     this test. *)
+  check_bool "bdd allocations counted" true
+    (counter_value "bdd.nodes_allocated" > 0)
+
+let test_pipeline_counters_clean_run =
+  with_obs @@ fun () ->
+  let report = run_e1 () in
+  (* The paper's single-pass run: one call per LLM endpoint. *)
+  check_int "classify calls" 1 (counter_value "llm.calls.classify");
+  check_int "spec calls" 1 (counter_value "llm.calls.spec");
+  check_int "synthesize calls" 1 (counter_value "llm.calls.synthesize");
+  check_int "pipeline llm calls" report.P.llm_calls
+    (counter_value "pipeline.llm_calls");
+  check_int "runs" 1 (counter_value "pipeline.runs");
+  check_int "errors" 0 (counter_value "pipeline.errors");
+  check_int "synthesis attempts" report.P.synthesis_attempts
+    (counter_value "pipeline.synthesis_attempts");
+  check_int "verification attempts" 1
+    (counter_value "pipeline.verification_attempts");
+  check_int "counterexample loops" 0
+    (counter_value "pipeline.counterexample_loops");
+  check_int "questions" (List.length report.P.questions)
+    (counter_value "disambiguator.questions");
+  check_int "boundaries" report.P.boundaries
+    (counter_value "disambiguator.boundaries");
+  check_int "binary probes equal questions"
+    (counter_value "disambiguator.questions")
+    (counter_value "disambiguator.binary_search.probes");
+  (* The E1 target overlaps the new stanza, so disambiguation is real. *)
+  check_bool "scenario forces questions" true
+    (List.length report.P.questions > 0);
+  check_bool "verifier ran" true
+    (counter_value "engine.search_route_policies.solver_calls" >= 1);
+  check_bool "differ ran" true
+    (counter_value "engine.compare_route_policies.solver_calls" >= 1)
+
+let test_pipeline_counters_faulty_run =
+  with_obs @@ fun () ->
+  let report = run_e1 ~faults:[ Llm.Fault_injector.Flip_action ] () in
+  check_int "two attempts" 2 report.P.synthesis_attempts;
+  check_int "attempts counter" 2 (counter_value "pipeline.synthesis_attempts");
+  check_int "verification ran twice" 2
+    (counter_value "pipeline.verification_attempts");
+  check_int "one counterexample loop" 1
+    (counter_value "pipeline.counterexample_loops");
+  check_int "one fault injected" 1 (counter_value "llm.faults.injected");
+  check_int "per-class fault counter" 1
+    (counter_value "llm.faults.flip-action")
+
+let fw_config =
+  {|ip access-list extended LAB_EDGE
+ deny tcp any any eq 23
+ permit tcp 10.20.0.0/16 any
+ permit udp 10.20.0.0/16 any eq 53
+ deny udp any any
+ permit icmp 10.20.0.0/16 any|}
+
+let test_acl_pipeline_spans_and_counters =
+  with_obs @@ fun () ->
+  let llm = Llm.Mock_llm.create () in
+  let report =
+    match
+      P.run_acl_update ~llm
+        ~oracle:(fun _ -> Ad.Prefer_new)
+        ~db:(parse_ok fw_config)
+        ~target:"LAB_EDGE"
+        ~prompt:
+          "Write an access list rule that denies tcp traffic from \
+           10.20.0.0/16 to any destination with destination port 22."
+        ()
+    with
+    | Ok report -> report
+    | Error e -> Alcotest.failf "pipeline: %s" (P.error_to_string e)
+  in
+  let paths = span_paths () in
+  List.iter
+    (fun stage -> check_bool ("span " ^ stage) true (List.mem stage paths))
+    [
+      "pipeline.acl_update";
+      "pipeline.acl_update.classify";
+      "pipeline.acl_update.spec_extract";
+      "pipeline.acl_update.synthesize";
+      "pipeline.acl_update.synthesize.llm";
+      "pipeline.acl_update.synthesize.verify";
+      "pipeline.acl_update.disambiguate";
+      "pipeline.acl_update.disambiguate.find_boundaries";
+    ];
+  check_int "acl questions" (List.length report.P.questions)
+    (counter_value "acl_disambiguator.questions");
+  check_int "acl boundaries" report.P.boundaries
+    (counter_value "acl_disambiguator.boundaries");
+  check_int "verification attempts" 1
+    (counter_value "pipeline.verification_attempts");
+  check_bool "searchFilters ran" true
+    (counter_value "engine.search_filters.solver_calls" >= 1);
+  check_bool "compareAcls ran" true
+    (counter_value "engine.compare_acls.solver_calls" >= 1)
+
+let test_disabled_pipeline_records_nothing () =
+  Obs.disable ();
+  Obs.reset ();
+  let _report = run_e1 () in
+  check_int "no spans" 0 (List.length (Obs.spans ()));
+  check_int "no counters"
+    0
+    (counter_value "pipeline.runs" + counter_value "llm.calls.synthesize")
+
+let test_report_renders =
+  with_obs @@ fun () ->
+  let _report = run_e1 () in
+  let text = Format.asprintf "%a" Obs.pp_report () in
+  List.iter
+    (fun needle ->
+      let contains =
+        let nl = String.length needle and tl = String.length text in
+        let rec go i =
+          i + nl <= tl && (String.sub text i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      check_bool ("report mentions " ^ needle) true contains)
+    [
+      "pipeline.runs";
+      "disambiguator.questions";
+      "pipeline.route_map_update.disambiguate";
+      "llm.calls.synthesize";
+    ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+          Alcotest.test_case "spans nest" `Quick test_spans_nest;
+          Alcotest.test_case "disabled passthrough" `Quick
+            test_disabled_is_passthrough;
+          Alcotest.test_case "sinks" `Quick test_sinks;
+          Alcotest.test_case "json snapshot" `Quick test_snapshot_json;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "stage spans" `Quick test_pipeline_emits_stage_spans;
+          Alcotest.test_case "counters (clean run)" `Quick
+            test_pipeline_counters_clean_run;
+          Alcotest.test_case "counters (faulty run)" `Quick
+            test_pipeline_counters_faulty_run;
+          Alcotest.test_case "acl pipeline" `Quick
+            test_acl_pipeline_spans_and_counters;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_pipeline_records_nothing;
+          Alcotest.test_case "report renders" `Quick test_report_renders;
+        ] );
+    ]

@@ -1,0 +1,122 @@
+(* Parser round-trip properties over the workload generators: printing
+   a generated configuration and parsing it back must preserve every
+   named object structurally, and printing must reach a fixpoint after
+   one round trip. Complements the hand-written cases in test_config.ml
+   with the [Workload] generators used by the benchmarks, whose shapes
+   (density-swept rules, crossing pairs, generated list references) are
+   much more varied. *)
+
+let case_count = 200
+
+let reparse db =
+  let text = Config.Parser.to_string db in
+  match Config.Parser.parse text with
+  | Ok db' -> (text, db')
+  | Error m ->
+      QCheck.Test.fail_reportf "reprinted config does not parse: %s@.%s" m text
+
+(* print ∘ parse ∘ print = print — catches printers that normalise
+   differently on the second pass. *)
+let print_fixpoint db =
+  let text, db' = reparse db in
+  let text', _ = reparse db' in
+  if text <> text' then
+    QCheck.Test.fail_reportf "printing is not a fixpoint:@.%s@.vs@.%s" text
+      text'
+  else true
+
+let gen_rng =
+  QCheck.Gen.(map (fun seed -> Random.State.make [| seed |]) (int_bound 1_000_000))
+
+(* --- ACLs from the density-swept random corpus ------------------- *)
+
+let arb_corpus_acl =
+  QCheck.make
+    QCheck.Gen.(
+      let* rng = gen_rng in
+      let* rules = int_range 1 15 and* d = int_bound 10 in
+      return
+        (Workload.Random_corpus.acl ~rng ~name:"RT_ACL" ~rules
+           ~overlap_density:(float_of_int d /. 10.)))
+    ~print:(Format.asprintf "%a" Config.Acl.pp)
+
+let prop_corpus_acl_roundtrip =
+  QCheck.Test.make ~count:case_count ~name:"random_corpus acl round-trips"
+    arb_corpus_acl (fun acl ->
+      let db = Config.Database.add_acl Config.Database.empty acl in
+      let _, db' = reparse db in
+      match Config.Database.acl db' "RT_ACL" with
+      | None -> QCheck.Test.fail_report "ACL lost in round trip"
+      | Some acl' -> acl' = acl && print_fixpoint db)
+
+(* --- ACLs from the closed-form overlap generator ----------------- *)
+
+let arb_gen_acl =
+  QCheck.make
+    QCheck.Gen.(
+      let* rng = gen_rng in
+      let* plain = int_bound 6
+      and* crossing = int_bound 4
+      and* trailing = bool in
+      (* An empty ACL is just a header line, which the parser rightly
+         drops; keep at least one rule. *)
+      let plain = if plain = 0 && crossing = 0 && not trailing then 1 else plain in
+      return
+        (Workload.Acl_gen.make ~rng ~name:"RT_GEN" ~plain ~crossing
+           ~trailing_deny_any:trailing))
+    ~print:(Format.asprintf "%a" Config.Acl.pp)
+
+let prop_gen_acl_roundtrip =
+  QCheck.Test.make ~count:case_count ~name:"acl_gen acl round-trips"
+    arb_gen_acl (fun acl ->
+      let db = Config.Database.add_acl Config.Database.empty acl in
+      let _, db' = reparse db in
+      match Config.Database.acl db' "RT_GEN" with
+      | None -> QCheck.Test.fail_report "ACL lost in round trip"
+      | Some acl' -> acl' = acl && print_fixpoint db)
+
+(* --- Route-maps plus their generated match lists ----------------- *)
+
+let arb_route_map_db =
+  QCheck.make
+    QCheck.Gen.(
+      let* rng = gen_rng in
+      let* stanzas = int_range 1 10 and* d = int_bound 10 in
+      return
+        (Workload.Random_corpus.route_map ~rng ~db:Config.Database.empty
+           ~name:"RT_MAP" ~stanzas
+           ~overlap_density:(float_of_int d /. 10.)))
+    ~print:(fun (db, _) -> Config.Parser.to_string db)
+
+let prop_route_map_roundtrip =
+  QCheck.Test.make ~count:case_count ~name:"random_corpus route-map round-trips"
+    arb_route_map_db (fun (db, rm) ->
+      let _, db' = reparse db in
+      match Config.Database.route_map db' "RT_MAP" with
+      | None -> QCheck.Test.fail_report "route-map lost in round trip"
+      | Some rm' -> rm' = rm && print_fixpoint db)
+
+(* Every list the generated map references survives the round trip —
+   the map alone round-tripping is not enough for re-verification. *)
+let prop_route_map_references_survive =
+  QCheck.Test.make ~count:case_count ~name:"generated lists survive round trip"
+    arb_route_map_db (fun (db, _) ->
+      let _, db' = reparse db in
+      (match Config.Database.route_map db' "RT_MAP" with
+      | None -> false
+      | Some rm' -> Config.Database.undefined_references db' rm' = [])
+      && List.sort compare (Config.Database.all_names db')
+         = List.sort compare (Config.Database.all_names db))
+
+let () =
+  Alcotest.run "roundtrip"
+    [
+      ( "parse-print",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_corpus_acl_roundtrip;
+            prop_gen_acl_roundtrip;
+            prop_route_map_roundtrip;
+            prop_route_map_references_survive;
+          ] );
+    ]
