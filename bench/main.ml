@@ -6,28 +6,49 @@
    5 / Figures 3-4), prints the disambiguation-mode ablation, and then
    times the substrate with Bechamel microbenchmarks.
 
-   Usage: dune exec bench/main.exe [-- --fast]
+   Usage: dune exec bench/main.exe [-- --fast] [--json FILE]
    --fast runs the campus corpus at 10% scale (the full 11,088-ACL
-   corpus takes about half a minute). *)
+   corpus takes about half a minute); --json additionally writes the
+   per-experiment Obs snapshots and Bechamel timings as a
+   machine-readable BENCH.json (schema clarify-bench/1) for
+   `clarify obs diff`. *)
 
 open Bechamel
 
 let fast = Array.exists (fun a -> a = "--fast") Sys.argv
 
+let json_out =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
 (* ------------------------------------------------------------------ *)
 (* Experiments                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Each experiment runs under the observability layer; its counter and
-   span snapshot is printed right after its tables so the cost profile
-   (LLM calls, verifier invocations, BDD allocations, stage latencies)
-   is visible per experiment. The layer is disabled again before the
-   Bechamel microbenchmarks so they measure uninstrumented hot paths. *)
+(* Each experiment runs under the observability layer and the flight
+   recorder; its counter and span snapshot is printed right after its
+   tables so the cost profile (LLM calls, verifier invocations, BDD
+   allocations, stage latencies) is visible per experiment, and the
+   frozen snapshot is kept for the --json bench file. The layer is
+   disabled again before the Bechamel microbenchmarks so they measure
+   uninstrumented hot paths. *)
+let experiments : (string * Telemetry.Bench.experiment) list ref = ref []
+
 let with_metrics name f =
   Obs.enable ();
   Obs.reset ();
+  let recorded = Telemetry.record_to_memory () in
   f ();
-  Format.printf "--- metrics (%s) ---@.%a@.@." name Obs.pp_report ();
+  Telemetry.stop ();
+  let snapshot = Obs.Snapshot.take () in
+  let events = List.length (recorded ()) in
+  experiments := !experiments @ [ (name, { Telemetry.Bench.snapshot; events }) ];
+  Format.printf "--- metrics (%s) ---@.%a@.(flight recorder: %d events)@.@."
+    name Obs.pp_report () events;
   Obs.disable ()
 
 let run_experiments () =
@@ -296,6 +317,7 @@ let run_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
+  let timings = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -312,15 +334,27 @@ let run_benchmarks () =
                   Printf.sprintf "%.2f us" (estimate /. 1e3)
                 else Printf.sprintf "%.0f ns" estimate
               in
+              timings := (name, estimate) :: !timings;
               Format.printf "%-42s %12s/run@." name pretty
           | _ -> Format.printf "%-42s %12s@." name "n/a")
         analysis)
     benchmarks;
-  Format.printf "@."
+  Format.printf "@.";
+  List.rev !timings
+
+let write_bench_json path benchmarks =
+  let t = { Telemetry.Bench.experiments = !experiments; benchmarks } in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:2 (Telemetry.Bench.to_json t));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote bench snapshot to %s (schema %s)@." path
+    Telemetry.Bench.schema
 
 let () =
   run_experiments ();
   run_ablation ();
   Evaluation.A2_llm_disambiguator.(print Format.std_formatter (run ()));
   run_density_sweep ();
-  run_benchmarks ()
+  let timings = run_benchmarks () in
+  Option.iter (fun path -> write_bench_json path timings) json_out

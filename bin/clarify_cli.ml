@@ -58,6 +58,20 @@ let with_obs (metrics, trace) f =
   end;
   f ()
 
+(* Flight recorder: stream one JSONL event per pipeline interaction to
+   [path]. Events are flushed as they are emitted, so error paths that
+   [exit 1] lose nothing already recorded. *)
+let with_recorder record f =
+  match record with
+  | None -> f ()
+  | Some path ->
+      let oc = open_out path in
+      Telemetry.record_to_channel oc;
+      at_exit (fun () ->
+          Telemetry.stop ();
+          close_out_noerr oc);
+      f ()
+
 (* ------------------------------------------------------------------ *)
 (* Oracles                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -144,8 +158,19 @@ let update_cmd =
             "Corrupt the first $(docv) LLM answers (seeded), demonstrating \
              the verify-and-repair loop.")
   in
-  let run config target prompt answers acl faults obs =
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Record the session as a JSONL event log (one event per \
+             pipeline interaction) that $(b,clarify replay) re-runs \
+             deterministically.")
+  in
+  let run config target prompt answers acl faults record obs =
     with_obs obs @@ fun () ->
+    with_recorder record @@ fun () ->
     let db = load_config config in
     let llm =
       Llm.Mock_llm.create
@@ -206,7 +231,91 @@ let update_cmd =
   Cmd.v
     (Cmd.info "update" ~doc:"Incrementally add one stanza or rule from an English intent.")
     Term.(
-      const run $ config $ target $ prompt $ answers $ acl $ faults $ obs_term)
+      const run $ config $ target $ prompt $ answers $ acl $ faults $ record
+      $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* clarify replay                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let log =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"LOG"
+          ~doc:"JSONL event log recorded with $(b,clarify update --record).")
+  in
+  let run log =
+    match Clarify.Replay.run_file log with
+    | Error m ->
+        prerr_endline ("error: cannot replay " ^ log ^ ": " ^ m);
+        exit 2
+    | Ok report ->
+        Format.printf "%a" Clarify.Replay.pp_report report;
+        exit (if Clarify.Replay.identical report then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run a recorded session deterministically (LLM responses and \
+          user answers fed from the log), failing loudly on divergence.")
+    Term.(const run $ log)
+
+(* ------------------------------------------------------------------ *)
+(* clarify obs diff                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let obs_cmd =
+  let old_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline bench snapshot (BENCH.json).")
+  in
+  let new_file =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate bench snapshot to compare.")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt float Telemetry.Bench.default_threshold
+      & info [ "threshold" ] ~docv:"FRACTION"
+          ~doc:
+            "Fractional growth beyond which a counter or latency metric \
+             counts as a regression (default 0.2 = 20%).")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Print every compared metric, not just deltas.")
+  in
+  let diff old_file new_file threshold all =
+    let load path =
+      match Telemetry.Bench.load_file path with
+      | Ok t -> t
+      | Error m ->
+          prerr_endline ("error: cannot load " ^ path ^ ": " ^ m);
+          exit 2
+    in
+    let deltas = Telemetry.Bench.diff ~threshold (load old_file) (load new_file) in
+    Format.printf "%a" (Telemetry.Bench.pp_diff ~all) deltas;
+    exit (if Telemetry.Bench.regressed deltas then 1 else 0)
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two bench snapshots; non-zero exit when a counter or \
+            latency histogram regresses beyond the threshold.")
+      Term.(const diff $ old_file $ new_file $ threshold $ all)
+  in
+  Cmd.group
+    (Cmd.info "obs" ~doc:"Inspect and compare observability snapshots.")
+    [ diff_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* clarify audit                                                      *)
@@ -348,4 +457,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "clarify" ~version:"1.0.0" ~doc)
-          [ update_cmd; audit_cmd; verify_cmd; eval_cmd ]))
+          [ update_cmd; replay_cmd; obs_cmd; audit_cmd; verify_cmd; eval_cmd ]))

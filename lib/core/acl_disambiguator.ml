@@ -86,7 +86,26 @@ let run ?(mode = Binary_search) ~(target : Config.Acl.t)
   let ask q =
     asked := q :: !asked;
     Obs.Counter.incr questions_counter;
-    oracle q
+    let a = oracle q in
+    Telemetry.emit ~kind:"question" (fun () ->
+        [
+          ("subsystem", Json.String "acl");
+          ("index", Json.Int (List.length !asked - 1));
+          ("position", Json.Int q.position);
+          ("boundary_seq", Json.Int q.boundary_seq);
+          ( "example",
+            Json.String (Format.asprintf "%a" Config.Packet.pp q.packet) );
+          ( "if_new_first",
+            Json.String (Format.asprintf "%a" Config.Action.pp q.if_new_first)
+          );
+          ( "if_old_first",
+            Json.String (Format.asprintf "%a" Config.Action.pp q.if_old_first)
+          );
+          ( "answer",
+            Json.String (match a with Prefer_new -> "new" | Prefer_old -> "old")
+          );
+        ]);
+    a
   in
   match mode with
   | Top_bottom -> (
@@ -131,6 +150,13 @@ let run ?(mode = Binary_search) ~(target : Config.Acl.t)
         while !lo < !hi do
           let mid = (!lo + !hi) / 2 in
           Obs.Counter.incr probes_counter;
+          Telemetry.emit ~kind:"probe" (fun () ->
+              [
+                ("subsystem", Json.String "acl");
+                ("lo", Json.Int !lo);
+                ("hi", Json.Int !hi);
+                ("mid", Json.Int mid);
+              ]);
           match ask arr.(mid) with
           | Prefer_new -> hi := mid
           | Prefer_old -> lo := mid + 1

@@ -48,6 +48,49 @@ type route_map_report = {
 
 let default_max_attempts = 5
 
+(* Flight recorder (see DESIGN.md §Observability for the event schema).
+   [Telemetry.emit] payload thunks are only forced while recording. *)
+let mode_to_string = function
+  | Disambiguator.Binary_search -> "binary_search"
+  | Disambiguator.Top_bottom -> "top_bottom"
+  | Disambiguator.Linear -> "linear"
+
+let acl_mode_to_string = function
+  | Acl_disambiguator.Binary_search -> "binary_search"
+  | Acl_disambiguator.Top_bottom -> "top_bottom"
+  | Acl_disambiguator.Linear -> "linear"
+
+let emit_session_start ~pipeline ~target ~prompt ~mode ~max_attempts ~db =
+  Telemetry.emit ~kind:"session_start" (fun () ->
+      [
+        ("pipeline", Json.String pipeline);
+        ("target", Json.String target);
+        ("prompt", Json.String prompt);
+        ("mode", Json.String mode);
+        ("max_attempts", Json.Int max_attempts);
+        ("config", Json.String (Config.Parser.to_string db));
+      ])
+
+let emit_verify ~attempt verdict =
+  Telemetry.emit ~kind:"verify" (fun () ->
+      [ ("attempt", Json.Int attempt); ("verdict", Json.String verdict) ])
+
+let emit_placement ~position ~boundaries ~questions =
+  Telemetry.emit ~kind:"placement" (fun () ->
+      [
+        ("position", Json.Int position);
+        ("boundaries", Json.Int boundaries);
+        ("questions", Json.Int questions);
+      ])
+
+let emit_session_end ~final_config result =
+  Telemetry.emit ~kind:"session_end" (fun () ->
+      match result with
+      | Ok r ->
+          [ ("ok", Json.Bool true); ("config", Json.String (final_config r)) ]
+      | Error e ->
+          [ ("ok", Json.Bool false); ("error", Json.String (error_to_string e)) ])
+
 (* Observability (see DESIGN.md §Observability for the naming scheme).
    Stage latencies are recorded automatically by the spans below. *)
 let runs_counter =
@@ -82,6 +125,7 @@ let synthesis_loop llm ~max_attempts ~entry ~prompt ~spec =
       Obs.Counter.incr attempts_counter;
       let loop_back msg history' =
         Obs.Counter.incr cex_loops_counter;
+        emit_verify ~attempt:n msg;
         attempt (n + 1) ~feedback:(Some msg) history'
       in
       let user =
@@ -114,6 +158,7 @@ let synthesis_loop llm ~max_attempts ~entry ~prompt ~spec =
                           spec)
                   with
                   | Engine.Search_route_policies.Verified ->
+                      emit_verify ~attempt:n "verified";
                       Ok (snippet, rm, n, List.rev history)
                   | verdict ->
                       let msg =
@@ -136,6 +181,8 @@ let run_route_map_update ?(max_attempts = default_max_attempts)
     ?(mode = Disambiguator.Binary_search) ~llm ~oracle ~db ~target ~prompt () =
   Obs.with_span "pipeline.route_map_update" @@ fun () ->
   Obs.Counter.incr runs_counter;
+  emit_session_start ~pipeline:"route_map" ~target ~prompt
+    ~mode:(mode_to_string mode) ~max_attempts ~db;
   let calls_before = Llm.Mock_llm.total_calls llm in
   let result =
     match Config.Database.route_map db target with
@@ -181,6 +228,9 @@ let run_route_map_update ?(max_attempts = default_max_attempts)
                                  "top/bottom placement cannot satisfy the \
                                   intent")
                         | Ok outcome ->
+                            emit_placement ~position:outcome.position
+                              ~boundaries:outcome.boundaries
+                              ~questions:(List.length outcome.questions);
                             let db'' =
                               Config.Database.add_route_map db' outcome.map
                             in
@@ -205,6 +255,9 @@ let run_route_map_update ?(max_attempts = default_max_attempts)
   (match result with
   | Error _ -> Obs.Counter.incr errors_counter
   | Ok _ -> ());
+  emit_session_end
+    ~final_config:(fun r -> Config.Parser.to_string r.db)
+    result;
   result
 
 (* ------------------------------------------------------------------ *)
@@ -247,6 +300,7 @@ let acl_synthesis_loop llm ~max_attempts ~entry ~prompt =
           Obs.Counter.incr attempts_counter;
           let loop_back msg history' =
             Obs.Counter.incr cex_loops_counter;
+            emit_verify ~attempt:n msg;
             attempt (n + 1) ~feedback:(Some msg) history'
           in
           let user =
@@ -281,6 +335,7 @@ let acl_synthesis_loop llm ~max_attempts ~entry ~prompt =
                               ~action:intent.acl_action)
                       with
                       | Engine.Search_filters.Verified ->
+                          emit_verify ~attempt:n "verified";
                           Ok (rule, n, List.rev history)
                       | Engine.Search_filters.Wrong_action _ ->
                           loop_back "wrong action"
@@ -318,6 +373,8 @@ let run_acl_update ?(max_attempts = default_max_attempts)
     () =
   Obs.with_span "pipeline.acl_update" @@ fun () ->
   Obs.Counter.incr runs_counter;
+  emit_session_start ~pipeline:"acl" ~target ~prompt
+    ~mode:(acl_mode_to_string mode) ~max_attempts ~db;
   let calls_before = Llm.Mock_llm.total_calls llm in
   let result =
     match Config.Database.acl db target with
@@ -344,6 +401,9 @@ let run_acl_update ?(max_attempts = default_max_attempts)
                          "answers are inconsistent: no single insertion point \
                           implements this intent")
                 | Ok outcome ->
+                    emit_placement ~position:outcome.position
+                      ~boundaries:outcome.boundaries
+                      ~questions:(List.length outcome.questions);
                     let db' = Config.Database.add_acl db outcome.acl in
                     Ok
                       {
@@ -363,4 +423,7 @@ let run_acl_update ?(max_attempts = default_max_attempts)
   (match result with
   | Error _ -> Obs.Counter.incr errors_counter
   | Ok _ -> ());
+  emit_session_end
+    ~final_config:(fun (r : acl_report) -> Config.Parser.to_string r.db)
+    result;
   result

@@ -100,7 +100,26 @@ let run ?(mode = Binary_search) ~(target : Config.Prefix_list.t)
   let asked = ref [] in
   let ask q =
     asked := q :: !asked;
-    oracle q
+    let a = oracle q in
+    Telemetry.emit ~kind:"question" (fun () ->
+        [
+          ("subsystem", Json.String "prefix_list");
+          ("index", Json.Int (List.length !asked - 1));
+          ("position", Json.Int q.position);
+          ("boundary_seq", Json.Int q.boundary_seq);
+          ( "example",
+            Json.String (Format.asprintf "%a" Netaddr.Prefix.pp q.prefix) );
+          ( "if_new_first",
+            Json.String (Format.asprintf "%a" Config.Action.pp q.if_new_first)
+          );
+          ( "if_old_first",
+            Json.String (Format.asprintf "%a" Config.Action.pp q.if_old_first)
+          );
+          ( "answer",
+            Json.String (match a with Prefer_new -> "new" | Prefer_old -> "old")
+          );
+        ]);
+    a
   in
   match mode with
   | Top_bottom -> (
@@ -135,6 +154,13 @@ let run ?(mode = Binary_search) ~(target : Config.Prefix_list.t)
         let lo = ref 0 and hi = ref k in
         while !lo < !hi do
           let mid = (!lo + !hi) / 2 in
+          Telemetry.emit ~kind:"probe" (fun () ->
+              [
+                ("subsystem", Json.String "prefix_list");
+                ("lo", Json.Int !lo);
+                ("hi", Json.Int !hi);
+                ("mid", Json.Int mid);
+              ]);
           match ask arr.(mid) with
           | Prefer_new -> hi := mid
           | Prefer_old -> lo := mid + 1

@@ -1,0 +1,180 @@
+(** Deterministic replay of a recorded session (see DESIGN.md
+    §Observability).
+
+    A recorded log fully determines a session: the initial
+    configuration, target and prompt come from [session_start], the LLM
+    synthesis responses (faults already baked in) are fed verbatim to a
+    replay {!Llm.Mock_llm}, and the user's disambiguation answers are
+    fed to a scripted oracle. The pipeline is then re-run under an
+    in-memory recorder and the two event streams are compared pairwise
+    ({!Telemetry.Event.matches}); any mismatch — a tampered response, a
+    changed verifier verdict, a different placement — surfaces as a
+    {!divergence} at the first differing event. *)
+
+module E = Telemetry.Event
+
+type divergence = {
+  index : int; (* 0-based position in the event stream *)
+  recorded : E.t option; (* [None]: replay produced extra events *)
+  replayed : E.t option; (* [None]: replay stopped short *)
+}
+
+type outcome = Identical | Diverged of divergence
+
+type report = {
+  pipeline : string; (* "route_map" or "acl" *)
+  recorded_events : int;
+  replayed_events : int;
+  outcome : outcome;
+}
+
+exception Oracle_exhausted
+
+let scripted_answers answers =
+  let remaining = ref answers in
+  fun () ->
+    match !remaining with
+    | [] -> raise Oracle_exhausted
+    | a :: rest ->
+        remaining := rest;
+        a
+
+let required e name =
+  match E.str_field name e with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "session_start: missing field %S" name)
+
+let run_events recorded =
+  let ( let* ) r f = Result.bind r f in
+  let* start =
+    match recorded with
+    | e :: _ when e.E.kind = "session_start" -> Ok e
+    | _ :: _ -> Error "log does not begin with a session_start event"
+    | [] -> Error "empty event log"
+  in
+  let* pipeline = required start "pipeline" in
+  let* target = required start "target" in
+  let* prompt = required start "prompt" in
+  let* mode_name = required start "mode" in
+  let* config = required start "config" in
+  let max_attempts =
+    Option.value ~default:Pipeline.default_max_attempts
+      (E.int_field "max_attempts" start)
+  in
+  let* db =
+    Result.map_error
+      (fun m -> "recorded config does not parse: " ^ m)
+      (Config.Parser.parse config)
+  in
+  (* LLM responses and user answers, in recorded order. *)
+  let responses =
+    List.filter_map
+      (fun e ->
+        if e.E.kind <> "llm_synthesize" then None
+        else
+          match (E.field "ok" e, E.str_field "text" e, E.str_field "error" e) with
+          | Some (Json.Bool true), Some text, _ -> Some (Ok text)
+          | _, _, Some err -> Some (Error err)
+          | _ -> Some (Error "malformed llm_synthesize event"))
+      recorded
+  in
+  let* answers =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        if e.E.kind <> "question" then Ok acc
+        else
+          match E.str_field "answer" e with
+          | Some "new" -> Ok (`New :: acc)
+          | Some "old" -> Ok (`Old :: acc)
+          | _ -> Error "question event without a new/old answer")
+      (Ok []) recorded
+    |> Result.map List.rev
+  in
+  let llm = Llm.Mock_llm.create ~replay:responses () in
+  let next = scripted_answers answers in
+  let* run =
+    match pipeline with
+    | "route_map" ->
+        let* mode =
+          match mode_name with
+          | "binary_search" -> Ok Disambiguator.Binary_search
+          | "top_bottom" -> Ok Disambiguator.Top_bottom
+          | "linear" -> Ok Disambiguator.Linear
+          | m -> Error (Printf.sprintf "unknown disambiguation mode %S" m)
+        in
+        let oracle _ =
+          match next () with
+          | `New -> Disambiguator.Prefer_new
+          | `Old -> Disambiguator.Prefer_old
+        in
+        Ok
+          (fun () ->
+            ignore
+              (Pipeline.run_route_map_update ~max_attempts ~mode ~llm ~oracle
+                 ~db ~target ~prompt ()))
+    | "acl" ->
+        let* mode =
+          match mode_name with
+          | "binary_search" -> Ok Acl_disambiguator.Binary_search
+          | "top_bottom" -> Ok Acl_disambiguator.Top_bottom
+          | "linear" -> Ok Acl_disambiguator.Linear
+          | m -> Error (Printf.sprintf "unknown disambiguation mode %S" m)
+        in
+        let oracle _ =
+          match next () with
+          | `New -> Acl_disambiguator.Prefer_new
+          | `Old -> Acl_disambiguator.Prefer_old
+        in
+        Ok
+          (fun () ->
+            ignore
+              (Pipeline.run_acl_update ~max_attempts ~mode ~llm ~oracle ~db
+                 ~target ~prompt ()))
+    | p -> Error (Printf.sprintf "unknown pipeline kind %S" p)
+  in
+  (* Re-run under a fresh in-memory recorder. An exhausted oracle means
+     the replay asked a question the recording never answered — itself a
+     divergence, reported at whatever event the replay had reached. *)
+  let (), replayed = Telemetry.with_memory_recorder (fun () ->
+      try run () with Oracle_exhausted -> ())
+  in
+  let rec compare i = function
+    | [], [] -> Identical
+    | r :: rs, p :: ps when E.matches r p -> compare (i + 1) (rs, ps)
+    | rs, ps ->
+        Diverged
+          {
+            index = i;
+            recorded = (match rs with r :: _ -> Some r | [] -> None);
+            replayed = (match ps with p :: _ -> Some p | [] -> None);
+          }
+  in
+  Ok
+    {
+      pipeline;
+      recorded_events = List.length recorded;
+      replayed_events = List.length replayed;
+      outcome = compare 0 (recorded, replayed);
+    }
+
+let run_file path = Result.bind (Telemetry.load_file path) run_events
+
+let identical r = r.outcome = Identical
+
+let pp_event fmt = function
+  | None -> Format.fprintf fmt "(no event)"
+  | Some e -> Format.fprintf fmt "%s" (Json.to_string ~indent:2 (E.to_json e))
+
+let pp_report fmt r =
+  match r.outcome with
+  | Identical ->
+      Format.fprintf fmt
+        "replay ok: %s session, %d/%d events matched bit-for-bit@." r.pipeline
+        r.replayed_events r.recorded_events
+  | Diverged d ->
+      Format.fprintf fmt
+        "@[<v>replay DIVERGED at event %d (%s session, %d recorded / %d \
+         replayed events)@,recorded:@,%a@,replayed:@,%a@]@."
+        d.index r.pipeline r.recorded_events r.replayed_events pp_event
+        d.recorded pp_event d.replayed

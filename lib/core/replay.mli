@@ -1,0 +1,36 @@
+(** Deterministic replay of a recorded flight-recorder session.
+
+    [run_events log] rebuilds the session from the log — initial
+    configuration, target, prompt and mode from [session_start],
+    synthesis responses fed verbatim to a replay {!Llm.Mock_llm}, user
+    answers fed to a scripted oracle — re-runs the pipeline under an
+    in-memory recorder, and compares the two event streams pairwise.
+    Identical streams mean the session reproduced bit-for-bit
+    (including the final configuration, carried by [session_end]); the
+    first mismatch is reported as a {!divergence}, which makes any
+    recorded bug report a reproducible artifact. *)
+
+type divergence = {
+  index : int; (* 0-based position in the event stream *)
+  recorded : Telemetry.Event.t option; (* [None]: replay ran long *)
+  replayed : Telemetry.Event.t option; (* [None]: replay stopped short *)
+}
+
+type outcome = Identical | Diverged of divergence
+
+type report = {
+  pipeline : string; (* "route_map" or "acl" *)
+  recorded_events : int;
+  replayed_events : int;
+  outcome : outcome;
+}
+
+val run_events : Telemetry.Event.t list -> (report, string) result
+(** [Error] means the log itself is unusable (empty, no [session_start],
+    unparseable recorded config); divergences are reported in the
+    {!report}, not as [Error]. *)
+
+val run_file : string -> (report, string) result
+
+val identical : report -> bool
+val pp_report : Format.formatter -> report -> unit

@@ -21,7 +21,14 @@ type stats = {
   mutable faults_injected : Fault_injector.fault list; (* newest first *)
 }
 
-type t = { mutable pending_faults : Fault_injector.fault list; stats : stats }
+type t = {
+  mutable pending_faults : Fault_injector.fault list;
+  (* Replay transcript: when set, synthesis answers come verbatim from
+     here (a recorded session's responses, faults already baked in)
+     instead of the parser+synthesizer. *)
+  mutable replay : (string, string) result list option;
+  stats : stats;
+}
 
 (* Observability: one counter per endpoint, shared by every instance. *)
 let classify_counter =
@@ -33,9 +40,10 @@ let synthesize_counter =
 let spec_counter =
   Obs.Counter.make "llm.calls.spec" ~help:"spec-extraction calls"
 
-let create ?(faults = []) () =
+let create ?(faults = []) ?replay () =
   {
     pending_faults = faults;
+    replay;
     stats =
       {
         classify_calls = 0;
@@ -54,34 +62,67 @@ let total_calls t =
 let classify t prompt =
   t.stats.classify_calls <- t.stats.classify_calls + 1;
   Obs.Counter.incr classify_counter;
-  Classifier.classify prompt
+  let verdict = Classifier.classify prompt in
+  Telemetry.emit ~kind:"llm_classify" (fun () ->
+      [
+        ("prompt", Json.String prompt);
+        ( "verdict",
+          Json.String (match verdict with `Acl -> "acl" | `Route_map -> "route_map")
+        );
+      ]);
+  verdict
 
 (** The synthesis call (paper step 3): returns Cisco IOS text. [Error]
     models a refusal/unparseable intent. *)
 let synthesize t (req : request) =
   t.stats.synthesis_calls <- t.stats.synthesis_calls + 1;
   Obs.Counter.incr synthesize_counter;
-  (* Counterexample feedback appended by the repair loop guides a real
-     LLM; the simulated one simply re-reads the original intent. *)
-  let user =
-    match String.index_opt req.user '\n' with
-    | Some i -> String.sub req.user 0 i
-    | None -> req.user
+  let result, fault =
+    match t.replay with
+    | Some transcript -> (
+        (* Replaying a recorded session: answers come from the log. *)
+        match transcript with
+        | [] -> (Error "replay transcript exhausted", None)
+        | r :: rest ->
+            t.replay <- Some rest;
+            (r, None))
+    | None -> (
+        (* Counterexample feedback appended by the repair loop guides a
+           real LLM; the simulated one simply re-reads the original
+           intent. *)
+        let user =
+          match String.index_opt req.user '\n' with
+          | Some i -> String.sub req.user 0 i
+          | None -> req.user
+        in
+        let kind = Classifier.classify user in
+        match Nl_parser.parse kind user with
+        | Error e -> (Error (Nl_parser.error_message e), None)
+        | Ok intent -> (
+            let clean = Synthesizer.render intent in
+            match t.pending_faults with
+            | [] -> (Ok clean, None)
+            | fault :: rest -> (
+                t.pending_faults <- rest;
+                match Fault_injector.apply fault clean with
+                | Some corrupted ->
+                    t.stats.faults_injected <- fault :: t.stats.faults_injected;
+                    (Ok corrupted, Some fault)
+                | None -> (Ok clean, None)
+                (* fault not applicable to this snippet *))))
   in
-  let kind = Classifier.classify user in
-  match Nl_parser.parse kind user with
-  | Error e -> Error (Nl_parser.error_message e)
-  | Ok intent -> (
-      let clean = Synthesizer.render intent in
-      match t.pending_faults with
-      | [] -> Ok clean
-      | fault :: rest -> (
-          t.pending_faults <- rest;
-          match Fault_injector.apply fault clean with
-          | Some corrupted ->
-              t.stats.faults_injected <- fault :: t.stats.faults_injected;
-              Ok corrupted
-          | None -> Ok clean (* fault not applicable to this snippet *)))
+  Telemetry.emit ~kind:"llm_synthesize" (fun () ->
+      [
+        ("prompt", Json.String req.user);
+        ("ok", Json.Bool (Result.is_ok result));
+        ( (match result with Ok _ -> "text" | Error _ -> "error"),
+          Json.String (match result with Ok s | Error s -> s) );
+        ( "fault",
+          match fault with
+          | None -> Json.Null
+          | Some f -> Json.String (Fault_injector.fault_to_string f) );
+      ]);
+  result
 
 (** The spec-extraction call (paper step 3'): the JSON behavioural spec
     of the user's intent. Always faithful — the paper has the user
@@ -90,6 +131,17 @@ let synthesize t (req : request) =
 let generate_spec t prompt =
   t.stats.spec_calls <- t.stats.spec_calls + 1;
   Obs.Counter.incr spec_counter;
-  match Nl_parser.parse_route_map prompt with
-  | Error e -> Error (Nl_parser.error_message e)
-  | Ok intent -> Ok (Intent.spec_of_route_map intent)
+  let result =
+    match Nl_parser.parse_route_map prompt with
+    | Error e -> Error (Nl_parser.error_message e)
+    | Ok intent -> Ok (Intent.spec_of_route_map intent)
+  in
+  Telemetry.emit ~kind:"llm_spec" (fun () ->
+      [
+        ("prompt", Json.String prompt);
+        ("ok", Json.Bool (Result.is_ok result));
+        ( match result with
+        | Ok spec -> ("spec", Engine.Spec.to_json spec)
+        | Error m -> ("error", Json.String m) );
+      ]);
+  result

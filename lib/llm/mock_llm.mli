@@ -23,7 +23,18 @@ type stats = {
 
 type t
 
-val create : ?faults:Fault_injector.fault list -> unit -> t
+(** [replay]: a recorded session's synthesis responses (faults already
+    baked in). When present, {!synthesize} pops answers verbatim from
+    this transcript instead of running the parser+synthesizer — the
+    record/replay hook of {!Clarify.Replay} — and returns
+    [Error "replay transcript exhausted"] once it runs dry. Each call
+    also emits [llm_classify] / [llm_synthesize] / [llm_spec] flight
+    recorder events while {!Telemetry.recording}. *)
+val create :
+  ?faults:Fault_injector.fault list ->
+  ?replay:(string, string) result list ->
+  unit ->
+  t
 val stats : t -> stats
 val total_calls : t -> int
 

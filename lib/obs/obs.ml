@@ -6,7 +6,10 @@
 (* ------------------------------------------------------------------ *)
 
 let enabled_flag = ref false
-let clock = ref Sys.time
+
+(* Wall-clock, not [Sys.time]: span latencies must include time spent
+   blocked on IO or sleeping, which CPU time would hide. *)
+let clock = ref Unix.gettimeofday
 let state_subscribers : (bool -> unit) list ref = ref []
 
 let enabled () = !enabled_flag
@@ -176,6 +179,23 @@ let json_sink buf =
         Buffer.add_char buf '\n');
   }
 
+let jsonl_sink oc =
+  {
+    on_span =
+      (fun (s : Span.t) ->
+        output_string oc
+          (Json.to_string ~indent:0
+             (Json.Obj
+                [
+                  ("path", Json.String s.path);
+                  ("depth", Json.Int s.depth);
+                  ("duration_ns", Json.Float s.duration_ns);
+                  ("seq", Json.Int s.seq);
+                ]));
+        output_char oc '\n';
+        flush oc);
+  }
+
 let current_sink = ref silent
 let set_sink s = current_sink := s
 
@@ -187,6 +207,8 @@ let next_seq = ref 0
 
 (* Stack of open spans: (path, start seconds). *)
 let stack : (string * float) list ref = ref []
+
+let current_path () = match !stack with [] -> "" | (p, _) :: _ -> p
 
 let record (s : Span.t) =
   if !recorded_len < max_recorded_spans then begin
@@ -272,6 +294,169 @@ let pp_report fmt () =
         !dropped max_recorded_spans
   end;
   Format.fprintf fmt "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  type hist = {
+    count : int;
+    sum_ns : float;
+    max_ns : float;
+    buckets : (float * int) list; (* (upper_bound_ns, cumulative) *)
+  }
+
+  type t = {
+    counters : (string * int) list; (* sorted by name, non-zero only *)
+    histograms : (string * hist) list;
+  }
+
+  let take () =
+    let counters =
+      List.filter_map
+        (fun c ->
+          if Counter.value c = 0 then None
+          else Some (Counter.name c, Counter.value c))
+        (Counter.all ())
+    in
+    let histograms =
+      List.filter_map
+        (fun h ->
+          if Histogram.count h = 0 then None
+          else
+            Some
+              ( Histogram.name h,
+                {
+                  count = Histogram.count h;
+                  sum_ns = Histogram.sum_ns h;
+                  max_ns = Histogram.max_ns h;
+                  buckets = Histogram.buckets h;
+                } ))
+        (Histogram.all ())
+    in
+    { counters; histograms }
+
+  let mean_ns (h : hist) =
+    if h.count = 0 then 0. else h.sum_ns /. float_of_int h.count
+
+  let equal a b =
+    a.counters = b.counters
+    && List.length a.histograms = List.length b.histograms
+    && List.for_all2
+         (fun (na, ha) (nb, hb) ->
+           na = nb && ha.count = hb.count && ha.sum_ns = hb.sum_ns
+           && ha.max_ns = hb.max_ns && ha.buckets = hb.buckets)
+         a.histograms b.histograms
+
+  (* Bucket bounds: infinity is not valid JSON, so the overflow bound is
+     encoded as the string "inf". *)
+  let bound_to_json b =
+    if b = infinity then Json.String "inf" else Json.Float b
+
+  let bound_of_json = function
+    | Json.String "inf" -> Some infinity
+    | Json.Float f -> Some f
+    | Json.Int i -> Some (float_of_int i)
+    | _ -> None
+
+  let to_json t =
+    Json.Obj
+      [
+        ( "counters",
+          Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) t.counters) );
+        ( "histograms",
+          Json.Obj
+            (List.map
+               (fun (n, h) ->
+                 ( n,
+                   Json.Obj
+                     [
+                       ("count", Json.Int h.count);
+                       ("sum_ns", Json.Float h.sum_ns);
+                       ("max_ns", Json.Float h.max_ns);
+                       ( "buckets",
+                         Json.List
+                           (List.map
+                              (fun (b, c) ->
+                                Json.List [ bound_to_json b; Json.Int c ])
+                              h.buckets) );
+                     ] ))
+               t.histograms) );
+      ]
+
+  let of_json j =
+    let ( let* ) r f = Result.bind r f in
+    let obj_fields name =
+      match Json.member name j with
+      | Some (Json.Obj fields) -> Ok fields
+      | Some _ -> Error (Printf.sprintf "snapshot: %S is not an object" name)
+      | None -> Error (Printf.sprintf "snapshot: missing %S" name)
+    in
+    let num = function
+      | Json.Float f -> Some f
+      | Json.Int i -> Some (float_of_int i)
+      | _ -> None
+    in
+    let* counter_fields = obj_fields "counters" in
+    let* counters =
+      List.fold_left
+        (fun acc (n, v) ->
+          let* acc = acc in
+          match Json.to_int v with
+          | Some i -> Ok ((n, i) :: acc)
+          | None -> Error (Printf.sprintf "snapshot: counter %S not an int" n))
+        (Ok []) counter_fields
+    in
+    let* hist_fields = obj_fields "histograms" in
+    let hist_of_json n hj =
+      let get name = Json.member name hj in
+      let* count =
+        match Option.bind (get "count") Json.to_int with
+        | Some c -> Ok c
+        | None -> Error (Printf.sprintf "snapshot: histogram %S: bad count" n)
+      in
+      let fnum name =
+        match Option.bind (get name) num with
+        | Some f -> Ok f
+        | None ->
+            Error (Printf.sprintf "snapshot: histogram %S: bad %s" n name)
+      in
+      let* sum_ns = fnum "sum_ns" in
+      let* max_ns = fnum "max_ns" in
+      let* buckets =
+        match Option.bind (get "buckets") Json.to_list with
+        | None -> Error (Printf.sprintf "snapshot: histogram %S: no buckets" n)
+        | Some items ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match item with
+                | Json.List [ b; c ] -> (
+                    match (bound_of_json b, Json.to_int c) with
+                    | Some b, Some c -> Ok ((b, c) :: acc)
+                    | _ ->
+                        Error
+                          (Printf.sprintf "snapshot: histogram %S: bad bucket"
+                             n))
+                | _ ->
+                    Error
+                      (Printf.sprintf "snapshot: histogram %S: bad bucket" n))
+              (Ok []) items
+            |> Result.map List.rev
+      in
+      Ok { count; sum_ns; max_ns; buckets }
+    in
+    let* histograms =
+      List.fold_left
+        (fun acc (n, hj) ->
+          let* acc = acc in
+          let* h = hist_of_json n hj in
+          Ok ((n, h) :: acc))
+        (Ok []) hist_fields
+    in
+    Ok { counters = List.rev counters; histograms = List.rev histograms }
+end
 
 let to_json () =
   let counters =

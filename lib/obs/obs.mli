@@ -25,7 +25,9 @@ val subscribe_state : (bool -> unit) -> unit
 
 val set_clock : (unit -> float) -> unit
 (** Replace the time source (seconds, monotonically non-decreasing).
-    Default: [Sys.time]. *)
+    Default: [Unix.gettimeofday] — wall-clock, so span latencies include
+    time spent blocked or sleeping (CPU time would hide it). Tests
+    substitute a deterministic clock. *)
 
 val reset : unit -> unit
 (** Zero every counter and histogram and drop recorded spans. Metric
@@ -92,6 +94,11 @@ val spans : unit -> Span.t list
 (** Completed spans since the last {!reset}, in completion order. The
     buffer is capped; [dropped_spans] counts the overflow. *)
 
+val current_path : unit -> string
+(** The dotted path of the innermost open span, or [""] when no span is
+    open (or the layer is disabled). Used by the flight recorder to
+    correlate events with span latencies. *)
+
 val dropped_spans : unit -> int
 
 (** Where completed spans are streamed. *)
@@ -105,7 +112,14 @@ val text_sink : Format.formatter -> sink
     their parents, as in any close-order trace). *)
 
 val json_sink : Buffer.t -> sink
-(** One compact JSON object per line per span (JSONL). *)
+(** One compact JSON object per line per span (JSONL), into an
+    in-memory buffer. The buffer grows without bound, so prefer
+    {!jsonl_sink} for long-running processes. *)
+
+val jsonl_sink : out_channel -> sink
+(** Same line format as {!json_sink}, streamed to a channel and flushed
+    after every span, so long runs spill to disk instead of growing an
+    unbounded buffer and a crash loses at most the open spans. *)
 
 val set_sink : sink -> unit
 
@@ -120,3 +134,33 @@ val pp_report : Format.formatter -> unit -> unit
 val to_json : unit -> Json.t
 (** The same snapshot as a JSON object:
     [{"counters": {...}, "histograms": {...}, "spans": [...]}]. *)
+
+(** A frozen copy of the registry's aggregates, serializable to the
+    stable schema used by bench snapshots ([BENCH.json]) and compared by
+    [clarify obs diff]. *)
+module Snapshot : sig
+  type hist = {
+    count : int;
+    sum_ns : float;
+    max_ns : float;
+    buckets : (float * int) list;
+        (** [(upper_bound_ns, cumulative_count)]; the overflow bound is
+            [infinity], encoded in JSON as the string ["inf"]. *)
+  }
+
+  type t = {
+    counters : (string * int) list; (* sorted by name, non-zero only *)
+    histograms : (string * hist) list;
+  }
+
+  val take : unit -> t
+  (** Freeze every non-zero counter and non-empty histogram. *)
+
+  val mean_ns : hist -> float
+  val equal : t -> t -> bool
+
+  val to_json : t -> Json.t
+
+  val of_json : Json.t -> (t, string) result
+  (** Inverse of {!to_json}: [of_json (to_json s) = Ok s]. *)
+end

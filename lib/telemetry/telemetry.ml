@@ -1,0 +1,341 @@
+(* The flight recorder: a process-global JSONL event log of every
+   pipeline interaction, plus the machine-readable bench snapshot
+   schema and its regression diff.
+
+   Like lib/obs this is a leaf library (json + obs only): emitters
+   convert domain values to strings/JSON themselves, so every layer of
+   the system can record without dependency cycles. *)
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Event = struct
+  type t = {
+    seq : int;
+    kind : string;
+    span : string; (* active Obs span path at emission; informational *)
+    fields : (string * Json.t) list;
+  }
+
+  let to_json e =
+    Json.Obj
+      [
+        ("seq", Json.Int e.seq);
+        ("kind", Json.String e.kind);
+        ("span", Json.String e.span);
+        ("data", Json.Obj e.fields);
+      ]
+
+  let of_json j =
+    let str name = Option.bind (Json.member name j) Json.to_str in
+    match
+      ( Option.bind (Json.member "seq" j) Json.to_int,
+        str "kind",
+        str "span",
+        Json.member "data" j )
+    with
+    | Some seq, Some kind, Some span, Some (Json.Obj fields) ->
+        Ok { seq; kind; span; fields }
+    | Some seq, Some kind, Some span, None ->
+        Ok { seq; kind; span; fields = [] }
+    | _ -> Error "event: expected {seq, kind, span, data}"
+
+  (* Fields that legitimately differ between a recording and its
+     replay: the replayed mock LLM feeds responses from the log, so it
+     cannot know which fault (if any) produced them. *)
+  let replay_ignored_fields = [ "fault" ]
+
+  (* Replay equivalence: same kind and same data, ignoring the fields
+     above and the (informational) span path and sequence number. *)
+  let matches a b =
+    let keep (name, _) = not (List.mem name replay_ignored_fields) in
+    a.kind = b.kind
+    && Json.equal
+         (Json.Obj (List.filter keep a.fields))
+         (Json.Obj (List.filter keep b.fields))
+
+  let field name e = List.assoc_opt name e.fields
+  let str_field name e = Option.bind (field name e) Json.to_str
+  let int_field name e = Option.bind (field name e) Json.to_int
+end
+
+(* ------------------------------------------------------------------ *)
+(* The recorder                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type recorder = { write : Event.t -> unit; mutable seq : int }
+
+let current : recorder option ref = ref None
+let recording () = Option.is_some !current
+let stop () = current := None
+
+let emit ~kind fields =
+  match !current with
+  | None -> ()
+  | Some r ->
+      let e =
+        { Event.seq = r.seq; kind; span = Obs.current_path (); fields = fields () }
+      in
+      r.seq <- r.seq + 1;
+      r.write e
+
+let record_to_channel oc =
+  current :=
+    Some
+      {
+        seq = 0;
+        write =
+          (fun e ->
+            output_string oc (Json.to_string ~indent:0 (Event.to_json e));
+            output_char oc '\n';
+            flush oc);
+      }
+
+let record_to_memory () =
+  let acc = ref [] in
+  current := Some { seq = 0; write = (fun e -> acc := e :: !acc) };
+  fun () -> List.rev !acc
+
+let with_memory_recorder f =
+  let saved = !current in
+  let events = record_to_memory () in
+  let restore () = current := saved in
+  match f () with
+  | v ->
+      restore ();
+      (v, events ())
+  | exception e ->
+      restore ();
+      raise e
+
+let parse_events src =
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else
+          let err m = Error (Printf.sprintf "line %d: %s" lineno m) in
+          (match Json.parse line with
+          | Error m -> err m
+          | Ok j -> (
+              match Event.of_json j with
+              | Error m -> err m
+              | Ok e -> go (lineno + 1) (e :: acc) rest))
+  in
+  go 1 [] (String.split_on_char '\n' src)
+
+let load_file path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      parse_events src
+
+(* ------------------------------------------------------------------ *)
+(* Bench snapshots and the regression gate                            *)
+(* ------------------------------------------------------------------ *)
+
+module Bench = struct
+  let schema = "clarify-bench/1"
+
+  type experiment = { snapshot : Obs.Snapshot.t; events : int }
+
+  type t = {
+    experiments : (string * experiment) list;
+    benchmarks : (string * float) list; (* name -> ns/run *)
+  }
+
+  let to_json t =
+    Json.Obj
+      [
+        ("schema", Json.String schema);
+        ( "experiments",
+          Json.Obj
+            (List.map
+               (fun (name, e) ->
+                 ( name,
+                   Json.Obj
+                     [
+                       ("events", Json.Int e.events);
+                       ("metrics", Obs.Snapshot.to_json e.snapshot);
+                     ] ))
+               t.experiments) );
+        ( "benchmarks",
+          Json.Obj
+            (List.map (fun (name, ns) -> (name, Json.Float ns)) t.benchmarks)
+        );
+      ]
+
+  let of_json j =
+    let ( let* ) r f = Result.bind r f in
+    let* () =
+      match Option.bind (Json.member "schema" j) Json.to_str with
+      | Some s when s = schema -> Ok ()
+      | Some s -> Error (Printf.sprintf "unsupported schema %S" s)
+      | None -> Error "missing \"schema\""
+    in
+    let obj name =
+      match Json.member name j with
+      | Some (Json.Obj fields) -> Ok fields
+      | _ -> Error (Printf.sprintf "missing object %S" name)
+    in
+    let* experiment_fields = obj "experiments" in
+    let* experiments =
+      List.fold_left
+        (fun acc (name, ej) ->
+          let* acc = acc in
+          let events =
+            Option.value ~default:0
+              (Option.bind (Json.member "events" ej) Json.to_int)
+          in
+          match Json.member "metrics" ej with
+          | None -> Error (Printf.sprintf "experiment %S: missing metrics" name)
+          | Some mj ->
+              let* snapshot = Obs.Snapshot.of_json mj in
+              Ok ((name, { snapshot; events }) :: acc))
+        (Ok []) experiment_fields
+      |> Result.map List.rev
+    in
+    let* bench_fields = obj "benchmarks" in
+    let* benchmarks =
+      List.fold_left
+        (fun acc (name, v) ->
+          let* acc = acc in
+          match v with
+          | Json.Float f -> Ok ((name, f) :: acc)
+          | Json.Int i -> Ok ((name, float_of_int i) :: acc)
+          | _ -> Error (Printf.sprintf "benchmark %S: not a number" name))
+        (Ok []) bench_fields
+      |> Result.map List.rev
+    in
+    Ok { experiments; benchmarks }
+
+  let of_string s = Result.bind (Json.parse s) of_json
+
+  let load_file path =
+    match open_in path with
+    | exception Sys_error m -> Error m
+    | ic ->
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        of_string src
+
+  (* The diff is computed over a flat metric namespace so that adding a
+     new metric class never changes the comparison logic:
+       exp.<experiment>.counter.<name>
+       exp.<experiment>.hist.<span path>.mean_ns
+       bench.<name>.ns_per_run *)
+  let flatten t =
+    List.concat_map
+      (fun (ename, e) ->
+        List.map
+          (fun (n, v) ->
+            (Printf.sprintf "exp.%s.counter.%s" ename n, float_of_int v))
+          e.snapshot.Obs.Snapshot.counters
+        @ List.map
+            (fun (n, h) ->
+              ( Printf.sprintf "exp.%s.hist.%s.mean_ns" ename n,
+                Obs.Snapshot.mean_ns h ))
+            e.snapshot.Obs.Snapshot.histograms)
+      t.experiments
+    @ List.map
+        (fun (n, ns) -> (Printf.sprintf "bench.%s.ns_per_run" n, ns))
+        t.benchmarks
+
+  type delta = {
+    metric : string;
+    old_value : float option; (* None: metric only in the new snapshot *)
+    new_value : float option; (* None: metric only in the old snapshot *)
+    change : float; (* (new - old) / old; 0 when either side is missing *)
+    regressed : bool;
+  }
+
+  let default_threshold = 0.20
+
+  let diff ?(threshold = default_threshold) old_t new_t =
+    let old_m = flatten old_t and new_m = flatten new_t in
+    let change o n =
+      if o = n then 0.
+      else if o = 0. then infinity
+      else (n -. o) /. o
+    in
+    let both_and_removed =
+      List.map
+        (fun (name, o) ->
+          match List.assoc_opt name new_m with
+          | Some n ->
+              let c = change o n in
+              {
+                metric = name;
+                old_value = Some o;
+                new_value = Some n;
+                change = c;
+                regressed = c > threshold;
+              }
+          | None ->
+              {
+                metric = name;
+                old_value = Some o;
+                new_value = None;
+                change = 0.;
+                regressed = false;
+              })
+        old_m
+    in
+    let added =
+      List.filter_map
+        (fun (name, n) ->
+          if List.mem_assoc name old_m then None
+          else
+            Some
+              {
+                metric = name;
+                old_value = None;
+                new_value = Some n;
+                change = 0.;
+                regressed = false;
+              })
+        new_m
+    in
+    both_and_removed @ added
+
+  let regressed deltas = List.exists (fun d -> d.regressed) deltas
+
+  let pp_value fmt = function
+    | None -> Format.fprintf fmt "%12s" "-"
+    | Some v ->
+        if Float.is_integer v && Float.abs v < 1e9 then
+          Format.fprintf fmt "%12.0f" v
+        else Format.fprintf fmt "%12.1f" v
+
+  let pp_delta fmt d =
+    let note =
+      match (d.old_value, d.new_value) with
+      | Some _, None -> "  (removed)"
+      | None, Some _ -> "  (added)"
+      | _ -> if d.regressed then "  REGRESSED" else ""
+    in
+    Format.fprintf fmt "%-64s %a -> %a  %+7.1f%%%s" d.metric pp_value
+      d.old_value pp_value d.new_value (100. *. d.change) note
+
+  let pp_diff ?(all = false) fmt deltas =
+    let shown =
+      if all then deltas
+      else
+        List.filter
+          (fun d ->
+            d.change <> 0. || d.old_value = None || d.new_value = None)
+          deltas
+    in
+    if shown = [] then
+      Format.fprintf fmt "no metric deltas (%d metrics compared)@."
+        (List.length deltas)
+    else
+      List.iter (fun d -> Format.fprintf fmt "%a@." pp_delta d) shown;
+    let n = List.length (List.filter (fun d -> d.regressed) deltas) in
+    if n > 0 then Format.fprintf fmt "%d metric(s) regressed@." n
+end

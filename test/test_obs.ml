@@ -111,6 +111,96 @@ let test_sinks =
         "path field" (Some "jsonned")
         (Option.bind (Json.member "path" j) Json.to_str)
 
+(* The default clock must be wall-clock ([Unix.gettimeofday]), not
+   [Sys.time]: a sleeping span consumes no CPU time, so under the old
+   default its latency vanished from the histogram. *)
+let test_default_clock_sees_sleep =
+  with_obs @@ fun () ->
+  Obs.with_span "sleepy" (fun () -> Unix.sleepf 0.05);
+  match Obs.Histogram.find "sleepy" with
+  | None -> Alcotest.fail "no histogram for sleepy span"
+  | Some h ->
+      check_int "one observation" 1 (Obs.Histogram.count h);
+      check_bool "sleep time is visible (>= 40ms)" true
+        (Obs.Histogram.sum_ns h >= 4e7)
+
+(* Values landing exactly on the 1us/10us/.../10s bucket boundaries
+   belong to the bucket they bound (slots are <= upper_bound), and
+   anything beyond 10s lands in the +inf overflow bucket. *)
+let test_histogram_bucket_edges =
+  with_obs @@ fun () ->
+  let h = Obs.Histogram.make "test.edges" in
+  let bounds = [ 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10 ] in
+  List.iter (Obs.Histogram.observe_ns h) bounds;
+  Obs.Histogram.observe_ns h 2e10;
+  (* beyond the last finite bound *)
+  let cum = Obs.Histogram.buckets h in
+  check_int "nine buckets" 9 (List.length cum);
+  List.iteri
+    (fun i (bound, c) ->
+      if bound <> infinity then begin
+        Alcotest.(check (float 0.)) "finite bound" (List.nth bounds i) bound;
+        (* Cumulative count at bucket i includes exactly bounds 0..i. *)
+        check_int (Printf.sprintf "cumulative at %g" bound) (i + 1) c
+      end
+      else check_int "overflow bucket holds the rest" 9 c)
+    cum;
+  Alcotest.(check (float 0.)) "max" 2e10 (Obs.Histogram.max_ns h)
+
+let test_jsonl_sink =
+  with_obs @@ fun () ->
+  let path = Filename.temp_file "obs_spans" ".jsonl" in
+  let oc = open_out path in
+  Obs.set_sink (Obs.jsonl_sink oc);
+  Obs.with_span "streamed" (fun () -> Obs.with_span "inner" (fun () -> ()));
+  Obs.set_sink Obs.silent;
+  close_out oc;
+  let ic = open_in path in
+  let lines = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let parsed =
+    List.filter_map
+      (fun l -> if String.trim l = "" then None else Some (Json.parse_exn l))
+      (String.split_on_char '\n' lines)
+  in
+  check_int "one line per span" 2 (List.length parsed);
+  Alcotest.(check (option string))
+    "first line is the inner span (children close first)"
+    (Some "streamed.inner")
+    (Option.bind (Json.member "path" (List.hd parsed)) Json.to_str)
+
+let test_current_path =
+  with_obs @@ fun () ->
+  Alcotest.(check string) "empty outside spans" "" (Obs.current_path ());
+  Obs.with_span "a" (fun () ->
+      Obs.with_span "b" (fun () ->
+          Alcotest.(check string) "nested path" "a.b" (Obs.current_path ())));
+  Alcotest.(check string) "empty again" "" (Obs.current_path ())
+
+let test_snapshot_roundtrip =
+  with_obs @@ fun () ->
+  Obs.Counter.incr ~by:7 (Obs.Counter.make "test.rt.counter");
+  let h = Obs.Histogram.make "test.rt.hist" in
+  (* Edge values exercise every bucket including +inf in the buckets
+     list, whose bound must survive the "inf" JSON encoding. *)
+  List.iter (Obs.Histogram.observe_ns h) [ 1e3; 5e5; 2e10; 123.456 ];
+  let snap = Obs.Snapshot.take () in
+  let json_text = Json.to_string (Obs.Snapshot.to_json snap) in
+  (match Result.bind (Json.parse json_text) Obs.Snapshot.of_json with
+  | Error m -> Alcotest.failf "snapshot does not round-trip: %s" m
+  | Ok snap' ->
+      check_bool "snapshot |> to_json |> of_json identity" true
+        (Obs.Snapshot.equal snap snap'));
+  (* The snapshot only freezes non-zero aggregates. *)
+  check_bool "counter present" true
+    (List.mem_assoc "test.rt.counter" snap.Obs.Snapshot.counters);
+  let hist = List.assoc "test.rt.hist" snap.Obs.Snapshot.histograms in
+  check_int "hist count" 4 hist.Obs.Snapshot.count;
+  Alcotest.(check (float 1e-6))
+    "mean" (hist.Obs.Snapshot.sum_ns /. 4.)
+    (Obs.Snapshot.mean_ns hist)
+
 let test_snapshot_json =
   with_obs @@ fun () ->
   Obs.Counter.incr ~by:3 (Obs.Counter.make "test.snapshot.events");
@@ -308,6 +398,14 @@ let () =
             test_disabled_is_passthrough;
           Alcotest.test_case "sinks" `Quick test_sinks;
           Alcotest.test_case "json snapshot" `Quick test_snapshot_json;
+          Alcotest.test_case "default clock sees sleep" `Quick
+            test_default_clock_sees_sleep;
+          Alcotest.test_case "histogram bucket edges" `Quick
+            test_histogram_bucket_edges;
+          Alcotest.test_case "jsonl sink" `Quick test_jsonl_sink;
+          Alcotest.test_case "current path" `Quick test_current_path;
+          Alcotest.test_case "snapshot round-trip" `Quick
+            test_snapshot_roundtrip;
         ] );
       ( "pipeline",
         [
