@@ -38,6 +38,20 @@ let json_out =
    uninstrumented hot paths. *)
 let experiments : (string * Telemetry.Bench.experiment) list ref = ref []
 
+(* Sum one labeled counter family — e.g. llm.tokens.prompt{endpoint=..}
+   — across all its label sets in a frozen snapshot. *)
+let sum_family snapshot base =
+  let prefix = base ^ "{" in
+  let plen = String.length prefix in
+  List.fold_left
+    (fun acc (name, v) ->
+      if
+        name = base
+        || (String.length name >= plen && String.sub name 0 plen = prefix)
+      then acc + v
+      else acc)
+    0 snapshot.Obs.Snapshot.counters
+
 let with_metrics name f =
   Obs.enable ();
   Obs.reset ();
@@ -47,8 +61,16 @@ let with_metrics name f =
   let snapshot = Obs.Snapshot.take () in
   let events = List.length (recorded ()) in
   experiments := !experiments @ [ (name, { Telemetry.Bench.snapshot; events }) ];
-  Format.printf "--- metrics (%s) ---@.%a@.(flight recorder: %d events)@.@."
+  Format.printf "--- metrics (%s) ---@.%a@.(flight recorder: %d events)@."
     name Obs.pp_report () events;
+  let prompt = sum_family snapshot "llm.tokens.prompt"
+  and completion = sum_family snapshot "llm.tokens.completion" in
+  if prompt + completion > 0 then
+    Format.printf
+      "(llm tokens: %d prompt + %d completion, est. cost $%.6f)@." prompt
+      completion
+      (Llm.Tokens.cost ~prompt_tokens:prompt ~completion_tokens:completion);
+  Format.printf "@.";
   Obs.disable ()
 
 let run_experiments () =

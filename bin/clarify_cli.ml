@@ -60,13 +60,17 @@ let with_obs (metrics, trace) f =
 
 (* Flight recorder: stream one JSONL event per pipeline interaction to
    [path]. Events are flushed as they are emitted, so error paths that
-   [exit 1] lose nothing already recorded. *)
+   [exit 1] lose nothing already recorded. Recording also enables the
+   observability layer and mirrors completed spans into the log, so the
+   recording carries its own timing tree for `clarify trace export`. *)
 let with_recorder record f =
   match record with
   | None -> f ()
   | Some path ->
       let oc = open_out path in
       Telemetry.record_to_channel oc;
+      Obs.enable ();
+      Obs.add_sink (Telemetry.span_sink ());
       at_exit (fun () ->
           Telemetry.stop ();
           close_out_noerr oc);
@@ -267,16 +271,18 @@ let replay_cmd =
 (* ------------------------------------------------------------------ *)
 
 let obs_cmd =
+  (* Plain strings, not Arg.file: a missing snapshot must exit 2 as the
+     documented exits promise, not cmdliner's usage-error 124. *)
   let old_file =
     Arg.(
       required
-      & pos 0 (some file) None
+      & pos 0 (some string) None
       & info [] ~docv:"OLD" ~doc:"Baseline bench snapshot (BENCH.json).")
   in
   let new_file =
     Arg.(
       required
-      & pos 1 (some file) None
+      & pos 1 (some string) None
       & info [] ~docv:"NEW" ~doc:"Candidate bench snapshot to compare.")
   in
   let threshold =
@@ -310,12 +316,125 @@ let obs_cmd =
       (Cmd.info "diff"
          ~doc:
            "Compare two bench snapshots; non-zero exit when a counter or \
-            latency histogram regresses beyond the threshold.")
+            latency histogram regresses beyond the threshold. Prints a \
+            one-line summary (N regressed / N improved / N unchanged) \
+            before the per-metric table."
+         ~exits:
+           [
+             Cmd.Exit.info 0 ~doc:"no metric regressed beyond the threshold.";
+             Cmd.Exit.info 1 ~doc:"at least one metric regressed.";
+             Cmd.Exit.info 2 ~doc:"a snapshot file is missing or malformed.";
+           ])
       Term.(const diff $ old_file $ new_file $ threshold $ all)
   in
   Cmd.group
     (Cmd.info "obs" ~doc:"Inspect and compare observability snapshots.")
     [ diff_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* clarify trace                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let log =
+    (* A string, not Arg.file: an unreadable log exits 2 like every
+       other load error, not cmdliner's usage-error 124. *)
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LOG"
+          ~doc:
+            "JSONL event log recorded with $(b,clarify update --record) or \
+             $(b,clarify eval --record-dir).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the trace JSON here instead of standard output.")
+  in
+  let export log output =
+    match Analytics.Session.load_file ~tolerant:true log with
+    | Error m ->
+        prerr_endline ("error: cannot load " ^ log ^ ": " ^ m);
+        exit 2
+    | Ok session ->
+        let trace =
+          Analytics.Trace.of_events ~process:session.Analytics.Session.name
+            session.Analytics.Session.events
+        in
+        let text = Json.to_string ~indent:1 trace ^ "\n" in
+        (match output with
+        | None -> print_string text
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc)
+  in
+  let export_cmd =
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Convert a recorded session log to Chrome-trace JSON \
+            (chrome://tracing, Perfetto): spans become complete events on \
+            router/phase lanes, every other event an instant tick.")
+      Term.(const export $ log $ output)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Export recorded sessions as flame-graph traces.")
+    [ export_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* clarify report                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let paths =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"DIR|LOG"
+          ~doc:
+            "Session logs to aggregate: JSONL files, or directories whose \
+             *.jsonl files are taken in name order.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("md", `Md); ("json", `Json); ("csv", `Csv) ]) `Md
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: md, json or csv.")
+  in
+  let figure4 =
+    Arg.(
+      value & flag
+      & info [ "figure4" ]
+          ~doc:
+            "Markdown output only: print just the Figure-4 table, without \
+             the LLM usage section.")
+  in
+  let run paths format figure4 =
+    match Analytics.Session.load ~tolerant:true paths with
+    | Error m ->
+        prerr_endline ("error: " ^ m);
+        exit 2
+    | Ok sessions ->
+        let report = Analytics.Report.of_sessions sessions in
+        print_string
+          (match format with
+          | `Md when figure4 -> Analytics.Report.figure4_markdown report
+          | `Md -> Analytics.Report.to_markdown report
+          | `Json ->
+              Json.to_string ~indent:2 (Analytics.Report.to_json report) ^ "\n"
+          | `Csv -> Analytics.Report.to_csv report)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate recorded session logs into per-router statistics \
+          (the paper's Figure 4: stanzas, questions, retries, LLM calls, \
+          token totals) as Markdown, JSON or CSV.")
+    Term.(const run $ paths $ format $ figure4)
 
 (* ------------------------------------------------------------------ *)
 (* clarify audit                                                      *)
@@ -423,10 +542,43 @@ let eval_cmd =
       & info [ "scale" ] ~docv:"X"
           ~doc:"Scale factor for the campus corpus (e3); 1.0 = full size.")
   in
-  let run which scale obs =
+  let record_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record-dir" ] ~docv:"DIR"
+          ~doc:
+            "Record session logs into $(docv) (created if missing): one \
+             JSONL file per experiment session (e1.jsonl, e4_M.jsonl, \
+             e4_R1.jsonl, e4_R2.jsonl) that $(b,clarify report) aggregates \
+             and $(b,clarify trace export) visualizes.")
+  in
+  let run which scale record_dir obs =
     with_obs obs @@ fun () ->
+    (match record_dir with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        (* Recorded sessions carry their timing tree (span events). *)
+        Obs.enable ();
+        Obs.add_sink (Telemetry.span_sink ()));
+    (* e4 manages its own per-router logs; e1 records as one session. *)
+    let record_session name f =
+      match record_dir with
+      | None -> f ()
+      | Some dir ->
+          let oc = open_out (Filename.concat dir (name ^ ".jsonl")) in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              Telemetry.with_channel_recorder oc @@ fun () ->
+              Telemetry.with_context [ ("experiment", name) ] f)
+    in
     let fmt = Format.std_formatter in
-    let e1 () = Evaluation.E1_running_example.(print fmt (run ())) in
+    let e1 () =
+      record_session "e1" @@ fun () ->
+      Evaluation.E1_running_example.(print fmt (run ()))
+    in
     let e2 () =
       Evaluation.E23_overlap_study.(
         print ~title:"E2: cloud WAN overlap study (Section 3.1)" fmt (cloud ()))
@@ -436,7 +588,7 @@ let eval_cmd =
         print ~title:"E3: campus overlap study (Section 3.2)" fmt
           (campus ~scale ()))
     in
-    let e4 () = Evaluation.E4_lightyear.(print fmt (run ())) in
+    let e4 () = Evaluation.E4_lightyear.(print fmt (run ?record_dir ())) in
     match which with
     | `E1 -> e1 ()
     | `E2 -> e2 ()
@@ -450,11 +602,20 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Regenerate the paper's experiments.")
-    Term.(const run $ which $ scale $ obs_term)
+    Term.(const run $ which $ scale $ record_dir $ obs_term)
 
 let () =
   let doc = "LLM-based incremental network-configuration synthesis with intent disambiguation" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "clarify" ~version:"1.0.0" ~doc)
-          [ update_cmd; replay_cmd; obs_cmd; audit_cmd; verify_cmd; eval_cmd ]))
+          [
+            update_cmd;
+            replay_cmd;
+            obs_cmd;
+            trace_cmd;
+            report_cmd;
+            audit_cmd;
+            verify_cmd;
+            eval_cmd;
+          ]))

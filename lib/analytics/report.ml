@@ -1,0 +1,232 @@
+(* The Figure-4 aggregator: per-router statistics recomputed from
+   recorded session logs instead of ad hoc counters inside the
+   evaluation harness. Everything in the Markdown and CSV renderings is
+   deterministic (event counts and chars/4 token estimates), so reports
+   can be committed as goldens and diffed in CI; wall-clock phase
+   timings are confined to the JSON rendering. *)
+
+module E = Telemetry.Event
+
+type phase = { phase : string; total_ns : float; count : int }
+
+type router_stats = {
+  router : string;
+  sessions : int; (* session_start events *)
+  route_maps : int; (* distinct session_start targets *)
+  stanzas : int; (* placement events *)
+  questions : int;
+  probes : int;
+  retries : int; (* verify events with a non-"verified" verdict *)
+  classify_calls : int;
+  synthesize_calls : int;
+  spec_calls : int;
+  prompt_tokens : int;
+  completion_tokens : int;
+  cost_usd : float;
+  phases : phase list; (* wall time per pipeline phase; JSON only *)
+}
+
+type t = { routers : router_stats list }
+
+let llm_calls s = s.classify_calls + s.synthesize_calls + s.spec_calls
+
+(* Phase attribution from span mirror events: the root span (depth 0)
+   is the whole pipeline run, depth-1 spans are its phases (classify,
+   spec_extract, synthesize, import, disambiguate), named by the last
+   path segment. Deeper spans are details of a phase and would double
+   count. *)
+let phase_of_span e =
+  match (E.int_field "depth" e, E.str_field "path" e) with
+  | Some 0, Some _ -> Some "total"
+  | Some 1, Some path ->
+      let segs = String.split_on_char '.' path in
+      Some (List.nth segs (List.length segs - 1))
+  | _ -> None
+
+let stats_of_events ~router events =
+  let count k = List.length (List.filter (fun e -> e.E.kind = k) events) in
+  let sum_int k field =
+    List.fold_left
+      (fun acc e ->
+        if e.E.kind = k then
+          acc + Option.value ~default:0 (E.int_field field e)
+        else acc)
+      0 events
+  in
+  let targets =
+    List.filter_map
+      (fun e ->
+        if e.E.kind = "session_start" then E.str_field "target" e else None)
+      events
+    |> List.sort_uniq String.compare
+  in
+  let retries =
+    List.length
+      (List.filter
+         (fun e ->
+           e.E.kind = "verify" && E.str_field "verdict" e <> Some "verified")
+         events)
+  in
+  let prompt_tokens =
+    sum_int "llm_classify" "prompt_tokens"
+    + sum_int "llm_synthesize" "prompt_tokens"
+    + sum_int "llm_spec" "prompt_tokens"
+  in
+  let completion_tokens =
+    sum_int "llm_classify" "completion_tokens"
+    + sum_int "llm_synthesize" "completion_tokens"
+    + sum_int "llm_spec" "completion_tokens"
+  in
+  let phases =
+    List.fold_left
+      (fun acc e ->
+        if e.E.kind <> "span" then acc
+        else
+          match (phase_of_span e, E.field "duration_ns" e) with
+          | Some name, Some ((Json.Float _ | Json.Int _) as jd) ->
+              let d =
+                match jd with
+                | Json.Float f -> f
+                | Json.Int i -> float_of_int i
+                | _ -> 0.
+              in
+              let cur =
+                Option.value ~default:{ phase = name; total_ns = 0.; count = 0 }
+                  (List.assoc_opt name acc)
+              in
+              (name,
+               { cur with total_ns = cur.total_ns +. d; count = cur.count + 1 })
+              :: List.remove_assoc name acc
+          | _ -> acc)
+      [] events
+    |> List.map snd
+    |> List.sort (fun a b -> String.compare a.phase b.phase)
+  in
+  {
+    router;
+    sessions = count "session_start";
+    route_maps = List.length targets;
+    stanzas = count "placement";
+    questions = count "question";
+    probes = count "probe";
+    retries;
+    classify_calls = count "llm_classify";
+    synthesize_calls = count "llm_synthesize";
+    spec_calls = count "llm_spec";
+    prompt_tokens;
+    completion_tokens;
+    cost_usd = Llm.Tokens.cost ~prompt_tokens ~completion_tokens;
+    phases;
+  }
+
+(* Sessions for the same router (one log per policy step, say) merge
+   into one row; rows sort by router name so output order never depends
+   on argument or readdir order. *)
+let of_sessions sessions =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let r = Session.router s in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+      Hashtbl.replace groups r (prev @ [ s ]))
+    sessions;
+  let routers =
+    Hashtbl.fold
+      (fun router ss acc ->
+        let events = List.concat_map (fun s -> s.Session.events) ss in
+        stats_of_events ~router events :: acc)
+      groups []
+    |> List.sort (fun a b -> String.compare a.router b.router)
+  in
+  { routers }
+
+(* ------------------------------------------------------------------ *)
+(* Renderings                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let figure4_markdown t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "| Router | Route-maps | Stanzas | Synthesis calls | Questions | Retries |\n";
+  Buffer.add_string b "|---|---:|---:|---:|---:|---:|\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %d | %d | %d | %d | %d |\n" s.router
+           s.route_maps s.stanzas s.synthesize_calls s.questions s.retries))
+    t.routers;
+  Buffer.contents b
+
+let cost_markdown t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "| Router | LLM calls | Classify | Synthesize | Spec | Prompt tokens | \
+     Completion tokens | Est. cost (USD) |\n";
+  Buffer.add_string b "|---|---:|---:|---:|---:|---:|---:|---:|\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %d | %d | %d | %d | %d | %d | %.6f |\n"
+           s.router (llm_calls s) s.classify_calls s.synthesize_calls
+           s.spec_calls s.prompt_tokens s.completion_tokens s.cost_usd))
+    t.routers;
+  Buffer.contents b
+
+let to_markdown t =
+  "# Session report\n\n## Figure 4: per-router interaction counts\n\n"
+  ^ figure4_markdown t ^ "\n## LLM usage and estimated cost\n\n"
+  ^ cost_markdown t
+
+let to_csv t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "router,sessions,route_maps,stanzas,questions,probes,retries,\
+     classify_calls,synthesize_calls,spec_calls,prompt_tokens,\
+     completion_tokens,cost_usd\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f\n" s.router
+           s.sessions s.route_maps s.stanzas s.questions s.probes s.retries
+           s.classify_calls s.synthesize_calls s.spec_calls s.prompt_tokens
+           s.completion_tokens s.cost_usd))
+    t.routers;
+  Buffer.contents b
+
+let to_json t =
+  Json.Obj
+    [
+      ( "routers",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("router", Json.String s.router);
+                   ("sessions", Json.Int s.sessions);
+                   ("route_maps", Json.Int s.route_maps);
+                   ("stanzas", Json.Int s.stanzas);
+                   ("questions", Json.Int s.questions);
+                   ("probes", Json.Int s.probes);
+                   ("retries", Json.Int s.retries);
+                   ("classify_calls", Json.Int s.classify_calls);
+                   ("synthesize_calls", Json.Int s.synthesize_calls);
+                   ("spec_calls", Json.Int s.spec_calls);
+                   ("llm_calls", Json.Int (llm_calls s));
+                   ("prompt_tokens", Json.Int s.prompt_tokens);
+                   ("completion_tokens", Json.Int s.completion_tokens);
+                   ("cost_usd", Json.Float s.cost_usd);
+                   ( "phases",
+                     Json.List
+                       (List.map
+                          (fun p ->
+                            Json.Obj
+                              [
+                                ("phase", Json.String p.phase);
+                                ("total_ns", Json.Float p.total_ns);
+                                ("count", Json.Int p.count);
+                              ])
+                          s.phases) );
+                 ])
+             t.routers) );
+    ]

@@ -1,0 +1,47 @@
+(** The Figure-4 aggregator: per-router statistics recomputed from
+    recorded session logs.
+
+    The Markdown and CSV renderings contain only deterministic data
+    (event counts and chars/4 token estimates), so they can be
+    committed as goldens and diffed in CI; wall-clock phase timings
+    appear only in the JSON rendering. *)
+
+type phase = { phase : string; total_ns : float; count : int }
+
+type router_stats = {
+  router : string;
+  sessions : int; (* session_start events *)
+  route_maps : int; (* distinct session_start targets *)
+  stanzas : int; (* placement events *)
+  questions : int;
+  probes : int;
+  retries : int; (* verify events with a non-"verified" verdict *)
+  classify_calls : int;
+  synthesize_calls : int;
+  spec_calls : int;
+  prompt_tokens : int;
+  completion_tokens : int;
+  cost_usd : float; (* {!Llm.Tokens.cost} over the token totals *)
+  phases : phase list;
+      (* wall time per depth-1 pipeline span, plus "total" for the
+         root span; JSON rendering only *)
+}
+
+type t = { routers : router_stats list }
+
+val llm_calls : router_stats -> int
+(** classify + synthesize + spec. *)
+
+val of_sessions : Session.t list -> t
+(** Sessions with the same {!Session.router} merge into one row; rows
+    are sorted by router name. *)
+
+val figure4_markdown : t -> string
+(** Just the paper's Figure-4 table (route-maps, stanzas, synthesis
+    calls, questions, retries per router). *)
+
+val to_markdown : t -> string
+(** Figure-4 table plus the LLM usage/cost table. Deterministic. *)
+
+val to_csv : t -> string
+val to_json : t -> Json.t

@@ -1,0 +1,84 @@
+(* A recorded session: one JSONL flight-recorder log, loaded back as
+   events plus enough identity (name, router) for aggregation. *)
+
+module E = Telemetry.Event
+
+type t = { name : string; path : string; events : E.t list }
+
+let base_name path =
+  let b = Filename.basename path in
+  Filename.remove_extension b
+
+(* The router a session ran for: the first ctx "router" label found in
+   its events (stamped by Telemetry.with_context around each router's
+   evaluation run), else the session name — a per-router log file named
+   e4_R1.jsonl identifies itself even without context labels. *)
+let router t =
+  let from_ctx =
+    List.find_map (fun e -> List.assoc_opt "router" e.E.ctx) t.events
+  in
+  Option.value from_ctx ~default:t.name
+
+(* Tolerant parsing skips a malformed FINAL line only: a crashed or
+   still-running recorder leaves at most one truncated line at the end
+   of the file, while garbage earlier in the log means the file is not
+   a recording and should be rejected loudly. *)
+let parse_lines ~tolerant src =
+  let lines = String.split_on_char '\n' src in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else
+          let last_content =
+            List.for_all (fun l -> String.trim l = "") rest
+          in
+          let err m = Error (Printf.sprintf "line %d: %s" lineno m) in
+          let parsed =
+            match Json.parse line with
+            | Error m -> Error m
+            | Ok j -> E.of_json j
+          in
+          (match parsed with
+          | Ok e -> go (lineno + 1) (e :: acc) rest
+          | Error m ->
+              if tolerant && last_content then Ok (List.rev acc) else err m)
+  in
+  go 1 [] lines
+
+let load_file ?(tolerant = false) path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      Result.map
+        (fun events -> { name = base_name path; path; events })
+        (parse_lines ~tolerant src)
+
+(* Expand each argument: a directory contributes its *.jsonl files in
+   name order, anything else is taken as a log file. *)
+let expand_paths paths =
+  List.concat_map
+    (fun p ->
+      if Sys.file_exists p && Sys.is_directory p then
+        Sys.readdir p |> Array.to_list |> List.sort String.compare
+        |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+        |> List.map (Filename.concat p)
+      else [ p ])
+    paths
+
+let load ?tolerant paths =
+  let ( let* ) r f = Result.bind r f in
+  List.fold_left
+    (fun acc path ->
+      let* acc = acc in
+      let* s =
+        Result.map_error
+          (fun m -> Printf.sprintf "%s: %s" path m)
+          (load_file ?tolerant path)
+      in
+      Ok (s :: acc))
+    (Ok []) (expand_paths paths)
+  |> Result.map List.rev

@@ -1,0 +1,21 @@
+(** A recorded session: one JSONL flight-recorder log loaded back as
+    events, with enough identity for aggregation. *)
+
+type t = {
+  name : string; (* file basename without extension, e.g. "e4_R1" *)
+  path : string;
+  events : Telemetry.Event.t list;
+}
+
+val router : t -> string
+(** The router the session ran for: the first [ctx] ["router"] label in
+    its events ({!Telemetry.with_context}), else the session name. *)
+
+val load_file : ?tolerant:bool -> string -> (t, string) result
+(** [tolerant] additionally accepts a log whose {e final} line is
+    truncated or malformed (a crashed or still-running recorder) by
+    dropping that line; garbage anywhere earlier is still an error. *)
+
+val load : ?tolerant:bool -> string list -> (t list, string) result
+(** Load several logs. A directory argument contributes its [*.jsonl]
+    files in name order; anything else is taken as a log file. *)

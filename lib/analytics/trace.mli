@@ -1,0 +1,20 @@
+(** Chrome-trace (chrome://tracing / Perfetto) export of recorded
+    sessions and live span buffers.
+
+    Output is the Chromium Trace Event JSON format:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. Span mirror
+    events ([kind="span"], from {!Telemetry.span_sink}) become complete
+    ["X"] events with [ts]/[dur] in microseconds; every other recorded
+    event becomes an instant ["i"] tick named by its kind, with small
+    scalar payload fields as hover args. Processes map to routers (the
+    [ctx] ["router"] label, else [process]) and threads to the root
+    segment of the span path, both named via ["M"] metadata events. *)
+
+val of_events : ?process:string -> Telemetry.Event.t list -> Json.t
+(** [process] (default ["clarify"]) names the process lane for events
+    without a router context label. Events with [ts_ns = 0] (logs from
+    before timestamps existed) fall back to their sequence number, one
+    microsecond apart. *)
+
+val of_spans : ?process:string -> Obs.Span.t list -> Json.t
+(** Export a live span buffer ([Obs.spans ()]) without a recording. *)

@@ -10,7 +10,7 @@ type question = {
   if_old_first : Config.Action.t;
 }
 
-type answer = Prefer_new | Prefer_old
+type answer = Disambig_common.answer = Prefer_new | Prefer_old
 type oracle = question -> answer
 type mode = Binary_search | Top_bottom | Linear
 
@@ -78,34 +78,22 @@ let boundaries ~(target : Config.Acl.t) rule =
   Obs.Counter.incr ~by:(List.length bs) boundaries_counter;
   bs
 
+let view (q : question) =
+  {
+    Disambig_common.position = q.position;
+    boundary_seq = q.boundary_seq;
+    example = Format.asprintf "%a" Config.Packet.pp q.packet;
+    if_new_first = Format.asprintf "%a" Config.Action.pp q.if_new_first;
+    if_old_first = Format.asprintf "%a" Config.Action.pp q.if_old_first;
+  }
+
 let run ?(mode = Binary_search) ~(target : Config.Acl.t)
     ~(rule : Config.Acl.rule) ~(oracle : oracle) () =
   let n = List.length target.Config.Acl.rules in
   let acl_at p = insert_rule_at target p rule in
-  let asked = ref [] in
-  let ask q =
-    asked := q :: !asked;
-    Obs.Counter.incr questions_counter;
-    let a = oracle q in
-    Telemetry.emit ~kind:"question" (fun () ->
-        [
-          ("subsystem", Json.String "acl");
-          ("index", Json.Int (List.length !asked - 1));
-          ("position", Json.Int q.position);
-          ("boundary_seq", Json.Int q.boundary_seq);
-          ( "example",
-            Json.String (Format.asprintf "%a" Config.Packet.pp q.packet) );
-          ( "if_new_first",
-            Json.String (Format.asprintf "%a" Config.Action.pp q.if_new_first)
-          );
-          ( "if_old_first",
-            Json.String (Format.asprintf "%a" Config.Action.pp q.if_old_first)
-          );
-          ( "answer",
-            Json.String (match a with Prefer_new -> "new" | Prefer_old -> "old")
-          );
-        ]);
-    a
+  let asked, ask =
+    Disambig_common.asker ~subsystem:"acl" ~counter:questions_counter ~view
+      ~oracle
   in
   match mode with
   | Top_bottom -> (
@@ -128,7 +116,7 @@ let run ?(mode = Binary_search) ~(target : Config.Acl.t)
                 {
                   acl = acl_at 0;
                   position = 0;
-                  questions = List.rev !asked;
+                  questions = asked ();
                   boundaries = 1;
                 }
           | Prefer_old ->
@@ -136,7 +124,7 @@ let run ?(mode = Binary_search) ~(target : Config.Acl.t)
                 {
                   acl = acl_at n;
                   position = n;
-                  questions = List.rev !asked;
+                  questions = asked ();
                   boundaries = 1;
                 }))
   | Binary_search ->
@@ -146,62 +134,39 @@ let run ?(mode = Binary_search) ~(target : Config.Acl.t)
         Ok { acl = acl_at n; position = n; questions = []; boundaries = 0 }
       else begin
         let arr = Array.of_list bs in
-        let lo = ref 0 and hi = ref k in
-        while !lo < !hi do
-          let mid = (!lo + !hi) / 2 in
-          Obs.Counter.incr probes_counter;
-          Telemetry.emit ~kind:"probe" (fun () ->
-              [
-                ("subsystem", Json.String "acl");
-                ("lo", Json.Int !lo);
-                ("hi", Json.Int !hi);
-                ("mid", Json.Int mid);
-              ]);
-          match ask arr.(mid) with
-          | Prefer_new -> hi := mid
-          | Prefer_old -> lo := mid + 1
-        done;
-        let position = if !hi = k then n else arr.(!hi).position in
+        let hi =
+          Disambig_common.binary_search ~subsystem:"acl"
+            ~probes:probes_counter ~ask arr
+        in
+        let position = if hi = k then n else arr.(hi).position in
         Ok
           {
             acl = acl_at position;
             position;
-            questions = List.rev !asked;
+            questions = asked ();
             boundaries = k;
           }
       end
   | Linear ->
       let bs = boundaries ~target rule in
       let answers = List.map (fun q -> (q, ask q)) bs in
-      let rec monotone seen_new = function
-        | [] -> true
-        | (_, Prefer_new) :: rest -> monotone true rest
-        | (_, Prefer_old) :: rest -> (not seen_new) && monotone false rest
-      in
-      if not (monotone false answers) then
-        Error (Inconsistent_intent (List.rev !asked))
+      if not (Disambig_common.monotone answers) then
+        Error (Inconsistent_intent (asked ()))
       else
         let position =
-          match List.find_opt (fun (_, a) -> a = Prefer_new) answers with
-          | Some (q, _) -> q.position
-          | None -> n
+          Disambig_common.first_new_position ~default:n
+            ~position:(fun (q : question) -> q.position)
+            answers
         in
         Ok
           {
             acl = acl_at position;
             position;
-            questions = List.rev !asked;
+            questions = asked ();
             boundaries = List.length bs;
           }
 
-let scripted answers =
-  let remaining = ref answers in
-  fun (_ : question) ->
-    match !remaining with
-    | [] -> failwith "scripted oracle exhausted"
-    | a :: rest ->
-        remaining := rest;
-        a
+let scripted answers : oracle = Disambig_common.scripted answers
 
 (** The ideal user: answers according to a target packet policy. *)
 let intent_driven (desired : Config.Packet.t -> Config.Action.t) =

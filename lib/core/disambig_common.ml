@@ -1,0 +1,102 @@
+(* The machinery shared by the three insertion disambiguators
+   (route-maps, ACLs, prefix lists). Each instance keeps its own
+   domain-specific question type; everything below works through a
+   [view] that renders a question to the common telemetry shape, so the
+   question/probe event schema and the binary-search structure are
+   defined exactly once. *)
+
+type answer = Prefer_new | Prefer_old
+
+let answer_to_string = function Prefer_new -> "new" | Prefer_old -> "old"
+
+(* What every question looks like to the flight recorder: where the
+   boundary is, the differential example, and the two behaviours the
+   user chooses between — already rendered, because only the instance
+   knows how to print a route / packet / prefix. *)
+type view = {
+  position : int;
+  boundary_seq : int;
+  example : string;
+  if_new_first : string;
+  if_old_first : string;
+}
+
+(* A question-asking loop: accumulates questions in order, counts them,
+   consults the oracle and emits one "question" event per exchange.
+   Returns [(asked, ask)]; [asked ()] yields the questions asked so
+   far, oldest first. *)
+let asker ~subsystem ~counter ~(view : 'q -> view) ~(oracle : 'q -> answer) =
+  let asked = ref [] in
+  let ask q =
+    asked := q :: !asked;
+    Obs.Counter.incr counter;
+    let a = oracle q in
+    Telemetry.emit ~kind:"question" (fun () ->
+        let v = view q in
+        [
+          ("subsystem", Json.String subsystem);
+          ("index", Json.Int (List.length !asked - 1));
+          ("position", Json.Int v.position);
+          ("boundary_seq", Json.Int v.boundary_seq);
+          ("example", Json.String v.example);
+          ("if_new_first", Json.String v.if_new_first);
+          ("if_old_first", Json.String v.if_old_first);
+          ("answer", Json.String (answer_to_string a));
+        ]);
+    a
+  in
+  ((fun () -> List.rev !asked), ask)
+
+(* The paper's Section 4 search: find the leftmost boundary answered
+   Prefer_new. Under the well-formedness conditions answers are
+   monotone (a run of Prefer_old then a run of Prefer_new), so the
+   invariant is: boundaries < lo answered Prefer_old, >= hi Prefer_new.
+   Returns the first Prefer_new index, or [Array.length arr] when every
+   boundary prefers the old behaviour. One "probe" event and one probe
+   counter tick per iteration. *)
+let binary_search ~subsystem ~probes ~(ask : 'q -> answer) (arr : 'q array) =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    Obs.Counter.incr probes;
+    Telemetry.emit ~kind:"probe" (fun () ->
+        [
+          ("subsystem", Json.String subsystem);
+          ("lo", Json.Int !lo);
+          ("hi", Json.Int !hi);
+          ("mid", Json.Int mid);
+        ]);
+    match ask arr.(mid) with
+    | Prefer_new -> hi := mid
+    | Prefer_old -> lo := mid + 1
+  done;
+  !hi
+
+(* Consistency check for Linear mode: once a boundary is answered
+   Prefer_new, every later boundary must be too. *)
+let monotone answers =
+  let rec go seen_new = function
+    | [] -> true
+    | (_, Prefer_new) :: rest -> go true rest
+    | (_, Prefer_old) :: rest -> (not seen_new) && go false rest
+  in
+  go false answers
+
+(* The placement implied by a monotone answer list: the first boundary
+   the user wants the new stanza to win, or [default] (append at the
+   bottom) when there is none. *)
+let first_new_position ~default ~position answers =
+  match List.find_opt (fun (_, a) -> a = Prefer_new) answers with
+  | Some (q, _) -> position q
+  | None -> default
+
+(* Answers drawn from a fixed list (scripted tests/CLIs and replay);
+   raises [Failure] when exhausted. *)
+let scripted answers =
+  let remaining = ref answers in
+  fun _ ->
+    match !remaining with
+    | [] -> failwith "scripted oracle exhausted"
+    | a :: rest ->
+        remaining := rest;
+        a

@@ -1,0 +1,59 @@
+(** Machinery shared by the three insertion disambiguators
+    ({!Disambiguator} for route-maps, {!Acl_disambiguator},
+    {!Prefix_list_disambiguator}).
+
+    Each instance keeps its own question type; the helpers here work
+    through a {!view} rendering, so the "question"/"probe" telemetry
+    schema and the binary-search structure exist in exactly one
+    place. *)
+
+type answer = Prefer_new | Prefer_old
+
+val answer_to_string : answer -> string
+(** ["new"] / ["old"], as recorded in telemetry and given to
+    [clarify replay]. *)
+
+(** A question as the flight recorder sees it: instances render their
+    route / packet / prefix example and the two candidate behaviours to
+    strings. *)
+type view = {
+  position : int;
+  boundary_seq : int;
+  example : string;
+  if_new_first : string;
+  if_old_first : string;
+}
+
+val asker :
+  subsystem:string ->
+  counter:Obs.Counter.t ->
+  view:('q -> view) ->
+  oracle:('q -> answer) ->
+  (unit -> 'q list) * ('q -> answer)
+(** [asker ~subsystem ~counter ~view ~oracle] is [(asked, ask)]: [ask]
+    records the question, bumps [counter], consults the oracle and
+    emits one [kind="question"] event; [asked ()] lists the questions
+    asked so far, oldest first. *)
+
+val binary_search :
+  subsystem:string ->
+  probes:Obs.Counter.t ->
+  ask:('q -> answer) ->
+  'q array ->
+  int
+(** The paper's Section 4 search over a monotone boundary array: the
+    index of the first boundary answered [Prefer_new], or the array
+    length when every answer was [Prefer_old]. Emits one
+    [kind="probe"] event and bumps [probes] per iteration. *)
+
+val monotone : ('q * answer) list -> bool
+(** Linear-mode consistency: no [Prefer_old] after a [Prefer_new]. *)
+
+val first_new_position :
+  default:int -> position:('q -> int) -> ('q * answer) list -> int
+(** The placement a monotone answer list implies: the position of the
+    first [Prefer_new] question, else [default]. *)
+
+val scripted : answer list -> 'q -> answer
+(** Answers drawn from a fixed list; raises [Failure] when
+    exhausted. *)

@@ -18,7 +18,7 @@ type question = {
   if_old_first : Config.Semantics.route_result;
 }
 
-type answer =
+type answer = Disambig_common.answer =
   | Prefer_new (* the route should be handled by the new stanza *)
   | Prefer_old (* the route should keep its existing behaviour *)
 
@@ -96,35 +96,24 @@ let boundaries ~db ~(target : Config.Route_map.t) stanza =
   Obs.Counter.incr ~by:(List.length bs) boundaries_counter;
   bs
 
+let view (q : question) =
+  {
+    Disambig_common.position = q.position;
+    boundary_seq = q.boundary_seq;
+    example = Format.asprintf "%a" Bgp.Route.pp q.route;
+    if_new_first =
+      Format.asprintf "%a" Config.Semantics.pp_route_result q.if_new_first;
+    if_old_first =
+      Format.asprintf "%a" Config.Semantics.pp_route_result q.if_old_first;
+  }
+
 let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
     ~(stanza : Config.Route_map.stanza) ~(oracle : oracle) () =
   let n = List.length target.Config.Route_map.stanzas in
   let map_at p = Config.Route_map.insert_at target p stanza in
-  let asked = ref [] in
-  let ask q =
-    asked := q :: !asked;
-    Obs.Counter.incr questions_counter;
-    let a = oracle q in
-    Telemetry.emit ~kind:"question" (fun () ->
-        [
-          ("subsystem", Json.String "route_map");
-          ("index", Json.Int (List.length !asked - 1));
-          ("position", Json.Int q.position);
-          ("boundary_seq", Json.Int q.boundary_seq);
-          ("example", Json.String (Format.asprintf "%a" Bgp.Route.pp q.route));
-          ( "if_new_first",
-            Json.String
-              (Format.asprintf "%a" Config.Semantics.pp_route_result
-                 q.if_new_first) );
-          ( "if_old_first",
-            Json.String
-              (Format.asprintf "%a" Config.Semantics.pp_route_result
-                 q.if_old_first) );
-          ( "answer",
-            Json.String (match a with Prefer_new -> "new" | Prefer_old -> "old")
-          );
-        ]);
-    a
+  let asked, ask =
+    Disambig_common.asker ~subsystem:"route_map" ~counter:questions_counter
+      ~view ~oracle
   in
   match mode with
   | Top_bottom -> (
@@ -153,7 +142,7 @@ let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
                 {
                   map = map_at 0;
                   position = 0;
-                  questions = List.rev !asked;
+                  questions = asked ();
                   boundaries = 1;
                 }
           | Prefer_old ->
@@ -161,7 +150,7 @@ let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
                 {
                   map = map_at n;
                   position = n;
-                  questions = List.rev !asked;
+                  questions = asked ();
                   boundaries = 1;
                 }))
   | Binary_search ->
@@ -172,60 +161,36 @@ let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
            behaviourally equivalent; append at the bottom. *)
         Ok { map = map_at n; position = n; questions = []; boundaries = 0 }
       else begin
-        (* Find the leftmost boundary answered Prefer_new; under the
-           paper's conditions answers are monotone: a run of Prefer_old
-           followed by a run of Prefer_new. *)
         let arr = Array.of_list bs in
-        let lo = ref 0 and hi = ref k in
-        (* invariant: boundaries < lo answered Prefer_old; >= hi Prefer_new *)
-        while !lo < !hi do
-          let mid = (!lo + !hi) / 2 in
-          Obs.Counter.incr probes_counter;
-          Telemetry.emit ~kind:"probe" (fun () ->
-              [
-                ("subsystem", Json.String "route_map");
-                ("lo", Json.Int !lo);
-                ("hi", Json.Int !hi);
-                ("mid", Json.Int mid);
-              ]);
-          match ask arr.(mid) with
-          | Prefer_new -> hi := mid
-          | Prefer_old -> lo := mid + 1
-        done;
-        let position = if !hi = k then n else arr.(!hi).position in
+        let hi =
+          Disambig_common.binary_search ~subsystem:"route_map"
+            ~probes:probes_counter ~ask arr
+        in
+        let position = if hi = k then n else arr.(hi).position in
         Ok
           {
             map = map_at position;
             position;
-            questions = List.rev !asked;
+            questions = asked ();
             boundaries = k;
           }
       end
   | Linear ->
       let bs = boundaries ~db ~target stanza in
       let answers = List.map (fun q -> (q, ask q)) bs in
-      (* Consistency: once a boundary is answered Prefer_new, every later
-         boundary must be too. *)
-      let rec monotone seen_new = function
-        | [] -> true
-        | (_, Prefer_new) :: rest -> monotone true rest
-        | (_, Prefer_old) :: rest -> (not seen_new) && monotone false rest
-      in
-      if not (monotone false answers) then
-        Error (Inconsistent_intent (List.rev !asked))
+      if not (Disambig_common.monotone answers) then
+        Error (Inconsistent_intent (asked ()))
       else
         let position =
-          match
-            List.find_opt (fun (_, a) -> a = Prefer_new) answers
-          with
-          | Some (q, _) -> q.position
-          | None -> n
+          Disambig_common.first_new_position ~default:n
+            ~position:(fun (q : question) -> q.position)
+            answers
         in
         Ok
           {
             map = map_at position;
             position;
-            questions = List.rev !asked;
+            questions = asked ();
             boundaries = List.length bs;
           }
 
@@ -235,14 +200,7 @@ let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
 
 (** Answers drawn from a fixed list (for scripted tests/CLIs); raises
     [Failure] when exhausted. *)
-let scripted answers =
-  let remaining = ref answers in
-  fun (_ : question) ->
-    match !remaining with
-    | [] -> failwith "scripted oracle exhausted"
-    | a :: rest ->
-        remaining := rest;
-        a
+let scripted answers : oracle = Disambig_common.scripted answers
 
 (** The ideal user: answers according to a target semantics. *)
 let intent_driven (desired : Bgp.Route.t -> Config.Semantics.route_result) =

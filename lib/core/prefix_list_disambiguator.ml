@@ -16,7 +16,7 @@ type question = {
   if_old_first : Config.Action.t;
 }
 
-type answer = Prefer_new | Prefer_old
+type answer = Disambig_common.answer = Prefer_new | Prefer_old
 type oracle = question -> answer
 type mode = Binary_search | Top_bottom | Linear
 
@@ -93,33 +93,31 @@ let boundaries ~(target : Config.Prefix_list.t)
               })
     (List.init n Fun.id)
 
+(* Observability (see DESIGN.md §Observability for the naming scheme). *)
+let questions_counter =
+  Obs.Counter.make "prefix_list_disambiguator.questions"
+    ~help:"differential questions shown to the user"
+
+let probes_counter =
+  Obs.Counter.make "prefix_list_disambiguator.binary_search.probes"
+    ~help:"binary-search iterations (search depth)"
+
+let view (q : question) =
+  {
+    Disambig_common.position = q.position;
+    boundary_seq = q.boundary_seq;
+    example = Format.asprintf "%a" Netaddr.Prefix.pp q.prefix;
+    if_new_first = Format.asprintf "%a" Config.Action.pp q.if_new_first;
+    if_old_first = Format.asprintf "%a" Config.Action.pp q.if_old_first;
+  }
+
 let run ?(mode = Binary_search) ~(target : Config.Prefix_list.t)
     ~(entry : Config.Prefix_list.entry) ~(oracle : oracle) () =
   let n = List.length target.Config.Prefix_list.entries in
   let pl_at p = insert_entry_at target p entry in
-  let asked = ref [] in
-  let ask q =
-    asked := q :: !asked;
-    let a = oracle q in
-    Telemetry.emit ~kind:"question" (fun () ->
-        [
-          ("subsystem", Json.String "prefix_list");
-          ("index", Json.Int (List.length !asked - 1));
-          ("position", Json.Int q.position);
-          ("boundary_seq", Json.Int q.boundary_seq);
-          ( "example",
-            Json.String (Format.asprintf "%a" Netaddr.Prefix.pp q.prefix) );
-          ( "if_new_first",
-            Json.String (Format.asprintf "%a" Config.Action.pp q.if_new_first)
-          );
-          ( "if_old_first",
-            Json.String (Format.asprintf "%a" Config.Action.pp q.if_old_first)
-          );
-          ( "answer",
-            Json.String (match a with Prefer_new -> "new" | Prefer_old -> "old")
-          );
-        ]);
-    a
+  let asked, ask =
+    Disambig_common.asker ~subsystem:"prefix_list" ~counter:questions_counter
+      ~view ~oracle
   in
   match mode with
   | Top_bottom -> (
@@ -133,7 +131,7 @@ let run ?(mode = Binary_search) ~(target : Config.Prefix_list.t)
                 {
                   prefix_list = pl_at 0;
                   position = 0;
-                  questions = List.rev !asked;
+                  questions = asked ();
                   boundaries = List.length bs;
                 }
           | Prefer_old ->
@@ -141,7 +139,7 @@ let run ?(mode = Binary_search) ~(target : Config.Prefix_list.t)
                 {
                   prefix_list = pl_at n;
                   position = n;
-                  questions = List.rev !asked;
+                  questions = asked ();
                   boundaries = List.length bs;
                 }))
   | Binary_search ->
@@ -151,50 +149,35 @@ let run ?(mode = Binary_search) ~(target : Config.Prefix_list.t)
         Ok { prefix_list = pl_at n; position = n; questions = []; boundaries = 0 }
       else begin
         let arr = Array.of_list bs in
-        let lo = ref 0 and hi = ref k in
-        while !lo < !hi do
-          let mid = (!lo + !hi) / 2 in
-          Telemetry.emit ~kind:"probe" (fun () ->
-              [
-                ("subsystem", Json.String "prefix_list");
-                ("lo", Json.Int !lo);
-                ("hi", Json.Int !hi);
-                ("mid", Json.Int mid);
-              ]);
-          match ask arr.(mid) with
-          | Prefer_new -> hi := mid
-          | Prefer_old -> lo := mid + 1
-        done;
-        let position = if !hi = k then n else arr.(!hi).position in
+        let hi =
+          Disambig_common.binary_search ~subsystem:"prefix_list"
+            ~probes:probes_counter ~ask arr
+        in
+        let position = if hi = k then n else arr.(hi).position in
         Ok
           {
             prefix_list = pl_at position;
             position;
-            questions = List.rev !asked;
+            questions = asked ();
             boundaries = k;
           }
       end
   | Linear ->
       let bs = boundaries ~target entry in
       let answers = List.map (fun q -> (q, ask q)) bs in
-      let rec monotone seen_new = function
-        | [] -> true
-        | (_, Prefer_new) :: rest -> monotone true rest
-        | (_, Prefer_old) :: rest -> (not seen_new) && monotone false rest
-      in
-      if not (monotone false answers) then
-        Error (Inconsistent_intent (List.rev !asked))
+      if not (Disambig_common.monotone answers) then
+        Error (Inconsistent_intent (asked ()))
       else
         let position =
-          match List.find_opt (fun (_, a) -> a = Prefer_new) answers with
-          | Some (q, _) -> q.position
-          | None -> n
+          Disambig_common.first_new_position ~default:n
+            ~position:(fun (q : question) -> q.position)
+            answers
         in
         Ok
           {
             prefix_list = pl_at position;
             position;
-            questions = List.rev !asked;
+            questions = asked ();
             boundaries = List.length bs;
           }
 

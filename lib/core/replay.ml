@@ -46,6 +46,11 @@ let required e name =
 
 let run_events recorded =
   let ( let* ) r f = Result.bind r f in
+  (* Span mirror events (Telemetry.span_sink) carry wall-clock timings
+     that never reproduce; drop them from both streams before
+     comparing. The replay side never emits them anyway (no sink is
+     installed), but recordings made with --record-dir contain them. *)
+  let recorded = List.filter (fun e -> e.E.kind <> "span") recorded in
   let* start =
     match recorded with
     | e :: _ when e.E.kind = "session_start" -> Ok e

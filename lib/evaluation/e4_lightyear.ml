@@ -111,9 +111,26 @@ type result = {
   rounds : int;
 }
 
+(* With --record-dir, each router's steps run under their own channel
+   recorder (one log per router, D/e4_<router>.jsonl) tagged with a
+   router context label, so `clarify report D` can rebuild Figure 4
+   from the logs alone. *)
+let with_router_recording ~record_dir ~router f =
+  match record_dir with
+  | None -> f ()
+  | Some dir ->
+      let path = Filename.concat dir ("e4_" ^ router ^ ".jsonl") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Telemetry.with_channel_recorder oc @@ fun () ->
+          Telemetry.with_context [ ("router", router) ] f)
+
 (* Build one router's config by running every step through the
    pipeline, with the oracle answering from the reference semantics. *)
-let build_router ~router ~map_names ~steps ~reference_db =
+let build_router ?record_dir ~router ~map_names ~steps ~reference_db () =
+  with_router_recording ~record_dir ~router @@ fun () ->
   let llm = Llm.Mock_llm.create () in
   let questions = ref 0 in
   let db =
@@ -158,28 +175,28 @@ let build_router ~router ~map_names ~steps ~reference_db =
   in
   (db, stats)
 
-let run () =
+let run ?record_dir () =
   let reference = Netsim.Figure3.reference () in
   let ref_db name = (Netsim.Topology.find reference name).Netsim.Topology.config in
   let m_db, m_stats =
-    build_router ~router:"M" ~map_names:Netsim.Figure3.m_maps ~steps:m_steps
-      ~reference_db:(ref_db "M")
+    build_router ?record_dir ~router:"M" ~map_names:Netsim.Figure3.m_maps
+      ~steps:m_steps ~reference_db:(ref_db "M") ()
   in
   let r1_db, r1_stats =
-    build_router ~router:"R1" ~map_names:Netsim.Figure3.r1_maps
+    build_router ?record_dir ~router:"R1" ~map_names:Netsim.Figure3.r1_maps
       ~steps:
         (border_steps ~prefix_name:"R1"
            ~own_community:Netsim.Figure3.from_isp1_community
            ~other_community:Netsim.Figure3.from_isp2_community)
-      ~reference_db:(ref_db "R1")
+      ~reference_db:(ref_db "R1") ()
   in
   let r2_db, r2_stats =
-    build_router ~router:"R2" ~map_names:Netsim.Figure3.r2_maps
+    build_router ?record_dir ~router:"R2" ~map_names:Netsim.Figure3.r2_maps
       ~steps:
         (border_steps ~prefix_name:"R2"
            ~own_community:Netsim.Figure3.from_isp2_community
            ~other_community:Netsim.Figure3.from_isp1_community)
-      ~reference_db:(ref_db "R2")
+      ~reference_db:(ref_db "R2") ()
   in
   let topology =
     Netsim.Figure3.topology ~r1_config:r1_db ~r2_config:r2_db ~m_config:m_db

@@ -36,15 +36,15 @@ let fault_to_string = function
   | Wrong_community -> "wrong-community"
   | Syntax_error -> "syntax-error"
 
-(* Observability: total injections plus one counter per fault class,
-   pre-registered so the report shows a stable set of names. *)
+(* Observability: total injections plus one labeled series per fault
+   class, so a breakdown by class is one label dimension rather than
+   seven unrelated metric names. *)
 let injected_total =
   Obs.Counter.make "llm.faults.injected" ~help:"faults injected into completions"
 
 let class_counter fault =
-  Obs.Counter.make ("llm.faults." ^ fault_to_string fault)
-
-let () = List.iter (fun f -> ignore (class_counter f)) all_faults
+  Obs.Counter.labeled "llm.faults.injected"
+    [ ("class", fault_to_string fault) ]
 
 let map_lines f text =
   String.split_on_char '\n' text |> List.filter_map f |> String.concat "\n"

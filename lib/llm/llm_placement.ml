@@ -12,12 +12,32 @@
 (* Is the stanza an unconditional catch-all? *)
 let is_catch_all (s : Config.Route_map.stanza) = s.Config.Route_map.matches = []
 
+(* Call accounting: the baseline counts as one LLM round trip whose
+   prompt is the rendered target plus the candidate stanza and whose
+   answer is a single position token. *)
+let calls_counter =
+  Obs.Counter.make "llm.calls.placement" ~help:"placement-guess calls"
+
+let account ~target ~stanza =
+  if Obs.enabled () then begin
+    Obs.Counter.incr calls_counter;
+    let prompt =
+      Format.asprintf "%a@.%a" Config.Route_map.pp target
+        (fun fmt s ->
+          Config.Route_map.pp_stanza fmt target.Config.Route_map.name s)
+        stanza
+    in
+    Tokens.account ~endpoint:"placement"
+      ~prompt_tokens:(Tokens.estimate prompt) ~completion_tokens:1
+  end
+
 (** Guess where to insert [stanza] in [target]. Heuristics, in order:
     1. a deny stanza goes above a trailing catch-all permit, if any —
        "specific denies belong before the default";
     2. otherwise a deny stanza goes to the top — "filters first";
     3. otherwise (permit) it goes to the bottom — "additions last". *)
 let guess ~(target : Config.Route_map.t) ~(stanza : Config.Route_map.stanza) =
+  account ~target ~stanza;
   let n = List.length target.Config.Route_map.stanzas in
   match stanza.Config.Route_map.action with
   | Config.Action.Deny -> (

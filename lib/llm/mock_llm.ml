@@ -18,6 +18,8 @@ type stats = {
   mutable classify_calls : int;
   mutable synthesis_calls : int;
   mutable spec_calls : int;
+  mutable prompt_tokens : int;
+  mutable completion_tokens : int;
   mutable faults_injected : Fault_injector.fault list; (* newest first *)
 }
 
@@ -40,6 +42,20 @@ let synthesize_counter =
 let spec_counter =
   Obs.Counter.make "llm.calls.spec" ~help:"spec-extraction calls"
 
+(* Token accounting: per-call estimates go to the stats record (always)
+   and the labeled per-endpoint counters (while Obs is enabled), and are
+   returned so the emitters below can tag their telemetry events. *)
+let account t ~endpoint ~prompt_tokens ~completion_tokens =
+  t.stats.prompt_tokens <- t.stats.prompt_tokens + prompt_tokens;
+  t.stats.completion_tokens <- t.stats.completion_tokens + completion_tokens;
+  Tokens.account ~endpoint ~prompt_tokens ~completion_tokens
+
+let token_fields ~prompt_tokens ~completion_tokens =
+  [
+    ("prompt_tokens", Json.Int prompt_tokens);
+    ("completion_tokens", Json.Int completion_tokens);
+  ]
+
 let create ?(faults = []) ?replay () =
   {
     pending_faults = faults;
@@ -49,6 +65,8 @@ let create ?(faults = []) ?replay () =
         classify_calls = 0;
         synthesis_calls = 0;
         spec_calls = 0;
+        prompt_tokens = 0;
+        completion_tokens = 0;
         faults_injected = [];
       };
   }
@@ -63,13 +81,18 @@ let classify t prompt =
   t.stats.classify_calls <- t.stats.classify_calls + 1;
   Obs.Counter.incr classify_counter;
   let verdict = Classifier.classify prompt in
+  let prompt_tokens = Tokens.estimate prompt in
+  (* The classifier answers with a single label. *)
+  let completion_tokens = 1 in
+  account t ~endpoint:"classify" ~prompt_tokens ~completion_tokens;
   Telemetry.emit ~kind:"llm_classify" (fun () ->
       [
         ("prompt", Json.String prompt);
         ( "verdict",
           Json.String (match verdict with `Acl -> "acl" | `Route_map -> "route_map")
         );
-      ]);
+      ]
+      @ token_fields ~prompt_tokens ~completion_tokens);
   verdict
 
 (** The synthesis call (paper step 3): returns Cisco IOS text. [Error]
@@ -111,6 +134,14 @@ let synthesize t (req : request) =
                 | None -> (Ok clean, None)
                 (* fault not applicable to this snippet *))))
   in
+  let prompt_tokens =
+    Tokens.estimate_request ~system:req.system ~few_shot:req.few_shot
+      ~user:req.user
+  in
+  let completion_tokens =
+    Tokens.estimate (match result with Ok s | Error s -> s)
+  in
+  account t ~endpoint:"synthesize" ~prompt_tokens ~completion_tokens;
   Telemetry.emit ~kind:"llm_synthesize" (fun () ->
       [
         ("prompt", Json.String req.user);
@@ -121,7 +152,8 @@ let synthesize t (req : request) =
           match fault with
           | None -> Json.Null
           | Some f -> Json.String (Fault_injector.fault_to_string f) );
-      ]);
+      ]
+      @ token_fields ~prompt_tokens ~completion_tokens);
   result
 
 (** The spec-extraction call (paper step 3'): the JSON behavioural spec
@@ -136,6 +168,14 @@ let generate_spec t prompt =
     | Error e -> Error (Nl_parser.error_message e)
     | Ok intent -> Ok (Intent.spec_of_route_map intent)
   in
+  let prompt_tokens = Tokens.estimate prompt in
+  let completion_tokens =
+    Tokens.estimate
+      (match result with
+      | Ok spec -> Json.to_string ~indent:0 (Engine.Spec.to_json spec)
+      | Error m -> m)
+  in
+  account t ~endpoint:"spec" ~prompt_tokens ~completion_tokens;
   Telemetry.emit ~kind:"llm_spec" (fun () ->
       [
         ("prompt", Json.String prompt);
@@ -143,5 +183,6 @@ let generate_spec t prompt =
         ( match result with
         | Ok spec -> ("spec", Engine.Spec.to_json spec)
         | Error m -> ("error", Json.String m) );
-      ]);
+      ]
+      @ token_fields ~prompt_tokens ~completion_tokens);
   result

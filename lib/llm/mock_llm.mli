@@ -18,6 +18,8 @@ type stats = {
   mutable classify_calls : int;
   mutable synthesis_calls : int;
   mutable spec_calls : int;
+  mutable prompt_tokens : int; (* {!Tokens.estimate}, summed over calls *)
+  mutable completion_tokens : int;
   mutable faults_injected : Fault_injector.fault list; (* newest first *)
 }
 

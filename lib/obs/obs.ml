@@ -27,34 +27,106 @@ let set_state b =
 let enable () = set_state true
 let disable () = set_state false
 let set_clock c = clock := c
+let now () = !clock ()
+
+(* Origin for span start offsets: trace exporters want begin timestamps
+   relative to a session origin, not absolute wall time. Re-anchored on
+   every [reset] so back-to-back runs start from zero. *)
+let origin = ref (Unix.gettimeofday ())
+
+(* ------------------------------------------------------------------ *)
+(* Labels                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric dimensions (router, policy, query kind, fault class, ...).
+   A labeled metric is registered under its full name,
+   [name{k="v",k2="v2"}] with keys sorted, so the unlabeled API is
+   exactly the zero-label case and every existing consumer (snapshots,
+   reports, the bench diff) sees labeled series as ordinary metrics
+   with a richer name. *)
+module Labels = struct
+  type t = (string * string) list (* sorted by key *)
+
+  let canon kvs = List.sort (fun (a, _) (b, _) -> String.compare a b) kvs
+
+  let escape v =
+    let buf = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let encode = function
+    | [] -> ""
+    | kvs ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) kvs)
+        ^ "}"
+
+  (* Canonicalize here too, so a name rebuilt from an unsorted label
+     list still matches the registered series. *)
+  let full_name name kvs = name ^ encode (canon kvs)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                           *)
 (* ------------------------------------------------------------------ *)
 
 module Counter = struct
-  type t = { name : string; help : string; mutable value : int }
+  type t = {
+    name : string; (* full name, labels encoded *)
+    base : string;
+    labels : Labels.t;
+    help : string;
+    mutable value : int;
+  }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
-  let make ?(help = "") name =
+  let labeled ?(help = "") base kvs =
+    let labels = Labels.canon kvs in
+    let name = Labels.full_name base labels in
     match Hashtbl.find_opt registry name with
     | Some c -> c
     | None ->
-        let c = { name; help; value = 0 } in
+        let c = { name; base; labels; help; value = 0 } in
         Hashtbl.add registry name c;
         c
 
+  let make ?help name = labeled ?help name []
   let incr ?(by = 1) c = if !enabled_flag then c.value <- c.value + by
   let value c = c.value
   let name c = c.name
+  let base_name c = c.base
+  let labels c = c.labels
   let find name = Hashtbl.find_opt registry name
+
+  let find_labeled base kvs =
+    Hashtbl.find_opt registry (Labels.full_name base (Labels.canon kvs))
 
   let all () =
     Hashtbl.fold (fun _ c acc -> c :: acc) registry []
     |> List.sort (fun a b -> String.compare a.name b.name)
 
-  let reset () = Hashtbl.iter (fun _ c -> c.value <- 0) registry
+  (* Zero the statically declared (zero-label) series, whose handles
+     live in module bodies across resets, and drop the dynamically
+     created labeled series outright: their cardinality is data-driven
+     (per router, per fault class), so keeping dead registrations would
+     leak across runs. *)
+  let reset () =
+    Hashtbl.filter_map_inplace
+      (fun _ c ->
+        if c.labels = [] then begin
+          c.value <- 0;
+          Some c
+        end
+        else None)
+      registry
 end
 
 (* ------------------------------------------------------------------ *)
@@ -67,7 +139,9 @@ module Histogram = struct
     [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10; infinity |]
 
   type t = {
-    name : string;
+    name : string; (* full name, labels encoded *)
+    base : string;
+    labels : Labels.t;
     help : string;
     counts : int array; (* one slot per bound *)
     mutable count : int;
@@ -77,13 +151,17 @@ module Histogram = struct
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
-  let make ?(help = "") name =
+  let labeled ?(help = "") base kvs =
+    let labels = Labels.canon kvs in
+    let name = Labels.full_name base labels in
     match Hashtbl.find_opt registry name with
     | Some h -> h
     | None ->
         let h =
           {
             name;
+            base;
+            labels;
             help;
             counts = Array.make (Array.length bounds) 0;
             count = 0;
@@ -93,6 +171,8 @@ module Histogram = struct
         in
         Hashtbl.add registry name h;
         h
+
+  let make ?help name = labeled ?help name []
 
   let slot ns =
     let rec go i = if ns <= bounds.(i) then i else go (i + 1) in
@@ -121,19 +201,30 @@ module Histogram = struct
          bounds)
 
   let name h = h.name
+  let base_name h = h.base
+  let labels h = h.labels
   let find name = Hashtbl.find_opt registry name
+
+  let find_labeled base kvs =
+    Hashtbl.find_opt registry (Labels.full_name base (Labels.canon kvs))
 
   let all () =
     Hashtbl.fold (fun _ h acc -> h :: acc) registry []
     |> List.sort (fun a b -> String.compare a.name b.name)
 
+  (* Same policy as {!Counter.reset}: zero the zero-label series, drop
+     the data-driven labeled ones. *)
   let reset () =
-    Hashtbl.iter
+    Hashtbl.filter_map_inplace
       (fun _ h ->
-        Array.fill h.counts 0 (Array.length h.counts) 0;
-        h.count <- 0;
-        h.sum_ns <- 0.;
-        h.max_ns <- 0.)
+        if h.labels = [] then begin
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.count <- 0;
+          h.sum_ns <- 0.;
+          h.max_ns <- 0.;
+          Some h
+        end
+        else None)
       registry
 end
 
@@ -142,12 +233,26 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Span = struct
-  type t = { path : string; depth : int; duration_ns : float; seq : int }
+  type t = {
+    path : string;
+    depth : int;
+    start_ns : float; (* offset from the origin of the current reset *)
+    duration_ns : float;
+    seq : int;
+  }
 end
 
 type sink = { on_span : Span.t -> unit }
 
 let silent = { on_span = (fun _ -> ()) }
+
+let tee a b =
+  {
+    on_span =
+      (fun s ->
+        a.on_span s;
+        b.on_span s);
+  }
 
 let pp_duration fmt ns =
   if ns >= 1e9 then Format.fprintf fmt "%.2f s" (ns /. 1e9)
@@ -163,19 +268,21 @@ let text_sink fmt =
           pp_duration s.duration_ns);
   }
 
+let span_to_json (s : Span.t) =
+  Json.Obj
+    [
+      ("path", Json.String s.path);
+      ("depth", Json.Int s.depth);
+      ("start_ns", Json.Float s.start_ns);
+      ("duration_ns", Json.Float s.duration_ns);
+      ("seq", Json.Int s.seq);
+    ]
+
 let json_sink buf =
   {
     on_span =
       (fun (s : Span.t) ->
-        Buffer.add_string buf
-          (Json.to_string ~indent:0
-             (Json.Obj
-                [
-                  ("path", Json.String s.path);
-                  ("depth", Json.Int s.depth);
-                  ("duration_ns", Json.Float s.duration_ns);
-                  ("seq", Json.Int s.seq);
-                ]));
+        Buffer.add_string buf (Json.to_string ~indent:0 (span_to_json s));
         Buffer.add_char buf '\n');
   }
 
@@ -183,21 +290,14 @@ let jsonl_sink oc =
   {
     on_span =
       (fun (s : Span.t) ->
-        output_string oc
-          (Json.to_string ~indent:0
-             (Json.Obj
-                [
-                  ("path", Json.String s.path);
-                  ("depth", Json.Int s.depth);
-                  ("duration_ns", Json.Float s.duration_ns);
-                  ("seq", Json.Int s.seq);
-                ]));
+        output_string oc (Json.to_string ~indent:0 (span_to_json s));
         output_char oc '\n';
         flush oc);
   }
 
 let current_sink = ref silent
 let set_sink s = current_sink := s
+let add_sink s = current_sink := tee !current_sink s
 
 let max_recorded_spans = 16_384
 let recorded : Span.t list ref = ref [] (* newest first *)
@@ -232,10 +332,12 @@ let with_span name f =
           stack := rest;
           let duration_ns = (!clock () -. t0) *. 1e9 in
           let duration_ns = if duration_ns < 0. then 0. else duration_ns in
+          let start_ns = (t0 -. !origin) *. 1e9 in
+          let start_ns = if start_ns < 0. then 0. else start_ns in
           let seq = !next_seq in
           incr next_seq;
           Histogram.observe_ns (Histogram.make path) duration_ns;
-          record { Span.path; depth; duration_ns; seq }
+          record { Span.path; depth; start_ns; duration_ns; seq }
       | _ -> () (* disabled or reset mid-span: drop silently *)
     in
     match f () with
@@ -250,6 +352,13 @@ let with_span name f =
 let spans () = List.rev !recorded
 let dropped_spans () = !dropped
 
+(* Clears *every* piece of mutable state this module accumulates —
+   counters and histograms (labeled series dropped entirely), the span
+   buffer and its overflow count, the span sequence counter, the
+   open-span stack, and the start-offset origin — so two back-to-back
+   identical runs produce identical snapshots (under a deterministic
+   clock). Sinks, subscribers and the enabled state are configuration,
+   not run state, and are kept. *)
 let reset () =
   Counter.reset ();
   Histogram.reset ();
@@ -257,7 +366,8 @@ let reset () =
   recorded_len := 0;
   dropped := 0;
   next_seq := 0;
-  stack := []
+  stack := [];
+  origin := !clock ()
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                          *)
@@ -489,18 +599,7 @@ let to_json () =
                 ] ))
       (Histogram.all ())
   in
-  let spans =
-    List.map
-      (fun (s : Span.t) ->
-        Json.Obj
-          [
-            ("path", Json.String s.Span.path);
-            ("depth", Json.Int s.Span.depth);
-            ("duration_ns", Json.Float s.Span.duration_ns);
-            ("seq", Json.Int s.Span.seq);
-          ])
-      (spans ())
-  in
+  let spans = List.map span_to_json (spans ()) in
   Json.Obj
     [
       ("counters", Json.Obj counters);

@@ -29,9 +29,36 @@ val set_clock : (unit -> float) -> unit
     time spent blocked or sleeping (CPU time would hide it). Tests
     substitute a deterministic clock. *)
 
+val now : unit -> float
+(** The current reading of the (pluggable) clock, in seconds. The flight
+    recorder stamps events with it so a deterministic test clock makes
+    event timestamps deterministic too. *)
+
 val reset : unit -> unit
-(** Zero every counter and histogram and drop recorded spans. Metric
-    registrations and the enabled state are kept. *)
+(** Zero every counter and histogram, drop dynamically created labeled
+    series, drop recorded spans (and the overflow count, sequence
+    counter and open-span stack) and re-anchor the span start-offset
+    origin. Zero-label metric registrations, sinks, subscribers and the
+    enabled state are kept. *)
+
+(** Metric dimensions. A label set is a list of [key, value] pairs
+    (canonically sorted by key); a labeled metric is registered under
+    [name{k="v",...}], so the unlabeled API is exactly the zero-label
+    case and labeled series flow through snapshots, reports and the
+    bench diff as ordinary metrics with richer names. *)
+module Labels : sig
+  type t = (string * string) list
+
+  val canon : (string * string) list -> t
+  (** Sort by key. *)
+
+  val encode : t -> string
+  (** The empty string for the empty set, [{k="v",k2="v2"}] otherwise,
+      with double quotes and backslashes escaped inside values. *)
+
+  val full_name : string -> t -> string
+  (** [full_name base labels = base ^ encode labels]. *)
+end
 
 (** Monotonic event counters. *)
 module Counter : sig
@@ -40,14 +67,25 @@ module Counter : sig
   val make : ?help:string -> string -> t
   (** Register (or look up) the counter with this name. [make] is
       idempotent: a second call with the same name returns the same
-      counter. *)
+      counter. Equivalent to [labeled name []]. *)
+
+  val labeled : ?help:string -> string -> (string * string) list -> t
+  (** [labeled base kvs] registers (or looks up) one series of the
+      [base] family per distinct label set. Idempotent per label set;
+      the label list is canonicalized, so order does not matter. *)
 
   val incr : ?by:int -> t -> unit
   (** No-op while the layer is disabled. *)
 
   val value : t -> int
+
   val name : t -> string
+  (** The full registered name, labels encoded. *)
+
+  val base_name : t -> string
+  val labels : t -> Labels.t
   val find : string -> t option
+  val find_labeled : string -> (string * string) list -> t option
 end
 
 (** Latency histograms over fixed exponential buckets of nanoseconds
@@ -57,6 +95,9 @@ module Histogram : sig
 
   val make : ?help:string -> string -> t
   (** Idempotent, like {!Counter.make}. *)
+
+  val labeled : ?help:string -> string -> (string * string) list -> t
+  (** One series per label set, like {!Counter.labeled}. *)
 
   val observe_ns : t -> float -> unit
   (** No-op while the layer is disabled. *)
@@ -70,7 +111,10 @@ module Histogram : sig
       is [infinity]. *)
 
   val name : t -> string
+  val base_name : t -> string
+  val labels : t -> Labels.t
   val find : string -> t option
+  val find_labeled : string -> (string * string) list -> t option
 end
 
 (** A completed span. *)
@@ -78,6 +122,7 @@ module Span : sig
   type t = {
     path : string; (* dotted path including enclosing spans *)
     depth : int; (* 0 = root *)
+    start_ns : float; (* begin offset from the origin of the last reset *)
     duration_ns : float;
     seq : int; (* completion order, 0-based since last reset *)
   }
@@ -121,7 +166,15 @@ val jsonl_sink : out_channel -> sink
     after every span, so long runs spill to disk instead of growing an
     unbounded buffer and a crash loses at most the open spans. *)
 
+val tee : sink -> sink -> sink
+(** [tee a b] forwards each span to [a] then [b]. *)
+
 val set_sink : sink -> unit
+
+val add_sink : sink -> unit
+(** [add_sink s] composes [s] onto the current sink with {!tee}, so
+    e.g. the flight recorder can capture spans without displacing a
+    trace printer the user asked for. *)
 
 val pp_duration : Format.formatter -> float -> unit
 (** Nanoseconds rendered with a human unit (ns/us/ms/s). *)

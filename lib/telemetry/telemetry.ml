@@ -15,20 +15,43 @@ module Event = struct
     seq : int;
     kind : string;
     span : string; (* active Obs span path at emission; informational *)
+    ts_ns : float; (* offset from recorder start; informational *)
+    ctx : (string * string) list; (* ambient labels, e.g. router=R1 *)
     fields : (string * Json.t) list;
   }
 
   let to_json e =
     Json.Obj
-      [
-        ("seq", Json.Int e.seq);
-        ("kind", Json.String e.kind);
-        ("span", Json.String e.span);
-        ("data", Json.Obj e.fields);
-      ]
+      ([
+         ("seq", Json.Int e.seq);
+         ("kind", Json.String e.kind);
+         ("span", Json.String e.span);
+         ("ts_ns", Json.Float e.ts_ns);
+       ]
+      @ (if e.ctx = [] then []
+         else
+           [
+             ( "ctx",
+               Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) e.ctx) );
+           ])
+      @ [ ("data", Json.Obj e.fields) ])
 
   let of_json j =
     let str name = Option.bind (Json.member name j) Json.to_str in
+    let ts_ns =
+      match Json.member "ts_ns" j with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | _ -> 0.
+    in
+    let ctx =
+      match Json.member "ctx" j with
+      | Some (Json.Obj kvs) ->
+          List.filter_map
+            (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+            kvs
+      | _ -> []
+    in
     match
       ( Option.bind (Json.member "seq" j) Json.to_int,
         str "kind",
@@ -36,15 +59,17 @@ module Event = struct
         Json.member "data" j )
     with
     | Some seq, Some kind, Some span, Some (Json.Obj fields) ->
-        Ok { seq; kind; span; fields }
+        Ok { seq; kind; span; ts_ns; ctx; fields }
     | Some seq, Some kind, Some span, None ->
-        Ok { seq; kind; span; fields = [] }
+        Ok { seq; kind; span; ts_ns; ctx; fields = [] }
     | _ -> Error "event: expected {seq, kind, span, data}"
 
   (* Fields that legitimately differ between a recording and its
      replay: the replayed mock LLM feeds responses from the log, so it
-     cannot know which fault (if any) produced them. *)
-  let replay_ignored_fields = [ "fault" ]
+     cannot know which fault (if any) produced them. Token estimates
+     are kept out too so logs recorded before cost accounting existed
+     still replay cleanly. *)
+  let replay_ignored_fields = [ "fault"; "prompt_tokens"; "completion_tokens" ]
 
   (* Replay equivalence: same kind and same data, ignoring the fields
      above and the (informational) span path and sequence number. *)
@@ -64,37 +89,62 @@ end
 (* The recorder                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type recorder = { write : Event.t -> unit; mutable seq : int }
+type recorder = { write : Event.t -> unit; t0 : float; mutable seq : int }
 
 let current : recorder option ref = ref None
 let recording () = Option.is_some !current
 let stop () = current := None
+
+(* Ambient context labels, stamped onto every event emitted inside a
+   [with_context] scope. A dynamically scoped stack rather than an
+   argument so call sites deep in the pipeline (the LLM, the
+   disambiguators) need no plumbing to learn which router or experiment
+   they are running for. *)
+let context : (string * string) list ref = ref []
+
+let with_context kvs f =
+  let saved = !context in
+  context := saved @ kvs;
+  Fun.protect ~finally:(fun () -> context := saved) f
 
 let emit ~kind fields =
   match !current with
   | None -> ()
   | Some r ->
       let e =
-        { Event.seq = r.seq; kind; span = Obs.current_path (); fields = fields () }
+        {
+          Event.seq = r.seq;
+          kind;
+          span = Obs.current_path ();
+          ts_ns = (Obs.now () -. r.t0) *. 1e9;
+          ctx = !context;
+          fields = fields ();
+        }
       in
       r.seq <- r.seq + 1;
       r.write e
 
-let record_to_channel oc =
-  current :=
-    Some
-      {
-        seq = 0;
-        write =
-          (fun e ->
-            output_string oc (Json.to_string ~indent:0 (Event.to_json e));
-            output_char oc '\n';
-            flush oc);
-      }
+let channel_recorder oc =
+  {
+    seq = 0;
+    t0 = Obs.now ();
+    write =
+      (fun e ->
+        output_string oc (Json.to_string ~indent:0 (Event.to_json e));
+        output_char oc '\n';
+        flush oc);
+  }
+
+let record_to_channel oc = current := Some (channel_recorder oc)
+
+let with_channel_recorder oc f =
+  let saved = !current in
+  current := Some (channel_recorder oc);
+  Fun.protect ~finally:(fun () -> current := saved) f
 
 let record_to_memory () =
   let acc = ref [] in
-  current := Some { seq = 0; write = (fun e -> acc := e :: !acc) };
+  current := Some { seq = 0; t0 = Obs.now (); write = (fun e -> acc := e :: !acc) };
   fun () -> List.rev !acc
 
 let with_memory_recorder f =
@@ -108,6 +158,25 @@ let with_memory_recorder f =
   | exception e ->
       restore ();
       raise e
+
+(* An Obs sink that mirrors completed spans into the event log as
+   kind="span" events, so a recorded session carries its own timing
+   tree and [trace export] can rebuild a flame graph from the log
+   alone. Replay filters these out: span timings are wall-clock and
+   never reproduce exactly. *)
+let span_sink () =
+  {
+    Obs.on_span =
+      (fun s ->
+        emit ~kind:"span" (fun () ->
+            [
+              ("path", Json.String s.Obs.Span.path);
+              ("depth", Json.Int s.Obs.Span.depth);
+              ("start_ns", Json.Float s.Obs.Span.start_ns);
+              ("duration_ns", Json.Float s.Obs.Span.duration_ns);
+              ("span_seq", Json.Int s.Obs.Span.seq);
+            ]));
+  }
 
 let parse_events src =
   let rec go lineno acc = function
@@ -323,6 +392,18 @@ module Bench = struct
       d.old_value pp_value d.new_value (100. *. d.change) note
 
   let pp_diff ?(all = false) fmt deltas =
+    let count p = List.length (List.filter p deltas) in
+    let regressed_n = count (fun d -> d.regressed) in
+    let improved_n = count (fun d -> (not d.regressed) && d.change < 0.) in
+    let changed_n =
+      count (fun d ->
+          d.change <> 0. || d.old_value = None || d.new_value = None)
+    in
+    Format.fprintf fmt
+      "%d regressed / %d improved / %d unchanged (%d metrics compared)@."
+      regressed_n improved_n
+      (List.length deltas - changed_n)
+      (List.length deltas);
     let shown =
       if all then deltas
       else
@@ -331,11 +412,7 @@ module Bench = struct
             d.change <> 0. || d.old_value = None || d.new_value = None)
           deltas
     in
-    if shown = [] then
-      Format.fprintf fmt "no metric deltas (%d metrics compared)@."
-        (List.length deltas)
-    else
-      List.iter (fun d -> Format.fprintf fmt "%a@." pp_delta d) shown;
-    let n = List.length (List.filter (fun d -> d.regressed) deltas) in
-    if n > 0 then Format.fprintf fmt "%d metric(s) regressed@." n
+    List.iter (fun d -> Format.fprintf fmt "%a@." pp_delta d) shown;
+    if regressed_n > 0 then
+      Format.fprintf fmt "%d metric(s) regressed@." regressed_n
 end

@@ -18,17 +18,25 @@ module Event : sig
     seq : int; (* 0-based, per recording session *)
     kind : string; (* e.g. "session_start", "llm_synthesize" *)
     span : string; (* active {!Obs} span path at emission, or "" *)
+    ts_ns : float; (* nanoseconds since the recorder was installed *)
+    ctx : (string * string) list; (* ambient {!with_context} labels *)
     fields : (string * Json.t) list; (* kind-specific payload *)
   }
 
   val to_json : t -> Json.t
+  (** [ts_ns] is always serialized; [ctx] only when non-empty, so logs
+      recorded outside any context keep their old shape. *)
+
   val of_json : Json.t -> (t, string) result
+  (** Missing [ts_ns]/[ctx] (logs from before they existed) default to
+      [0.] and [[]]. *)
 
   val matches : t -> t -> bool
   (** Replay equivalence: same [kind] and same [fields], ignoring [seq],
-      [span] and the fields a replay cannot reproduce (currently
-      ["fault"]: the replayed LLM feeds responses from the log, so it
-      does not know which fault produced them). *)
+      [span], timestamps, context and the fields a replay cannot
+      reproduce (["fault"]: the replayed LLM feeds responses from the
+      log, so it does not know which fault produced them; token
+      estimates, absent from pre-cost-accounting logs). *)
 
   val field : string -> t -> Json.t option
   val str_field : string -> t -> string option
@@ -43,9 +51,20 @@ val emit : kind:string -> (unit -> (string * Json.t) list) -> unit
 (** Append one event. The payload thunk is only forced while recording,
     so instrumentation is free when no recorder is installed. *)
 
+val with_context : (string * string) list -> (unit -> 'a) -> 'a
+(** [with_context kvs f] stamps [kvs] (appended to any enclosing
+    context) onto every event emitted during [f], e.g.
+    [("router", "R1")] around one router's evaluation run. Restored on
+    exit, including on raise. *)
+
 val record_to_channel : out_channel -> unit
 (** Install a recorder that writes one JSON object per line, flushed
     after every event (a crash loses nothing already emitted). *)
+
+val with_channel_recorder : out_channel -> (unit -> 'a) -> 'a
+(** Run [f] with a fresh channel recorder installed, restoring the
+    previously installed recorder (if any) afterwards — including on
+    raise. The channel is not closed. *)
 
 val record_to_memory : unit -> unit -> Event.t list
 (** Install an in-memory recorder; the returned thunk yields the events
@@ -58,6 +77,13 @@ val with_memory_recorder : (unit -> 'a) -> 'a * Event.t list
 
 val stop : unit -> unit
 (** Uninstall the current recorder (the channel is not closed). *)
+
+val span_sink : unit -> Obs.sink
+(** An {!Obs} sink that mirrors each completed span into the event log
+    as a [kind="span"] event (fields [path], [depth], [start_ns],
+    [duration_ns], [span_seq]), so a recording carries its own timing
+    tree for [clarify trace export]. Install with [Obs.add_sink].
+    Replay filters these events out: span timings are wall-clock. *)
 
 val parse_events : string -> (Event.t list, string) result
 (** Parse a JSONL event log; blank lines are skipped. *)
@@ -109,5 +135,7 @@ module Bench : sig
   val pp_delta : Format.formatter -> delta -> unit
 
   val pp_diff : ?all:bool -> Format.formatter -> delta list -> unit
-  (** Changed metrics only (plus added/removed) unless [all]. *)
+  (** A one-line [N regressed / N improved / N unchanged] summary,
+      then the changed metrics only (plus added/removed) unless
+      [all]. *)
 end

@@ -85,7 +85,9 @@ let test_fault_repaired fault () =
         (counter_value "pipeline.counterexample_loops");
       check_int "fault injected once" 1 (counter_value "llm.faults.injected");
       check_int "per-class counter" 1
-        (counter_value ("llm.faults." ^ F.fault_to_string fault));
+        (counter_value
+           (Obs.Labels.full_name "llm.faults.injected"
+              [ ("class", F.fault_to_string fault) ]));
       if
         not
           (contains

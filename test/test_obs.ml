@@ -201,6 +201,200 @@ let test_snapshot_roundtrip =
     "mean" (hist.Obs.Snapshot.sum_ns /. 4.)
     (Obs.Snapshot.mean_ns hist)
 
+(* ------------------------------------------------------------------ *)
+(* Labeled metrics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_labeled_counters =
+  with_obs @@ fun () ->
+  let c =
+    Obs.Counter.labeled "test.lab" [ ("router", "R1"); ("phase", "sync") ]
+  in
+  Obs.Counter.incr ~by:3 c;
+  Alcotest.(check string)
+    "base name survives" "test.lab" (Obs.Counter.base_name c);
+  Alcotest.(check string)
+    "full name is prometheus-style"
+    {|test.lab{phase="sync",router="R1"}|}
+    (Obs.Counter.name c);
+  check_bool "label order is canonicalized" true
+    (Obs.Counter.labeled "test.lab" [ ("phase", "sync"); ("router", "R1") ]
+    == c);
+  check_bool "find_labeled resolves the series" true
+    (Obs.Counter.find_labeled "test.lab" [ ("router", "R1"); ("phase", "sync") ]
+    = Some c);
+  check_bool "other label sets are distinct series" true
+    (Obs.Counter.labeled "test.lab" [ ("router", "R2"); ("phase", "sync") ]
+    != c);
+  (* The unlabeled API is exactly the zero-label case. *)
+  check_bool "labeled [] is make" true
+    (Obs.Counter.labeled "test.lab.plain" [] == Obs.Counter.make "test.lab.plain");
+  (* Values land in the labeled series, not the base family. *)
+  check_int "labeled value" 3 (Obs.Counter.value c);
+  check_bool "base family not registered by labeling" true
+    (Obs.Counter.find "test.lab" = None);
+  (* Reset drops labeled series (their cardinality is data-driven) but
+     keeps zero-label registrations at zero. *)
+  Obs.reset ();
+  check_bool "labeled series dropped on reset" true
+    (Obs.Counter.find_labeled "test.lab" [ ("router", "R1"); ("phase", "sync") ]
+    = None);
+  check_bool "zero-label registration survives reset" true
+    (Obs.Counter.find "test.lab.plain" <> None)
+
+(* Label values may contain the encoding's own metacharacters. *)
+let test_label_escaping =
+  with_obs @@ fun () ->
+  let kvs = [ ("q", {|say "hi"|}); ("b", {|a\b|}) ] in
+  let name = Obs.Labels.full_name "test.esc" kvs in
+  Alcotest.(check string)
+    "quotes and backslashes escaped"
+    {|test.esc{b="a\\b",q="say \"hi\""}|}
+    name;
+  let c = Obs.Counter.labeled "test.esc" kvs in
+  Obs.Counter.incr c;
+  check_bool "registered under the escaped name" true
+    (Obs.Counter.find name = Some c)
+
+(* Labeled series flow through snapshots as ordinary metrics with
+   richer names, and the JSON round-trip preserves them — including a
+   histogram whose overflow bucket bound is the "inf" encoding. *)
+let test_labeled_snapshot_roundtrip =
+  with_obs @@ fun () ->
+  Obs.Counter.incr ~by:11
+    (Obs.Counter.labeled "test.lsr.calls" [ ("endpoint", "classify") ]);
+  Obs.Counter.incr ~by:2 (Obs.Counter.labeled "test.lsr.empty_value" [ ("k", "") ]);
+  let h = Obs.Histogram.labeled "test.lsr.lat" [ ("router", "M") ] in
+  (* 2e10 lands beyond the last finite bound: the +inf bucket must
+     survive to_json/of_json via the "inf" string encoding. *)
+  List.iter (Obs.Histogram.observe_ns h) [ 1e3; 2e10 ];
+  let snap = Obs.Snapshot.take () in
+  check_bool "labeled counter snapshotted under its full name" true
+    (List.mem_assoc
+       (Obs.Labels.full_name "test.lsr.calls" [ ("endpoint", "classify") ])
+       snap.Obs.Snapshot.counters);
+  (match
+     Result.bind
+       (Json.parse (Json.to_string (Obs.Snapshot.to_json snap)))
+       Obs.Snapshot.of_json
+   with
+  | Error m -> Alcotest.failf "labeled snapshot does not round-trip: %s" m
+  | Ok snap' ->
+      check_bool "round-trip is the identity" true
+        (Obs.Snapshot.equal snap snap');
+      let hist =
+        List.assoc
+          (Obs.Labels.full_name "test.lsr.lat" [ ("router", "M") ])
+          snap'.Obs.Snapshot.histograms
+      in
+      let inf_bound, inf_count =
+        List.nth hist.Obs.Snapshot.buckets
+          (List.length hist.Obs.Snapshot.buckets - 1)
+      in
+      check_bool "inf bound decoded" true (inf_bound = infinity);
+      check_int "overflow observation survives" 2 inf_count)
+
+(* Satellite audit: Obs.reset clears *every* piece of mutable state, so
+   two back-to-back identical runs — under a deterministic clock —
+   produce identical snapshots and identical span buffers. *)
+let test_reset_determinism () =
+  Obs.enable ();
+  (* Whole-second ticks: small-integer differences are exact in
+     floating point, so timings are bit-identical across the two runs
+     even though each run starts from a different clock origin. *)
+  let t = ref 0. in
+  Obs.set_clock (fun () ->
+      t := !t +. 1.;
+      !t);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_clock Unix.gettimeofday;
+      Obs.disable ())
+    (fun () ->
+      let workload () =
+        Obs.reset ();
+        Obs.Counter.incr ~by:2 (Obs.Counter.make "test.det.plain");
+        Obs.Counter.incr
+          (Obs.Counter.labeled "test.det.lab" [ ("router", "R1") ]);
+        Obs.Histogram.observe_ns (Obs.Histogram.make "test.det.hist") 5e4;
+        Obs.with_span "det.outer" (fun () ->
+            Obs.with_span "det.inner" (fun () -> ()));
+        (try Obs.with_span "det.raising" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        ( Obs.Snapshot.take (),
+          List.map
+            (fun s ->
+              ( s.Obs.Span.path,
+                s.Obs.Span.depth,
+                s.Obs.Span.seq,
+                s.Obs.Span.start_ns,
+                s.Obs.Span.duration_ns ))
+            (Obs.spans ()) )
+      in
+      let snap1, spans1 = workload () in
+      let snap2, spans2 = workload () in
+      check_bool "snapshots identical across runs" true
+        (Obs.Snapshot.equal snap1 snap2);
+      check_bool "span buffers identical across runs" true (spans1 = spans2);
+      check_bool "runs actually recorded spans" true (spans1 <> []))
+
+(* A crash can cut the jsonl stream anywhere, but because the sink
+   flushes line by line, every line before the cut stays valid JSON:
+   the damage is confined to at most the final line. *)
+let test_jsonl_sink_partial_write =
+  with_obs @@ fun () ->
+  let path = Filename.temp_file "obs_partial" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Obs.set_sink (Obs.jsonl_sink oc);
+      Obs.with_span "p1" (fun () -> ());
+      (* The line is flushed before the next span even starts: a reader
+         sees it complete while the channel is still open. *)
+      let flushed_early =
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        String.length s > 0 && s.[String.length s - 1] = '\n'
+      in
+      check_bool "line flushed while channel open" true flushed_early;
+      Obs.with_span "p2" (fun () -> ());
+      Obs.with_span "p3" (fun () -> ());
+      Obs.set_sink Obs.silent;
+      close_out oc;
+      (* Simulate the crash: truncate mid final line. *)
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let content = really_input_string ic n in
+      close_in ic;
+      let cut = String.length content - 9 in
+      let oc = open_out path in
+      output_string oc (String.sub content 0 cut);
+      close_out oc;
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let damaged = really_input_string ic n in
+      close_in ic;
+      let lines = String.split_on_char '\n' damaged in
+      let complete, tail =
+        match List.rev lines with
+        | last :: rest -> (List.rev rest, last)
+        | [] -> ([], "")
+      in
+      check_int "two complete lines survive" 2 (List.length complete);
+      List.iter
+        (fun l ->
+          match Json.parse l with
+          | Ok j ->
+              check_bool "line has a span path" true
+                (Json.member "path" j <> None)
+          | Error m -> Alcotest.failf "surviving line damaged: %s" m)
+        complete;
+      check_bool "only the cut line is damaged" true
+        (Result.is_error (Json.parse tail)))
+
 let test_snapshot_json =
   with_obs @@ fun () ->
   Obs.Counter.incr ~by:3 (Obs.Counter.make "test.snapshot.events");
@@ -305,7 +499,9 @@ let test_pipeline_counters_faulty_run =
     (counter_value "pipeline.counterexample_loops");
   check_int "one fault injected" 1 (counter_value "llm.faults.injected");
   check_int "per-class fault counter" 1
-    (counter_value "llm.faults.flip-action")
+    (counter_value
+       (Obs.Labels.full_name "llm.faults.injected"
+          [ ("class", "flip-action") ]))
 
 let fw_config =
   {|ip access-list extended LAB_EDGE
@@ -406,6 +602,17 @@ let () =
           Alcotest.test_case "current path" `Quick test_current_path;
           Alcotest.test_case "snapshot round-trip" `Quick
             test_snapshot_roundtrip;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "labeled counters" `Quick test_labeled_counters;
+          Alcotest.test_case "label escaping" `Quick test_label_escaping;
+          Alcotest.test_case "labeled snapshot round-trip" `Quick
+            test_labeled_snapshot_roundtrip;
+          Alcotest.test_case "reset determinism" `Quick
+            test_reset_determinism;
+          Alcotest.test_case "jsonl sink partial write" `Quick
+            test_jsonl_sink_partial_write;
         ] );
       ( "pipeline",
         [

@@ -18,6 +18,8 @@ let sample_event =
     E.seq = 3;
     kind = "llm_synthesize";
     span = "pipeline.route_map_update.synthesize";
+    ts_ns = 12_500.;
+    ctx = [ ("router", "R1") ];
     fields =
       [
         ("prompt", Json.String "Add a stanza...");
