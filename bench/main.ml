@@ -25,6 +25,15 @@ let json_out =
   in
   find 1
 
+(* --jobs N overrides CLARIFY_JOBS; default 1 (serial). *)
+let pool =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--jobs" then int_of_string_opt Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  Parallel.Pool.create ?domains:(find 1) ()
+
 (* ------------------------------------------------------------------ *)
 (* Experiments                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -58,6 +67,7 @@ let with_metrics name f =
   let recorded = Telemetry.record_to_memory () in
   f ();
   Telemetry.stop ();
+  Engine.Metrics.publish_manager_stats ();
   let snapshot = Obs.Snapshot.take () in
   let events = List.length (recorded ()) in
   experiments := !experiments @ [ (name, { Telemetry.Bench.snapshot; events }) ];
@@ -80,16 +90,17 @@ let run_experiments () =
       Format.fprintf fmt "@.");
   with_metrics "E2" (fun () ->
       Evaluation.E23_overlap_study.(
-        print ~title:"E2: cloud WAN overlap study (Section 3.1)" fmt (cloud ())));
+        print ~title:"E2: cloud WAN overlap study (Section 3.1)" fmt
+          (cloud ~pool ())));
   let scale = if fast then 0.1 else 1.0 in
   Format.fprintf fmt "(campus corpus scale: %.2f%s)@.@." scale
     (if fast then "; drop --fast for full size" else "");
   with_metrics "E3" (fun () ->
       Evaluation.E23_overlap_study.(
         print ~title:"E3: campus overlap study (Section 3.2)" fmt
-          (campus ~scale ())));
+          (campus ~scale ~pool ())));
   with_metrics "E4" (fun () ->
-      Evaluation.E4_lightyear.(print fmt (run ())))
+      Evaluation.E4_lightyear.(print fmt (run ~pool ())))
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: disambiguation question counts per mode                  *)
@@ -197,6 +208,67 @@ let run_density_sweep () =
         (mean (fun (s : Overlap.Acl_overlap.stats) -> s.conflict_pairs)))
     [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
   Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Parallel speedup: serial vs pool on the corpus sweeps and E4       *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock ns for one run; Bechamel is the wrong tool here (one
+   iteration takes seconds, and we want the identical workload on both
+   sides, not per-side calibration). *)
+let wall_ns f =
+  let t0 = Obs.now () in
+  let r = f () in
+  (r, (Obs.now () -. t0) *. 1e9)
+
+let pp_speedup name serial_ns par_ns =
+  Format.printf "%-24s %10.0f ms serial %10.0f ms x%d  speedup %.2fx@." name
+    (serial_ns /. 1e6) (par_ns /. 1e6)
+    (Parallel.Pool.domains pool)
+    (serial_ns /. par_ns)
+
+(* Runs only when a multi-domain pool was requested; returns the
+   timings for the bench JSON so `clarify obs diff` tracks them. The
+   serial and parallel results are asserted identical — the
+   determinism contract, checked on every bench run. *)
+let run_parallel_comparison () =
+  if Parallel.Pool.domains pool <= 1 then begin
+    Format.printf
+      "(parallel comparison skipped: serial pool; use --jobs N or \
+       CLARIFY_JOBS)@.@.";
+    []
+  end
+  else begin
+    Format.printf "=== Parallel speedup (%d domains) ===@."
+      (Parallel.Pool.domains pool);
+    let corpus =
+      Workload.Campus.generate ~scale:(if fast then 0.05 else 0.25) ()
+    in
+    let acls = corpus.Workload.Campus.acls in
+    let s_sum, overlap_serial =
+      wall_ns (fun () -> Overlap.Corpus.summarize_acls acls)
+    in
+    let p_sum, overlap_par =
+      wall_ns (fun () -> Overlap.Corpus.summarize_acls ~pool acls)
+    in
+    if s_sum <> p_sum then
+      failwith "parallel overlap summary differs from serial";
+    pp_speedup "overlap/campus-sweep" overlap_serial overlap_par;
+    let s_e4, e4_serial = wall_ns (fun () -> Evaluation.E4_lightyear.run ()) in
+    let p_e4, e4_par =
+      wall_ns (fun () -> Evaluation.E4_lightyear.run ~pool ())
+    in
+    if s_e4.Evaluation.E4_lightyear.stats <> p_e4.Evaluation.E4_lightyear.stats
+    then failwith "parallel E4 stats differ from serial";
+    pp_speedup "e4/three-routers" e4_serial e4_par;
+    Format.printf "@.";
+    [
+      ("overlap_parallel/serial", overlap_serial);
+      ("overlap_parallel/parallel", overlap_par);
+      ("e4_parallel/serial", e4_serial);
+      ("e4_parallel/parallel", e4_par);
+    ]
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                           *)
@@ -365,7 +437,13 @@ let run_benchmarks () =
   List.rev !timings
 
 let write_bench_json path benchmarks =
-  let t = { Telemetry.Bench.experiments = !experiments; benchmarks } in
+  let t =
+    {
+      Telemetry.Bench.domains = Parallel.Pool.domains pool;
+      experiments = !experiments;
+      benchmarks;
+    }
+  in
   let oc = open_out path in
   output_string oc (Json.to_string ~indent:2 (Telemetry.Bench.to_json t));
   output_char oc '\n';
@@ -378,5 +456,8 @@ let () =
   run_ablation ();
   Evaluation.A2_llm_disambiguator.(print Format.std_formatter (run ()));
   run_density_sweep ();
+  let parallel_timings = run_parallel_comparison () in
   let timings = run_benchmarks () in
-  Option.iter (fun path -> write_bench_json path timings) json_out
+  Option.iter
+    (fun path -> write_bench_json path (timings @ parallel_timings))
+    json_out

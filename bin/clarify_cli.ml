@@ -54,7 +54,11 @@ let with_obs (metrics, trace) f =
     Obs.enable ();
     if trace then Obs.set_sink (Obs.text_sink Format.err_formatter);
     if metrics then
-      at_exit (fun () -> Format.printf "@.%a@." Obs.pp_report ())
+      at_exit (fun () ->
+          (* Fold the BDD manager's live sizes (unique table, memos,
+             compile cache) into the report before printing it. *)
+          Engine.Metrics.publish_manager_stats ();
+          Format.printf "@.%a@." Obs.pp_report ())
   end;
   f ()
 
@@ -307,7 +311,15 @@ let obs_cmd =
           prerr_endline ("error: cannot load " ^ path ^ ": " ^ m);
           exit 2
     in
-    let deltas = Telemetry.Bench.diff ~threshold (load old_file) (load new_file) in
+    let old_t = load old_file and new_t = load new_file in
+    if old_t.Telemetry.Bench.domains <> new_t.Telemetry.Bench.domains then begin
+      Printf.eprintf
+        "error: snapshots were taken at different parallelism (%d vs %d \
+         domains); timings are not comparable\n"
+        old_t.Telemetry.Bench.domains new_t.Telemetry.Bench.domains;
+      exit 2
+    end;
+    let deltas = Telemetry.Bench.diff ~threshold old_t new_t in
     Format.printf "%a" (Telemetry.Bench.pp_diff ~all) deltas;
     exit (if Telemetry.Bench.regressed deltas then 1 else 0)
   in
@@ -553,8 +565,20 @@ let eval_cmd =
              e4_R1.jsonl, e4_R2.jsonl) that $(b,clarify report) aggregates \
              and $(b,clarify trace export) visualizes.")
   in
-  let run which scale record_dir obs =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel sweeps (e2/e3 corpus analyses \
+             and e4's per-router builds). Defaults to $(b,CLARIFY_JOBS), or \
+             1 (serial). Results are identical at every value; only \
+             wall-clock changes.")
+  in
+  let run which scale record_dir jobs obs =
     with_obs obs @@ fun () ->
+    let pool = Parallel.Pool.create ?domains:jobs () in
     (match record_dir with
     | None -> ()
     | Some dir ->
@@ -581,14 +605,15 @@ let eval_cmd =
     in
     let e2 () =
       Evaluation.E23_overlap_study.(
-        print ~title:"E2: cloud WAN overlap study (Section 3.1)" fmt (cloud ()))
+        print ~title:"E2: cloud WAN overlap study (Section 3.1)" fmt
+          (cloud ~pool ()))
     in
     let e3 () =
       Evaluation.E23_overlap_study.(
         print ~title:"E3: campus overlap study (Section 3.2)" fmt
-          (campus ~scale ()))
+          (campus ~scale ~pool ()))
     in
-    let e4 () = Evaluation.E4_lightyear.(print fmt (run ?record_dir ())) in
+    let e4 () = Evaluation.E4_lightyear.(print fmt (run ?record_dir ~pool ())) in
     match which with
     | `E1 -> e1 ()
     | `E2 -> e2 ()
@@ -602,7 +627,7 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Regenerate the paper's experiments.")
-    Term.(const run $ which $ scale $ record_dir $ obs_term)
+    Term.(const run $ which $ scale $ record_dir $ jobs $ obs_term)
 
 let () =
   let doc = "LLM-based incremental network-configuration synthesis with intent disambiguation" in

@@ -9,66 +9,161 @@ let level = function Zero | One -> max_int | Node n -> n.v
 let zero = Zero
 let one = One
 
-(* Global unique table: (var, lo id, hi id) -> node. *)
-let unique : (int * int * int, t) Hashtbl.t = Hashtbl.create 65536
-let next_id = ref 2
+(* ------------------------------------------------------------------ *)
+(* Managers                                                           *)
+(* ------------------------------------------------------------------ *)
 
-(* Observability hook, fired once per fresh node allocation. [None]
-   (the default) costs a single match per allocation. *)
-let alloc_hook : (unit -> unit) option ref = ref None
-let set_alloc_hook h = alloc_hook := h
+(* All mutable state of the hash-consing engine lives in an explicit
+   manager record: the unique table, the id allocator, the operation
+   memo tables, the symbolic compilation cache and the observability
+   hooks. Node ids (and therefore physical equality of results) are
+   only meaningful relative to the manager that built them, so values
+   from different managers must never be mixed in one operation.
 
-let mk v lo hi =
+   The public operations below act on a domain-local default manager
+   (one per [Domain], via [Domain.DLS]), which keeps the historical
+   module-level API while making every domain an isolated, race-free
+   BDD universe: parallel workers hash-cons into their own tables with
+   no locks on the allocation path. *)
+module Manager = struct
+  type bdd = t
+
+  type t = {
+    unique : (int * int * int, bdd) Hashtbl.t; (* (var, lo id, hi id) *)
+    mutable next_id : int;
+    neg_memo : (int, bdd) Hashtbl.t;
+    and_memo : (int * int, bdd) Hashtbl.t;
+    xor_memo : (int * int, bdd) Hashtbl.t;
+    restrict_memo : (int * int * bool, bdd) Hashtbl.t;
+    (* Structural-hash-keyed compilation cache: callers memoize
+       "source object -> BDD" translations (ACL rules, prefix lists)
+       under a canonical string key, so corpus sweeps compile each
+       distinct rule once per manager epoch instead of once per use. *)
+    compile_cache : (string, bdd) Hashtbl.t;
+    mutable cache_hits : int;
+    mutable cache_misses : int;
+    (* Observability hooks, fired per fresh node allocation / per
+       compilation-cache probe. [None] (the default) costs a single
+       match; per-manager so concurrent domains never share a hook. *)
+    mutable alloc_hook : (unit -> unit) option;
+    mutable cache_hook : (bool -> unit) option; (* arg: was it a hit? *)
+  }
+
+  let create () =
+    {
+      unique = Hashtbl.create 65536;
+      next_id = 2;
+      neg_memo = Hashtbl.create 4096;
+      and_memo = Hashtbl.create 65536;
+      xor_memo = Hashtbl.create 4096;
+      restrict_memo = Hashtbl.create 4096;
+      compile_cache = Hashtbl.create 1024;
+      cache_hits = 0;
+      cache_misses = 0;
+      alloc_hook = None;
+      cache_hook = None;
+    }
+
+  (* Drop the operation memo tables only; hash-consed nodes (and the
+     compilation cache, which pins them) survive. *)
+  let clear_caches m =
+    Hashtbl.reset m.neg_memo;
+    Hashtbl.reset m.and_memo;
+    Hashtbl.reset m.xor_memo;
+    Hashtbl.reset m.restrict_memo
+
+  (* Full reset: unique table, id allocator, memos and the compilation
+     cache. Every BDD built by this manager is invalidated — only call
+     between independent analyses when none of them is still live. *)
+  let reset m =
+    clear_caches m;
+    Hashtbl.reset m.unique;
+    Hashtbl.reset m.compile_cache;
+    m.next_id <- 2
+
+  type stats = {
+    nodes : int; (* live entries in the unique table *)
+    next_id : int;
+    neg_memo : int;
+    and_memo : int;
+    xor_memo : int;
+    restrict_memo : int;
+    cache_entries : int;
+    cache_hits : int;
+    cache_misses : int;
+  }
+
+  let stats m =
+    {
+      nodes = Hashtbl.length m.unique;
+      next_id = m.next_id;
+      neg_memo = Hashtbl.length m.neg_memo;
+      and_memo = Hashtbl.length m.and_memo;
+      xor_memo = Hashtbl.length m.xor_memo;
+      restrict_memo = Hashtbl.length m.restrict_memo;
+      cache_entries = Hashtbl.length m.compile_cache;
+      cache_hits = m.cache_hits;
+      cache_misses = m.cache_misses;
+    }
+
+  let key = Domain.DLS.new_key create
+  let current () = Domain.DLS.get key
+end
+
+let manager = Manager.current
+
+let with_manager m f =
+  let saved = Domain.DLS.get Manager.key in
+  Domain.DLS.set Manager.key m;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set Manager.key saved) f
+
+let set_alloc_hook h = (manager ()).Manager.alloc_hook <- h
+let set_cache_hook h = (manager ()).Manager.cache_hook <- h
+let get_alloc_hook () = (manager ()).Manager.alloc_hook
+let get_cache_hook () = (manager ()).Manager.cache_hook
+let clear_caches () = Manager.clear_caches (manager ())
+
+let mk (m : Manager.t) v lo hi =
   if lo == hi then lo
   else
     let key = (v, id lo, id hi) in
-    match Hashtbl.find_opt unique key with
+    match Hashtbl.find_opt m.unique key with
     | Some n -> n
     | None ->
-        let n = Node { v; lo; hi; id = !next_id } in
-        incr next_id;
-        Hashtbl.add unique key n;
-        (match !alloc_hook with None -> () | Some f -> f ());
+        let n = Node { v; lo; hi; id = m.next_id } in
+        m.next_id <- m.next_id + 1;
+        Hashtbl.add m.unique key n;
+        (match m.alloc_hook with None -> () | Some f -> f ());
         n
 
 let var i =
   if i < 0 then invalid_arg "Bdd.var";
-  mk i Zero One
+  mk (manager ()) i Zero One
 
 let nvar i =
   if i < 0 then invalid_arg "Bdd.nvar";
-  mk i One Zero
+  mk (manager ()) i One Zero
 
-(* Memo tables for the operations. *)
-let neg_memo : (int, t) Hashtbl.t = Hashtbl.create 4096
-let and_memo : (int * int, t) Hashtbl.t = Hashtbl.create 65536
-let xor_memo : (int * int, t) Hashtbl.t = Hashtbl.create 4096
-let restrict_memo : (int * int * bool, t) Hashtbl.t = Hashtbl.create 4096
-
-let clear_caches () =
-  Hashtbl.reset neg_memo;
-  Hashtbl.reset and_memo;
-  Hashtbl.reset xor_memo;
-  Hashtbl.reset restrict_memo
-
-let rec neg t =
+let rec neg_m (m : Manager.t) t =
   match t with
   | Zero -> One
   | One -> Zero
   | Node { v; lo; hi; id } -> (
-      match Hashtbl.find_opt neg_memo id with
+      match Hashtbl.find_opt m.neg_memo id with
       | Some r -> r
       | None ->
-          let r = mk v (neg lo) (neg hi) in
-          Hashtbl.add neg_memo id r;
+          let r = mk m v (neg_m m lo) (neg_m m hi) in
+          Hashtbl.add m.neg_memo id r;
           r)
+
+let neg t = neg_m (manager ()) t
 
 let branches t v =
   match t with
   | Node n when n.v = v -> (n.lo, n.hi)
   | _ -> (t, t)
 
-let rec conj a b =
+let rec conj_m (m : Manager.t) a b =
   match (a, b) with
   | Zero, _ | _, Zero -> Zero
   | One, t | t, One -> t
@@ -76,56 +171,78 @@ let rec conj a b =
   | _ ->
       let ia = id a and ib = id b in
       let key = if ia < ib then (ia, ib) else (ib, ia) in
-      ( match Hashtbl.find_opt and_memo key with
+      ( match Hashtbl.find_opt m.and_memo key with
       | Some r -> r
       | None ->
           let v = min (level a) (level b) in
           let alo, ahi = branches a v and blo, bhi = branches b v in
-          let r = mk v (conj alo blo) (conj ahi bhi) in
-          Hashtbl.add and_memo key r;
+          let r = mk m v (conj_m m alo blo) (conj_m m ahi bhi) in
+          Hashtbl.add m.and_memo key r;
           r )
 
-let disj a b = neg (conj (neg a) (neg b))
+let conj a b = conj_m (manager ()) a b
 
-let rec xor a b =
+let disj_m m a b = neg_m m (conj_m m (neg_m m a) (neg_m m b))
+let disj a b = disj_m (manager ()) a b
+
+let rec xor_m (m : Manager.t) a b =
   match (a, b) with
   | Zero, t | t, Zero -> t
-  | One, t | t, One -> neg t
+  | One, t | t, One -> neg_m m t
   | _ when a == b -> Zero
   | _ ->
       let ia = id a and ib = id b in
       let key = if ia < ib then (ia, ib) else (ib, ia) in
-      ( match Hashtbl.find_opt xor_memo key with
+      ( match Hashtbl.find_opt m.xor_memo key with
       | Some r -> r
       | None ->
           let v = min (level a) (level b) in
           let alo, ahi = branches a v and blo, bhi = branches b v in
-          let r = mk v (xor alo blo) (xor ahi bhi) in
-          Hashtbl.add xor_memo key r;
+          let r = mk m v (xor_m m alo blo) (xor_m m ahi bhi) in
+          Hashtbl.add m.xor_memo key r;
           r )
 
-let imp a b = disj (neg a) b
-let iff a b = neg (xor a b)
-let ite c t e = disj (conj c t) (conj (neg c) e)
-let conj_list ts = List.fold_left conj One ts
-let disj_list ts = List.fold_left disj Zero ts
+let xor a b = xor_m (manager ()) a b
 
-let rec restrict v b t =
+let imp a b =
+  let m = manager () in
+  disj_m m (neg_m m a) b
+
+let iff a b = neg_m (manager ()) (xor_m (manager ()) a b)
+
+let ite c t e =
+  let m = manager () in
+  disj_m m (conj_m m c t) (conj_m m (neg_m m c) e)
+
+let conj_list ts =
+  let m = manager () in
+  List.fold_left (conj_m m) One ts
+
+let disj_list ts =
+  let m = manager () in
+  List.fold_left (disj_m m) Zero ts
+
+let rec restrict_m (m : Manager.t) v b t =
   match t with
   | Zero | One -> t
   | Node n when n.v > v -> t
   | Node n when n.v = v -> if b then n.hi else n.lo
   | Node n -> (
       let key = (n.id, v, b) in
-      match Hashtbl.find_opt restrict_memo key with
+      match Hashtbl.find_opt m.restrict_memo key with
       | Some r -> r
       | None ->
-          let r = mk n.v (restrict v b n.lo) (restrict v b n.hi) in
-          Hashtbl.add restrict_memo key r;
+          let r = mk m n.v (restrict_m m v b n.lo) (restrict_m m v b n.hi) in
+          Hashtbl.add m.restrict_memo key r;
           r)
 
-let exists_var v t = disj (restrict v false t) (restrict v true t)
-let exists vs t = List.fold_left (fun t v -> exists_var v t) t vs
+let restrict v b t = restrict_m (manager ()) v b t
+
+let exists_var m v t = disj_m m (restrict_m m v false t) (restrict_m m v true t)
+
+let exists vs t =
+  let m = manager () in
+  List.fold_left (fun t v -> exists_var m v t) t vs
 
 let is_zero t = t == Zero
 let is_one t = t == One
@@ -133,7 +250,28 @@ let equal a b = a == b
 let compare a b = Int.compare (id a) (id b)
 let hash t = id t
 let is_sat t = not (is_zero t)
-let implies a b = is_zero (conj a (neg b))
+
+let implies a b =
+  let m = manager () in
+  is_zero (conj_m m a (neg_m m b))
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic compilation cache                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cached ~key f =
+  let m = manager () in
+  match Hashtbl.find_opt m.Manager.compile_cache key with
+  | Some b ->
+      m.Manager.cache_hits <- m.Manager.cache_hits + 1;
+      (match m.Manager.cache_hook with None -> () | Some h -> h true);
+      b
+  | None ->
+      m.Manager.cache_misses <- m.Manager.cache_misses + 1;
+      (match m.Manager.cache_hook with None -> () | Some h -> h false);
+      let b = f () in
+      Hashtbl.add m.Manager.compile_cache key b;
+      b
 
 let any_sat t =
   let rec go acc = function
@@ -217,4 +355,4 @@ let rec pp fmt = function
   | Node { v; lo; hi; _ } ->
       Format.fprintf fmt "@[<hv 1>(x%d?%a:%a)@]" v pp hi pp lo
 
-let node_count () = Hashtbl.length unique
+let node_count () = Hashtbl.length (manager ()).Manager.unique

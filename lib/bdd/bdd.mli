@@ -1,11 +1,67 @@
 (** Hash-consed reduced ordered binary decision diagrams.
 
     Variables are non-negative integers ordered by their index: smaller
-    indices appear closer to the root. All BDDs built through this
-    module are maximally shared, so structural equality coincides with
-    physical equality and is O(1) via {!equal}. *)
+    indices appear closer to the root. All BDDs built through one
+    manager are maximally shared, so structural equality coincides with
+    physical equality and is O(1) via {!equal}.
+
+    {b Managers and domains.} All mutable state (the unique table, the
+    operation memo tables, the compilation cache, the hooks) lives in a
+    {!Manager.t}. The module-level operations act on a {e domain-local}
+    default manager — one per [Domain], allocated lazily — so every
+    domain owns an isolated, race-free BDD universe and parallel
+    workers never contend on the allocation path. Node identity is
+    manager-relative: never mix BDDs built by different managers (or by
+    the same manager across a {!Manager.reset}) in one operation. *)
 
 type t
+
+(** The mutable BDD universe: unique table, id allocator, memo tables,
+    compilation cache and observability hooks. *)
+module Manager : sig
+  type bdd = t
+  type t
+
+  val create : unit -> t
+
+  val current : unit -> t
+  (** The calling domain's default manager (created on first use). *)
+
+  val clear_caches : t -> unit
+  (** Drop the operation memo tables only; hash-consed nodes and the
+      compilation cache are kept. *)
+
+  val reset : t -> unit
+  (** Full reset: unique table, id allocator, memo tables and the
+      compilation cache. Invalidates {e every} BDD the manager has
+      built — only call between independent analyses when none of
+      their results is still live. Bounds memory across large corpus
+      sweeps, which {!val:clear_caches} alone cannot (it keeps the
+      unique table). *)
+
+  type stats = {
+    nodes : int; (* live entries in the unique table *)
+    next_id : int; (* next fresh node id (2 after a reset) *)
+    neg_memo : int;
+    and_memo : int;
+    xor_memo : int;
+    restrict_memo : int;
+    cache_entries : int; (* compilation-cache entries *)
+    cache_hits : int; (* compilation-cache hits since creation *)
+    cache_misses : int;
+  }
+
+  val stats : t -> stats
+end
+
+val manager : unit -> Manager.t
+(** Alias for {!Manager.current}. *)
+
+val with_manager : Manager.t -> (unit -> 'a) -> 'a
+(** [with_manager m f] runs [f] with [m] installed as the calling
+    domain's default manager, restoring the previous one afterwards
+    (also on raise). BDDs built inside [f] belong to [m] and must not
+    escape into operations under another manager. *)
 
 val zero : t
 (** The constant false. *)
@@ -47,6 +103,14 @@ val is_sat : t -> bool
 val implies : t -> t -> bool
 (** [implies a b] iff [a] entails [b]. *)
 
+val cached : key:string -> (unit -> t) -> t
+(** [cached ~key f] is the symbolic compilation cache of the current
+    manager: return the BDD memoized under [key], or run [f], store
+    its result and return it. Keys must canonically encode the whole
+    source object being compiled (two different objects must never
+    render to the same key). Hit/miss totals appear in
+    {!Manager.stats} and fire {!set_cache_hook}. *)
+
 val any_sat : t -> (int * bool) list
 (** A partial assignment (variable, value) making the BDD true; variables
     absent from the list are don't-cares. @raise Not_found on [zero]. *)
@@ -68,16 +132,32 @@ val eval : (int -> bool) -> t -> bool
 (** Evaluate under a total assignment. *)
 
 val node_count : unit -> int
-(** Number of live nodes in the global unique table (diagnostic). *)
+(** Number of live nodes in the current domain's unique table
+    (diagnostic); [Manager.stats] gives the full picture. *)
 
 val set_alloc_hook : (unit -> unit) option -> unit
-(** Install (or clear) a callback fired once per fresh node allocation.
-    Used by the observability layer to count BDD allocations; [None]
-    keeps the allocation path hook-free apart from one match. *)
+(** Install (or clear) a callback on the {e current domain's} manager,
+    fired once per fresh node allocation. Used by the observability
+    layer to count BDD allocations; [None] keeps the allocation path
+    hook-free apart from one match. Per-manager, so concurrent domains
+    can count allocations without racing on a shared cell. *)
+
+val set_cache_hook : (bool -> unit) option -> unit
+(** Install (or clear) a callback on the current domain's manager,
+    fired on every {!cached} probe with [true] on a hit and [false] on
+    a miss. *)
+
+val get_alloc_hook : unit -> (unit -> unit) option
+val get_cache_hook : unit -> (bool -> unit) option
+(** The current domain's installed hooks, so a scope that redirects
+    them (e.g. a worker pool labelling allocations per domain) can
+    restore the previous wiring afterwards. *)
 
 val clear_caches : unit -> unit
-(** Drop operation memo tables (unique table is kept). Useful between
-    large independent analyses to bound memory. *)
+(** [Manager.clear_caches] on the current domain's manager: drop
+    operation memo tables (unique table is kept). Useful between large
+    independent analyses to bound memo growth; use {!Manager.reset}
+    to also bound the unique table. *)
 
 val pp : Format.formatter -> t -> unit
 (** Debug rendering as nested if-then-else. *)

@@ -22,11 +22,53 @@ let compare_acls_calls =
 
 let bdd_nodes =
   Obs.Counter.make "bdd.nodes_allocated"
-    ~help:"fresh BDD nodes allocated in the global unique table"
+    ~help:"fresh BDD nodes allocated in this domain's unique table"
 
-(* The hook is installed only while the layer is enabled, so the BDD
-   allocation path stays a single [match] when observability is off. *)
+let cache_hits =
+  Obs.Counter.make "bdd.compile_cache.hits"
+    ~help:"symbolic compilation cache hits (ACL rules, prefix lists)"
+
+let cache_misses =
+  Obs.Counter.make "bdd.compile_cache.misses"
+    ~help:"symbolic compilation cache misses"
+
+(* The hooks are installed only while the layer is enabled, so the BDD
+   allocation and cache-probe paths stay a single [match] when
+   observability is off. They go on the calling domain's manager —
+   worker domains install their own per-domain labeled hooks (see
+   [Parallel.Pool]). *)
 let () =
   Obs.subscribe_state (fun on ->
       Symbdd.Bdd.set_alloc_hook
-        (if on then Some (fun () -> Obs.Counter.incr bdd_nodes) else None))
+        (if on then Some (fun () -> Obs.Counter.incr bdd_nodes) else None);
+      Symbdd.Bdd.set_cache_hook
+        (if on then
+           Some
+             (fun hit ->
+               Obs.Counter.incr (if hit then cache_hits else cache_misses))
+         else None))
+
+let manager_nodes = Obs.Counter.make "bdd.manager.nodes"
+let manager_memo = Obs.Counter.make "bdd.manager.memo_entries"
+let manager_cache_entries = Obs.Counter.make "bdd.manager.cache_entries"
+
+(* Copy the current manager's size gauges into counters so `clarify
+   obs` snapshots show where BDD memory stands. Counters are monotonic,
+   so each publish raises the counter to the current gauge when it has
+   grown (diffed against the counter's own value, which survives
+   [Obs.reset] correctly: the counter zeroes and the next publish
+   re-raises it). After a [Manager.reset] shrinks a gauge the counter
+   holds its high-water mark. *)
+let publish_manager_stats () =
+  let s = Symbdd.Bdd.Manager.stats (Symbdd.Bdd.manager ()) in
+  let memo =
+    s.Symbdd.Bdd.Manager.neg_memo + s.Symbdd.Bdd.Manager.and_memo
+    + s.Symbdd.Bdd.Manager.xor_memo + s.Symbdd.Bdd.Manager.restrict_memo
+  in
+  let raise_to counter gauge =
+    let d = gauge - Obs.Counter.value counter in
+    if d > 0 then Obs.Counter.incr ~by:d counter
+  in
+  raise_to manager_nodes s.Symbdd.Bdd.Manager.nodes;
+  raise_to manager_memo memo;
+  raise_to manager_cache_entries s.Symbdd.Bdd.Manager.cache_entries

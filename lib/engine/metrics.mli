@@ -1,8 +1,18 @@
 (** Observability counters for the symbolic engine. Referencing this
-    module also wires the BDD allocation hook to the [obs] lifecycle. *)
+    module also wires the BDD allocation and compile-cache hooks to the
+    [obs] lifecycle. *)
 
 val search_filters_calls : Obs.Counter.t
 val search_route_policies_calls : Obs.Counter.t
 val compare_route_policies_calls : Obs.Counter.t
 val compare_acls_calls : Obs.Counter.t
 val bdd_nodes : Obs.Counter.t
+val cache_hits : Obs.Counter.t
+val cache_misses : Obs.Counter.t
+
+val publish_manager_stats : unit -> unit
+(** Raise the [bdd.manager.nodes] / [bdd.manager.memo_entries] /
+    [bdd.manager.cache_entries] counters to the current domain
+    manager's live sizes (high-water marks; counters are monotonic).
+    Call just before taking a snapshot so `clarify obs` reports show
+    where BDD memory stands. *)

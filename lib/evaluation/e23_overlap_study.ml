@@ -7,11 +7,11 @@ type row = { quantity : string; paper : string; measured : string }
 let pct a b =
   if b = 0 then "0.0%" else Printf.sprintf "%.1f%%" (100.0 *. float_of_int a /. float_of_int b)
 
-let cloud ?seed () =
+let cloud ?seed ?pool () =
   let corpus = Workload.Cloud.generate ?seed () in
-  let a = Overlap.Corpus.summarize_acls corpus.Workload.Cloud.acls in
+  let a = Overlap.Corpus.summarize_acls ?pool corpus.Workload.Cloud.acls in
   let r =
-    Overlap.Corpus.summarize_route_maps corpus.Workload.Cloud.route_map_db
+    Overlap.Corpus.summarize_route_maps ?pool corpus.Workload.Cloud.route_map_db
       corpus.Workload.Cloud.route_maps
   in
   [
@@ -48,12 +48,12 @@ let cloud ?seed () =
     };
   ]
 
-let campus ?seed ?(scale = 1.0) () =
+let campus ?seed ?(scale = 1.0) ?pool () =
   let corpus = Workload.Campus.generate ?seed ~scale () in
-  let a = Overlap.Corpus.summarize_acls corpus.Workload.Campus.acls in
+  let a = Overlap.Corpus.summarize_acls ?pool corpus.Workload.Campus.acls in
   let r =
-    Overlap.Corpus.summarize_route_maps corpus.Workload.Campus.route_map_db
-      corpus.Workload.Campus.route_maps
+    Overlap.Corpus.summarize_route_maps ?pool
+      corpus.Workload.Campus.route_map_db corpus.Workload.Campus.route_maps
   in
   [
     {

@@ -175,28 +175,40 @@ let build_router ?record_dir ~router ~map_names ~steps ~reference_db () =
   in
   (db, stats)
 
-let run ?record_dir () =
+(* The three routers are synthesized independently (each from its own
+   reference config, with its own mock LLM and oracle), so a pool runs
+   them on separate domains: each worker builds BDDs in its own manager
+   and records telemetry through its own domain-local recorder, and
+   only plain data (the config database and stats) crosses back. The
+   per-router results are assembled in fixed M, R1, R2 order, so the
+   report is identical at every pool size. *)
+let run ?record_dir ?(pool = Parallel.Pool.serial) () =
   let reference = Netsim.Figure3.reference () in
   let ref_db name = (Netsim.Topology.find reference name).Netsim.Topology.config in
-  let m_db, m_stats =
-    build_router ?record_dir ~router:"M" ~map_names:Netsim.Figure3.m_maps
-      ~steps:m_steps ~reference_db:(ref_db "M") ()
+  let specs =
+    [
+      ("M", Netsim.Figure3.m_maps, m_steps);
+      ( "R1",
+        Netsim.Figure3.r1_maps,
+        border_steps ~prefix_name:"R1"
+          ~own_community:Netsim.Figure3.from_isp1_community
+          ~other_community:Netsim.Figure3.from_isp2_community );
+      ( "R2",
+        Netsim.Figure3.r2_maps,
+        border_steps ~prefix_name:"R2"
+          ~own_community:Netsim.Figure3.from_isp2_community
+          ~other_community:Netsim.Figure3.from_isp1_community );
+    ]
   in
-  let r1_db, r1_stats =
-    build_router ?record_dir ~router:"R1" ~map_names:Netsim.Figure3.r1_maps
-      ~steps:
-        (border_steps ~prefix_name:"R1"
-           ~own_community:Netsim.Figure3.from_isp1_community
-           ~other_community:Netsim.Figure3.from_isp2_community)
-      ~reference_db:(ref_db "R1") ()
+  let built =
+    Parallel.Pool.map_chunked pool
+      ~f:(fun (router, map_names, steps) ->
+        build_router ?record_dir ~router ~map_names ~steps
+          ~reference_db:(ref_db router) ())
+      specs
   in
-  let r2_db, r2_stats =
-    build_router ?record_dir ~router:"R2" ~map_names:Netsim.Figure3.r2_maps
-      ~steps:
-        (border_steps ~prefix_name:"R2"
-           ~own_community:Netsim.Figure3.from_isp2_community
-           ~other_community:Netsim.Figure3.from_isp1_community)
-      ~reference_db:(ref_db "R2") ()
+  let (m_db, m_stats), (r1_db, r1_stats), (r2_db, r2_stats) =
+    match built with [ m; r1; r2 ] -> (m, r1, r2) | _ -> assert false
   in
   let topology =
     Netsim.Figure3.topology ~r1_config:r1_db ~r2_config:r2_db ~m_config:m_db

@@ -1,11 +1,30 @@
-(* Process-global observability registry. Single-threaded by design,
-   like the rest of the system: no locks, no domains. *)
+(* Process-global observability registry.
+
+   Domain-safety contract (see DESIGN.md §Multicore): metric
+   registration and the span record path are guarded by a mutex, and
+   the open-span stack is domain-local, so worker domains may register
+   labeled series, increment counters and open spans concurrently.
+   Counter increments and histogram observations on a *shared* series
+   are unsynchronized field updates — memory-safe in OCaml, but two
+   domains racing on the same series can lose updates. The parallel
+   layer therefore gives each worker its own [domain=N]-labeled series
+   for hot-path metrics; totals on shared series are best-effort under
+   parallelism. *)
 
 (* ------------------------------------------------------------------ *)
 (* State and lifecycle                                                *)
 (* ------------------------------------------------------------------ *)
 
 let enabled_flag = ref false
+
+(* Guards the metric registries (Hashtbl add/iterate) and the span
+   record path (buffer, sequence counter, sink forwarding). Never held
+   while user code runs. *)
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
 (* Wall-clock, not [Sys.time]: span latencies must include time spent
    blocked on IO or sleeping, which CPU time would hide. *)
@@ -91,12 +110,13 @@ module Counter = struct
   let labeled ?(help = "") base kvs =
     let labels = Labels.canon kvs in
     let name = Labels.full_name base labels in
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-        let c = { name; base; labels; help; value = 0 } in
-        Hashtbl.add registry name c;
-        c
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+            let c = { name; base; labels; help; value = 0 } in
+            Hashtbl.add registry name c;
+            c)
 
   let make ?help name = labeled ?help name []
   let incr ?(by = 1) c = if !enabled_flag then c.value <- c.value + by
@@ -104,13 +124,14 @@ module Counter = struct
   let name c = c.name
   let base_name c = c.base
   let labels c = c.labels
-  let find name = Hashtbl.find_opt registry name
+  let find name = locked (fun () -> Hashtbl.find_opt registry name)
 
   let find_labeled base kvs =
-    Hashtbl.find_opt registry (Labels.full_name base (Labels.canon kvs))
+    locked (fun () ->
+        Hashtbl.find_opt registry (Labels.full_name base (Labels.canon kvs)))
 
   let all () =
-    Hashtbl.fold (fun _ c acc -> c :: acc) registry []
+    locked (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) registry [])
     |> List.sort (fun a b -> String.compare a.name b.name)
 
   (* Zero the statically declared (zero-label) series, whose handles
@@ -119,14 +140,15 @@ module Counter = struct
      (per router, per fault class), so keeping dead registrations would
      leak across runs. *)
   let reset () =
-    Hashtbl.filter_map_inplace
-      (fun _ c ->
-        if c.labels = [] then begin
-          c.value <- 0;
-          Some c
-        end
-        else None)
-      registry
+    locked (fun () ->
+        Hashtbl.filter_map_inplace
+          (fun _ c ->
+            if c.labels = [] then begin
+              c.value <- 0;
+              Some c
+            end
+            else None)
+          registry)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -154,23 +176,24 @@ module Histogram = struct
   let labeled ?(help = "") base kvs =
     let labels = Labels.canon kvs in
     let name = Labels.full_name base labels in
-    match Hashtbl.find_opt registry name with
-    | Some h -> h
-    | None ->
-        let h =
-          {
-            name;
-            base;
-            labels;
-            help;
-            counts = Array.make (Array.length bounds) 0;
-            count = 0;
-            sum_ns = 0.;
-            max_ns = 0.;
-          }
-        in
-        Hashtbl.add registry name h;
-        h
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some h -> h
+        | None ->
+            let h =
+              {
+                name;
+                base;
+                labels;
+                help;
+                counts = Array.make (Array.length bounds) 0;
+                count = 0;
+                sum_ns = 0.;
+                max_ns = 0.;
+              }
+            in
+            Hashtbl.add registry name h;
+            h)
 
   let make ?help name = labeled ?help name []
 
@@ -203,29 +226,31 @@ module Histogram = struct
   let name h = h.name
   let base_name h = h.base
   let labels h = h.labels
-  let find name = Hashtbl.find_opt registry name
+  let find name = locked (fun () -> Hashtbl.find_opt registry name)
 
   let find_labeled base kvs =
-    Hashtbl.find_opt registry (Labels.full_name base (Labels.canon kvs))
+    locked (fun () ->
+        Hashtbl.find_opt registry (Labels.full_name base (Labels.canon kvs)))
 
   let all () =
-    Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+    locked (fun () -> Hashtbl.fold (fun _ h acc -> h :: acc) registry [])
     |> List.sort (fun a b -> String.compare a.name b.name)
 
   (* Same policy as {!Counter.reset}: zero the zero-label series, drop
      the data-driven labeled ones. *)
   let reset () =
-    Hashtbl.filter_map_inplace
-      (fun _ h ->
-        if h.labels = [] then begin
-          Array.fill h.counts 0 (Array.length h.counts) 0;
-          h.count <- 0;
-          h.sum_ns <- 0.;
-          h.max_ns <- 0.;
-          Some h
-        end
-        else None)
-      registry
+    locked (fun () ->
+        Hashtbl.filter_map_inplace
+          (fun _ h ->
+            if h.labels = [] then begin
+              Array.fill h.counts 0 (Array.length h.counts) 0;
+              h.count <- 0;
+              h.sum_ns <- 0.;
+              h.max_ns <- 0.;
+              Some h
+            end
+            else None)
+          registry)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -305,22 +330,44 @@ let recorded_len = ref 0
 let dropped = ref 0
 let next_seq = ref 0
 
-(* Stack of open spans: (path, start seconds). *)
-let stack : (string * float) list ref = ref []
+(* Stack of open spans: (path, start seconds). Domain-local, so each
+   worker domain nests its own spans without seeing (or corrupting)
+   another domain's open stack; worker roots become separate thread
+   lanes in the Chrome-trace export. *)
+let stack_key : (string * float) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let current_path () = match !stack with [] -> "" | (p, _) :: _ -> p
+let stack () = Domain.DLS.get stack_key
 
+let current_path () = match !(stack ()) with [] -> "" | (p, _) :: _ -> p
+
+(* The buffer, the sequence counter and the sink are shared across
+   domains; serialize completions so concurrent workers never corrupt
+   them. Completion (seq) order between domains is scheduling-
+   dependent; within one domain it stays close order. *)
 let record (s : Span.t) =
-  if !recorded_len < max_recorded_spans then begin
-    recorded := s :: !recorded;
-    incr recorded_len
-  end
-  else incr dropped;
-  !current_sink.on_span s
+  locked (fun () ->
+      let s =
+        if !recorded_len < max_recorded_spans then begin
+          let s = { s with Span.seq = !next_seq } in
+          incr next_seq;
+          recorded := s :: !recorded;
+          incr recorded_len;
+          s
+        end
+        else begin
+          let s = { s with Span.seq = !next_seq } in
+          incr next_seq;
+          incr dropped;
+          s
+        end
+      in
+      !current_sink.on_span s)
 
 let with_span name f =
   if not !enabled_flag then f ()
   else begin
+    let stack = stack () in
     let path =
       match !stack with [] -> name | (parent, _) :: _ -> parent ^ "." ^ name
     in
@@ -334,10 +381,8 @@ let with_span name f =
           let duration_ns = if duration_ns < 0. then 0. else duration_ns in
           let start_ns = (t0 -. !origin) *. 1e9 in
           let start_ns = if start_ns < 0. then 0. else start_ns in
-          let seq = !next_seq in
-          incr next_seq;
           Histogram.observe_ns (Histogram.make path) duration_ns;
-          record { Span.path; depth; start_ns; duration_ns; seq }
+          record { Span.path; depth; start_ns; duration_ns; seq = 0 }
       | _ -> () (* disabled or reset mid-span: drop silently *)
     in
     match f () with
@@ -349,8 +394,8 @@ let with_span name f =
         raise e
   end
 
-let spans () = List.rev !recorded
-let dropped_spans () = !dropped
+let spans () = locked (fun () -> List.rev !recorded)
+let dropped_spans () = locked (fun () -> !dropped)
 
 (* Clears *every* piece of mutable state this module accumulates —
    counters and histograms (labeled series dropped entirely), the span
@@ -362,11 +407,12 @@ let dropped_spans () = !dropped
 let reset () =
   Counter.reset ();
   Histogram.reset ();
-  recorded := [];
-  recorded_len := 0;
-  dropped := 0;
-  next_seq := 0;
-  stack := [];
+  locked (fun () ->
+      recorded := [];
+      recorded_len := 0;
+      dropped := 0;
+      next_seq := 0);
+  stack () := [];
   origin := !clock ()
 
 (* ------------------------------------------------------------------ *)

@@ -13,18 +13,46 @@ type acl_summary = {
 }
 
 let default_threshold = 20
+let reset_period = 512
 
-let summarize_acls ?(threshold = default_threshold)
-    ?(progress = fun (_ : int) -> ()) (acls : Config.Acl.t list) =
-  let stats =
-    List.mapi
-      (fun i acl ->
-        progress i;
-        (* Bound memory across very large corpora. *)
-        if i mod 512 = 511 then Symbdd.Bdd.clear_caches ();
-        Acl_overlap.analyze acl)
-      acls
-  in
+(* Per-domain count of analyses since that domain's last manager reset.
+   A full [Manager.reset] every [reset_period] analyses bounds memory
+   across very large corpora — the unique table itself is dropped, not
+   just the operation memos, so node count cannot grow without bound.
+   Safe because sweeps run under a scratch manager (below) and no BDD
+   outlives a single [analyze] call. *)
+let analyzed_since_reset : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let bounded analyze x =
+  let n = Domain.DLS.get analyzed_since_reset in
+  incr n;
+  if !n mod reset_period = 0 then
+    Symbdd.Bdd.Manager.reset (Symbdd.Bdd.manager ());
+  analyze x
+
+(* Run one corpus sweep, optionally across a pool. The whole sweep runs
+   under a fresh scratch manager, so (a) periodic full resets can never
+   invalidate a BDD the caller holds, and (b) the calling domain's
+   default manager is not bloated by sweep-sized unique tables. Spawned
+   worker domains get their own fresh managers for free. [progress]
+   fires only on the serial path: parallel completion order is
+   nondeterministic, and per-index callbacks from worker domains would
+   race. *)
+let sweep ?(pool = Parallel.Pool.serial) ?progress ~f items =
+  Symbdd.Bdd.with_manager (Symbdd.Bdd.Manager.create ()) (fun () ->
+      match progress with
+      | Some p when Parallel.Pool.domains pool <= 1 ->
+          List.mapi
+            (fun i x ->
+              p i;
+              bounded f x)
+            items
+      | _ -> Parallel.Pool.map_chunked pool ~f:(bounded f) items)
+
+let summarize_acls ?(threshold = default_threshold) ?pool ?progress
+    (acls : Config.Acl.t list) =
+  let stats = sweep ?pool ?progress ~f:Acl_overlap.analyze acls in
   let count f = List.length (List.filter f stats) in
   {
     total = List.length stats;
@@ -46,9 +74,9 @@ type route_map_summary = {
   rm_conflicting_pairs_total : int;
 }
 
-let summarize_route_maps ?(threshold = default_threshold) db
+let summarize_route_maps ?(threshold = default_threshold) ?pool db
     (rms : Config.Route_map.t list) =
-  let stats = List.map (Route_map_overlap.analyze db) rms in
+  let stats = sweep ?pool ~f:(Route_map_overlap.analyze db) rms in
   {
     rm_total = List.length stats;
     rm_with_overlaps =

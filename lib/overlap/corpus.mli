@@ -16,9 +16,19 @@ val default_threshold : int
 (** 20, the paper's reporting threshold. *)
 
 val summarize_acls :
-  ?threshold:int -> ?progress:(int -> unit) -> Config.Acl.t list -> acl_summary
-(** BDD caches are cleared periodically to bound memory on very large
-    corpora. *)
+  ?threshold:int ->
+  ?pool:Parallel.Pool.t ->
+  ?progress:(int -> unit) ->
+  Config.Acl.t list ->
+  acl_summary
+(** Per-ACL analyses are independent, so a [pool] of N domains analyzes
+    N ACLs concurrently (each domain in its own BDD manager); results
+    are aggregated in input order, so the summary is identical at every
+    pool size. The sweep runs under a scratch manager that is fully
+    reset periodically, bounding memory on very large corpora without
+    touching any BDD the caller holds. [progress] fires only on the
+    serial path (pool absent or of one domain): parallel completion
+    order is nondeterministic. *)
 
 type route_map_summary = {
   rm_total : int;
@@ -30,9 +40,12 @@ type route_map_summary = {
 
 val summarize_route_maps :
   ?threshold:int ->
+  ?pool:Parallel.Pool.t ->
   Config.Database.t ->
   Config.Route_map.t list ->
   route_map_summary
+(** Same parallelization and memory-bounding contract as
+    {!summarize_acls}. *)
 
 val pp_acl_summary : Format.formatter -> acl_summary -> unit
 val pp_route_map_summary : Format.formatter -> route_map_summary -> unit

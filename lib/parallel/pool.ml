@@ -1,0 +1,187 @@
+(* A Domain-based fork-join worker pool.
+
+   Work arrives as a list; [map_chunked] partitions it into contiguous
+   chunks, hands chunks out to [domains] workers (the calling domain
+   participates as worker 0, [domains - 1] fresh domains are spawned
+   per batch), and reassembles the results in input order, so a
+   parallel map is observationally identical to [List.map] — the
+   determinism contract the evaluation goldens rely on.
+
+   Fresh domains per batch rather than persistent workers: every task
+   class this system parallelizes is coarse (hundreds of microseconds
+   to seconds per chunk), so the ~tens-of-microseconds spawn cost is
+   noise, and short-lived domains mean each batch starts with a fresh
+   domain-local BDD manager — memory from one corpus sweep can never
+   leak into the next.
+
+   Each worker gets an isolated BDD universe via the domain-local
+   default manager in [Symbdd.Bdd]; tasks must therefore return plain
+   data (stats, configs), never BDD values, and must not capture BDDs
+   from the submitting domain. *)
+
+type t = { domains : int }
+
+let env_var = "CLARIFY_JOBS"
+
+let default_domains () =
+  match Sys.getenv_opt env_var with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+
+let create ?domains () =
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  { domains }
+
+let domains t = t.domains
+let serial = { domains = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-domain labeled series, looked up at batch start (in the
+   submitting domain) rather than cached at pool creation: Obs.reset
+   drops labeled series, so handles must be re-acquired per batch.
+   Each series is only ever touched by its own worker, so increments
+   never race. *)
+type worker_metrics = {
+  tasks : Obs.Counter.t; (* parallel.tasks{domain=N} *)
+  task_ns : Obs.Histogram.t; (* parallel.task_ns{domain=N} *)
+  queue_wait_ns : Obs.Histogram.t; (* parallel.queue_wait_ns{domain=N} *)
+  bdd_nodes : Obs.Counter.t; (* bdd.nodes_allocated{domain=N} *)
+  cache_hits : Obs.Counter.t; (* bdd.compile_cache.hits{domain=N} *)
+  cache_misses : Obs.Counter.t;
+}
+
+let worker_metrics i =
+  let l = [ ("domain", string_of_int i) ] in
+  {
+    tasks = Obs.Counter.labeled "parallel.tasks" l ~help:"tasks run per worker domain";
+    task_ns = Obs.Histogram.labeled "parallel.task_ns" l;
+    queue_wait_ns = Obs.Histogram.labeled "parallel.queue_wait_ns" l;
+    bdd_nodes = Obs.Counter.labeled "bdd.nodes_allocated" l;
+    cache_hits = Obs.Counter.labeled "bdd.compile_cache.hits" l;
+    cache_misses = Obs.Counter.labeled "bdd.compile_cache.misses" l;
+  }
+
+let batches = lazy (Obs.Counter.make "parallel.batches")
+let spawned = lazy (Obs.Counter.make "parallel.domains_spawned")
+
+(* Count BDD work into this worker's own labeled series. The hooks go
+   on the worker's domain-local manager; worker 0 is the submitting
+   domain, whose pre-existing hooks (the engine's process-wide
+   counters) are saved and restored around the batch. *)
+let with_worker_hooks m f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    let saved_alloc = Symbdd.Bdd.get_alloc_hook () in
+    let saved_cache = Symbdd.Bdd.get_cache_hook () in
+    Symbdd.Bdd.set_alloc_hook (Some (fun () -> Obs.Counter.incr m.bdd_nodes));
+    Symbdd.Bdd.set_cache_hook
+      (Some
+         (fun hit ->
+           Obs.Counter.incr (if hit then m.cache_hits else m.cache_misses)));
+    Fun.protect
+      ~finally:(fun () ->
+        Symbdd.Bdd.set_alloc_hook saved_alloc;
+        Symbdd.Bdd.set_cache_hook saved_cache)
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* map_chunked                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Contiguous chunk bounds: first [rem] chunks get one extra item. *)
+let chunk_bounds ~n ~chunks i =
+  let base = n / chunks and rem = n mod chunks in
+  let start = (i * base) + min i rem in
+  let len = base + if i < rem then 1 else 0 in
+  (start, len)
+
+let map_chunked ?chunks_per_domain pool ~f items =
+  let n = List.length items in
+  if n = 0 then []
+  else if pool.domains <= 1 || n = 1 then
+    (* Serial fallback: no domains, no instrumentation difference. *)
+    List.map f items
+  else begin
+    let workers = min pool.domains n in
+    let chunks =
+      let per = Option.value chunks_per_domain ~default:1 in
+      min n (workers * max 1 per)
+    in
+    let input = Array.of_list items in
+    let results = Array.make chunks [] in
+    let failures = Array.make chunks None in
+    (* Chunks are claimed dynamically so stragglers load-balance when
+       chunks_per_domain > 1; result slots are per-chunk, so workers
+       never write to the same cell. *)
+    let next_chunk = Atomic.make 0 in
+    let submitted = Obs.now () in
+    let metrics =
+      if Obs.enabled () then Array.init workers worker_metrics else [||]
+    in
+    let worker w =
+      let m = if Obs.enabled () then Some metrics.(w) else None in
+      let run_chunks () =
+        (match m with
+        | Some m ->
+            Obs.Histogram.observe_ns m.queue_wait_ns
+              ((Obs.now () -. submitted) *. 1e9)
+        | None -> ());
+        let rec loop () =
+          let c = Atomic.fetch_and_add next_chunk 1 in
+          if c < chunks then begin
+            let start, len = chunk_bounds ~n ~chunks c in
+            (match
+               List.init len (fun j ->
+                   let t0 = Obs.now () in
+                   let r = f input.(start + j) in
+                   (match m with
+                   | Some m ->
+                       Obs.Counter.incr m.tasks;
+                       Obs.Histogram.observe_ns m.task_ns
+                         ((Obs.now () -. t0) *. 1e9)
+                   | None -> ());
+                   r)
+             with
+            | rs -> results.(c) <- rs
+            | exception e -> failures.(c) <- Some e);
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let instrumented () =
+        match m with
+        | Some m ->
+            with_worker_hooks m (fun () ->
+                (* Root span per worker: a separate thread lane in the
+                   Chrome-trace export of any recording session. *)
+                Obs.with_span (Printf.sprintf "domain%d" w) run_chunks)
+        | None -> run_chunks ()
+      in
+      instrumented ()
+    in
+    if Obs.enabled () then begin
+      Obs.Counter.incr (Lazy.force batches);
+      Obs.Counter.incr ~by:(workers - 1) (Lazy.force spawned)
+    end;
+    let ds =
+      List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    Fun.protect
+      ~finally:(fun () -> List.iter Domain.join ds)
+      (fun () -> worker 0);
+    (match
+       Array.to_seq failures |> Seq.filter_map Fun.id |> Seq.uncons
+     with
+    | Some (e, _) -> raise e
+    | None -> ());
+    Array.to_list results |> List.concat
+  end

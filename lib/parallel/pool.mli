@@ -1,0 +1,50 @@
+(** A Domain-based fork-join worker pool with deterministic ordering.
+
+    [map_chunked] is observationally [List.map]: results come back in
+    input order regardless of scheduling, and the first task exception
+    (by input position) is re-raised in the submitting domain. The
+    calling domain participates as worker 0; [domains - 1] fresh
+    domains are spawned per batch and joined before returning.
+
+    Every worker domain owns an isolated BDD universe (the domain-local
+    default manager of {!Symbdd.Bdd}), so tasks may freely build BDDs —
+    but must return only plain data (stats records, databases), never
+    BDD values: node identity is manager-relative and worker managers
+    die with their domain. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ()] sizes the pool from the [CLARIFY_JOBS] environment
+    variable (default 1 when unset or unparsable); [~domains] overrides
+    it. Values are clamped to at least 1. A pool of 1 domain runs
+    everything serially in the calling domain — no spawning, identical
+    behaviour to [List.map]. *)
+
+val default_domains : unit -> int
+(** The [CLARIFY_JOBS] value (>= 1), or 1. *)
+
+val domains : t -> int
+
+val serial : t
+(** A pool of one domain; [map_chunked serial ~f] is [List.map f]. *)
+
+val map_chunked : ?chunks_per_domain:int -> t -> f:('a -> 'b) -> 'a list -> 'b list
+(** [map_chunked pool ~f items] applies [f] to every item across the
+    pool's domains and returns the results in input order. Items are
+    partitioned into contiguous chunks ([chunks_per_domain] per worker,
+    default 1; raise it for uneven workloads so stragglers
+    load-balance) claimed dynamically from a shared atomic counter.
+
+    While observability is enabled, each worker runs under a root span
+    [domainN] (a separate thread lane in the Chrome-trace export) and
+    feeds per-domain labeled series: [parallel.tasks{domain=N}],
+    [parallel.task_ns{domain=N}], [parallel.queue_wait_ns{domain=N}],
+    plus [bdd.nodes_allocated{domain=N}] and compile-cache hit/miss
+    counters via the worker's BDD hooks. Labeled handles are acquired
+    per batch (never cached across {!Obs.reset}), and worker 0's
+    previous BDD hooks are restored when the batch completes.
+
+    If any task raises, all chunks still drain, the spawned domains are
+    joined, and the exception from the smallest input position is
+    re-raised. *)

@@ -42,17 +42,55 @@ let of_protocol = function
   | Config.Packet.Ip -> Bdd.one
   | p -> Bvec.eq_const protocol (Config.Packet.protocol_number p)
 
-(** The match condition of one ACL rule (ignoring its action). *)
-let of_rule (r : Config.Acl.rule) =
-  Bdd.conj_list
+(* Canonical compile-cache key: every field that affects the match BDD
+   (action and seq do not), rendered unambiguously. *)
+let addr_key = function
+  | Config.Acl.Any -> "*"
+  | Config.Acl.Host ip -> "h" ^ string_of_int (Netaddr.Ipv4.to_int ip)
+  | Config.Acl.Wildcard (base, wild) ->
+      "w"
+      ^ string_of_int (Netaddr.Ipv4.to_int base)
+      ^ "/"
+      ^ string_of_int (Netaddr.Ipv4.to_int wild)
+
+let port_key = function
+  | Config.Acl.Any_port -> "*"
+  | Config.Acl.Eq n -> "e" ^ string_of_int n
+  | Config.Acl.Neq n -> "n" ^ string_of_int n
+  | Config.Acl.Lt n -> "l" ^ string_of_int n
+  | Config.Acl.Gt n -> "g" ^ string_of_int n
+  | Config.Acl.Range (a, b) -> "r" ^ string_of_int a ^ "-" ^ string_of_int b
+
+let proto_key = function
+  | Config.Packet.Ip -> "ip" (* distinct from [Proto 0], which renders "0" *)
+  | p -> string_of_int (Config.Packet.protocol_number p)
+
+let rule_key (r : Config.Acl.rule) =
+  String.concat ";"
     [
-      of_protocol r.protocol;
-      of_addr_spec src r.src;
-      of_addr_spec dst r.dst;
-      of_port_spec src_port r.src_port;
-      of_port_spec dst_port r.dst_port;
-      (if r.established then Bdd.var established_var else Bdd.one);
+      "acl.rule";
+      proto_key r.protocol;
+      addr_key r.src;
+      addr_key r.dst;
+      port_key r.src_port;
+      port_key r.dst_port;
+      (if r.established then "E" else "-");
     ]
+
+(** The match condition of one ACL rule (ignoring its action). Memoized
+    in the current manager's compilation cache, so corpus sweeps compile
+    each distinct rule once per manager epoch. *)
+let of_rule (r : Config.Acl.rule) =
+  Bdd.cached ~key:(rule_key r) (fun () ->
+      Bdd.conj_list
+        [
+          of_protocol r.protocol;
+          of_addr_spec src r.src;
+          of_addr_spec dst r.dst;
+          of_port_spec src_port r.src_port;
+          of_port_spec dst_port r.dst_port;
+          (if r.established then Bdd.var established_var else Bdd.one);
+        ])
 
 type cell = {
   guard : Bdd.t; (* packets reaching and matching this rule *)

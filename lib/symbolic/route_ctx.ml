@@ -182,25 +182,50 @@ let valid _ctx = Bvec.le_const pfx_len 32
 (* Match-condition compilation                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Prefix-range and prefix-list compilations are context-independent
+   (they touch only the prefix bit-vectors), so they are memoized in
+   the manager's compilation cache under canonical content keys. *)
+let range_key (r : Netaddr.Prefix_range.t) =
+  Printf.sprintf "%d/%d:%d-%d"
+    (Netaddr.Ipv4.to_int r.prefix.Netaddr.Prefix.ip)
+    r.prefix.Netaddr.Prefix.len r.lo r.hi
+
 let of_prefix_range (r : Netaddr.Prefix_range.t) =
-  Bdd.conj
-    (Bvec.prefix_match pfx_ip
-       ~value:(Netaddr.Ipv4.to_int r.prefix.Netaddr.Prefix.ip)
-       ~len:r.prefix.Netaddr.Prefix.len)
-    (Bvec.in_range pfx_len r.lo r.hi)
+  Bdd.cached
+    ~key:("route.prefix_range;" ^ range_key r)
+    (fun () ->
+      Bdd.conj
+        (Bvec.prefix_match pfx_ip
+           ~value:(Netaddr.Ipv4.to_int r.prefix.Netaddr.Prefix.ip)
+           ~len:r.prefix.Netaddr.Prefix.len)
+        (Bvec.in_range pfx_len r.lo r.hi))
+
+(* Keyed by full content (not name): two lists with equal entries share
+   one compilation, and a list reused under the same name but edited
+   content never sees a stale BDD. *)
+let prefix_list_key (pl : Config.Prefix_list.t) =
+  String.concat ";"
+    ("route.prefix_list"
+    :: List.map
+         (fun (e : Config.Prefix_list.entry) ->
+           (if Config.Action.equal e.action Config.Action.Permit then "p"
+            else "d")
+           ^ range_key e.range)
+         pl.Config.Prefix_list.entries)
 
 let of_prefix_list (pl : Config.Prefix_list.t) =
-  let rec go unmatched = function
-    | [] -> Bdd.zero
-    | (e : Config.Prefix_list.entry) :: rest ->
-        let m = of_prefix_range e.range in
-        let here = Bdd.conj unmatched m in
-        let tail = go (Bdd.conj unmatched (Bdd.neg m)) rest in
-        if Config.Action.equal e.action Config.Action.Permit then
-          Bdd.disj here tail
-        else tail
-  in
-  go Bdd.one pl.Config.Prefix_list.entries
+  Bdd.cached ~key:(prefix_list_key pl) (fun () ->
+      let rec go unmatched = function
+        | [] -> Bdd.zero
+        | (e : Config.Prefix_list.entry) :: rest ->
+            let m = of_prefix_range e.range in
+            let here = Bdd.conj unmatched m in
+            let tail = go (Bdd.conj unmatched (Bdd.neg m)) rest in
+            if Config.Action.equal e.action Config.Action.Permit then
+              Bdd.disj here tail
+            else tail
+      in
+      go Bdd.one pl.Config.Prefix_list.entries)
 
 (* "Route carries at least one community in the regex's language",
    relative to the universe. *)

@@ -91,24 +91,36 @@ end
 
 type recorder = { write : Event.t -> unit; t0 : float; mutable seq : int }
 
-let current : recorder option ref = ref None
-let recording () = Option.is_some !current
-let stop () = current := None
+(* The installed recorder and the ambient context are domain-local:
+   each worker domain records to its own log (or not at all) without
+   clobbering the recorder of the main domain or of sibling workers —
+   e.g. the parallel E4 evaluation writes one per-router log from each
+   worker concurrently. *)
+let current_key : recorder option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = Domain.DLS.get current_key
+let recording () = Option.is_some !(current ())
+let stop () = current () := None
 
 (* Ambient context labels, stamped onto every event emitted inside a
    [with_context] scope. A dynamically scoped stack rather than an
    argument so call sites deep in the pipeline (the LLM, the
    disambiguators) need no plumbing to learn which router or experiment
    they are running for. *)
-let context : (string * string) list ref = ref []
+let context_key : (string * string) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let context () = Domain.DLS.get context_key
 
 let with_context kvs f =
+  let context = context () in
   let saved = !context in
   context := saved @ kvs;
   Fun.protect ~finally:(fun () -> context := saved) f
 
 let emit ~kind fields =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some r ->
       let e =
@@ -117,7 +129,7 @@ let emit ~kind fields =
           kind;
           span = Obs.current_path ();
           ts_ns = (Obs.now () -. r.t0) *. 1e9;
-          ctx = !context;
+          ctx = !(context ());
           fields = fields ();
         }
       in
@@ -135,19 +147,22 @@ let channel_recorder oc =
         flush oc);
   }
 
-let record_to_channel oc = current := Some (channel_recorder oc)
+let record_to_channel oc = current () := Some (channel_recorder oc)
 
 let with_channel_recorder oc f =
+  let current = current () in
   let saved = !current in
   current := Some (channel_recorder oc);
   Fun.protect ~finally:(fun () -> current := saved) f
 
 let record_to_memory () =
   let acc = ref [] in
-  current := Some { seq = 0; t0 = Obs.now (); write = (fun e -> acc := e :: !acc) };
+  current ()
+  := Some { seq = 0; t0 = Obs.now (); write = (fun e -> acc := e :: !acc) };
   fun () -> List.rev !acc
 
 let with_memory_recorder f =
+  let current = current () in
   let saved = !current in
   let events = record_to_memory () in
   let restore () = current := saved in
@@ -213,6 +228,7 @@ module Bench = struct
   type experiment = { snapshot : Obs.Snapshot.t; events : int }
 
   type t = {
+    domains : int; (* parallelism the snapshot was taken at *)
     experiments : (string * experiment) list;
     benchmarks : (string * float) list; (* name -> ns/run *)
   }
@@ -221,6 +237,7 @@ module Bench = struct
     Json.Obj
       [
         ("schema", Json.String schema);
+        ("domains", Json.Int t.domains);
         ( "experiments",
           Json.Obj
             (List.map
@@ -280,7 +297,11 @@ module Bench = struct
         (Ok []) bench_fields
       |> Result.map List.rev
     in
-    Ok { experiments; benchmarks }
+    (* Absent in pre-parallelism snapshots, which were always serial. *)
+    let domains =
+      Option.value ~default:1 (Option.bind (Json.member "domains" j) Json.to_int)
+    in
+    Ok { domains; experiments; benchmarks }
 
   let of_string s = Result.bind (Json.parse s) of_json
 

@@ -102,6 +102,11 @@ module Bench : sig
   }
 
   type t = {
+    domains : int;
+        (** Worker-domain count the snapshot was taken at ([--jobs] /
+            [CLARIFY_JOBS]); 1 when reading pre-parallelism files.
+            [clarify obs diff] refuses to compare snapshots taken at
+            different parallelism — timings would not be comparable. *)
     experiments : (string * experiment) list; (* e.g. "E1" .. "E4" *)
     benchmarks : (string * float) list; (* Bechamel name -> ns/run *)
   }

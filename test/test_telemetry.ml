@@ -144,7 +144,8 @@ let sample_bench () =
   let snapshot = Obs.Snapshot.take () in
   Obs.disable ();
   {
-    B.experiments = [ ("E1", { B.snapshot; events = 13 }) ];
+    B.domains = 1;
+    experiments = [ ("E1", { B.snapshot; events = 13 }) ];
     benchmarks = [ ("config-parse/isp_out", 36_340.0) ];
   }
 
