@@ -209,10 +209,6 @@ let run_density_sweep () =
     [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
   Format.printf "@."
 
-(* ------------------------------------------------------------------ *)
-(* Parallel speedup: serial vs pool on the corpus sweeps and E4       *)
-(* ------------------------------------------------------------------ *)
-
 (* Wall-clock ns for one run; Bechamel is the wrong tool here (one
    iteration takes seconds, and we want the identical workload on both
    sides, not per-side calibration). *)
@@ -220,6 +216,64 @@ let wall_ns f =
   let t0 = Obs.now () in
   let r = f () in
   (r, (Obs.now () -. t0) *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Boundary sweeps: naive vs incremental (DESIGN.md §11)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Same ablation target, both strategies, asserted identical on every
+   run. The naive path re-executes two n-stanza maps per insertion
+   position (O(n²) cell work per sweep); the incremental path compiles
+   the target once and derives every boundary from the shared prefix
+   execution. The CI gate holds incremental to >= 3x naive at width
+   128. *)
+let run_disambig_comparison () =
+  Format.printf "=== Boundary sweeps: naive vs incremental ===@.";
+  let timings = ref [] in
+  List.iter
+    (fun n ->
+      let db, target, stanza = ablation_scenario n in
+      let naive, naive_ns =
+        wall_ns (fun () ->
+            Engine.Compare_route_policies.adjacent_insertions ~naive:true ~db
+              ~target stanza)
+      in
+      let incr, incr_ns =
+        wall_ns (fun () ->
+            Engine.Compare_route_policies.adjacent_insertions ~naive:false ~db
+              ~target stanza)
+      in
+      if naive <> incr then failwith "incremental sweep differs from naive";
+      timings :=
+        (Printf.sprintf "disambig/incremental-w%d" n, incr_ns)
+        :: (Printf.sprintf "disambig/naive-w%d" n, naive_ns)
+        :: !timings;
+      Format.printf
+        "width %-4d naive %9.2f ms  incremental %9.2f ms  speedup %.1fx@." n
+        (naive_ns /. 1e6) (incr_ns /. 1e6)
+        (naive_ns /. incr_ns);
+      if Parallel.Pool.domains pool > 1 then begin
+        let pooled, pool_ns =
+          wall_ns (fun () ->
+              Engine.Compare_route_policies.adjacent_insertions ~naive:false
+                ~pool ~db ~target stanza)
+        in
+        if pooled <> incr then failwith "pooled sweep differs from serial";
+        timings :=
+          (Printf.sprintf "disambig/incremental-w%d-par" n, pool_ns)
+          :: !timings;
+        Format.printf
+          "width %-4d pooled x%d  %9.2f ms  speedup over naive %.1fx@." n
+          (Parallel.Pool.domains pool) (pool_ns /. 1e6)
+          (naive_ns /. pool_ns)
+      end)
+    [ 8; 32; 128 ];
+  Format.printf "@.";
+  List.rev !timings
+
+(* ------------------------------------------------------------------ *)
+(* Parallel speedup: serial vs pool on the corpus sweeps and E4       *)
+(* ------------------------------------------------------------------ *)
 
 let pp_speedup name serial_ns par_ns =
   Format.printf "%-24s %10.0f ms serial %10.0f ms x%d  speedup %.2fx@." name
@@ -456,8 +510,10 @@ let () =
   run_ablation ();
   Evaluation.A2_llm_disambiguator.(print Format.std_formatter (run ()));
   run_density_sweep ();
+  let disambig_timings = run_disambig_comparison () in
   let parallel_timings = run_parallel_comparison () in
   let timings = run_benchmarks () in
   Option.iter
-    (fun path -> write_bench_json path (timings @ parallel_timings))
+    (fun path ->
+      write_bench_json path (timings @ disambig_timings @ parallel_timings))
     json_out

@@ -16,6 +16,7 @@ type router_stats = {
   stanzas : int; (* placement events *)
   questions : int;
   probes : int;
+  boundaries : int; (* summed over placement events *)
   retries : int; (* verify events with a non-"verified" verdict *)
   classify_calls : int;
   synthesize_calls : int;
@@ -24,6 +25,7 @@ type router_stats = {
   completion_tokens : int;
   cost_usd : float;
   phases : phase list; (* wall time per pipeline phase; JSON only *)
+  boundary_ns : float; (* find_boundaries span time; JSON only *)
 }
 
 type t = { routers : router_stats list }
@@ -77,6 +79,25 @@ let stats_of_events ~router events =
     + sum_int "llm_synthesize" "completion_tokens"
     + sum_int "llm_spec" "completion_tokens"
   in
+  (* Wall time inside boundary discovery, summed over every
+     find_boundaries span regardless of depth (the disambiguators emit
+     one per sweep). Like the phase timings, nondeterministic, so
+     JSON-only. *)
+  let boundary_ns =
+    List.fold_left
+      (fun acc e ->
+        if e.E.kind <> "span" then acc
+        else
+          match (E.str_field "path" e, E.field "duration_ns" e) with
+          | Some path, Some (Json.Float f)
+            when String.ends_with ~suffix:"find_boundaries" path ->
+              acc +. f
+          | Some path, Some (Json.Int i)
+            when String.ends_with ~suffix:"find_boundaries" path ->
+              acc +. float_of_int i
+          | _ -> acc)
+      0. events
+  in
   let phases =
     List.fold_left
       (fun acc e ->
@@ -109,6 +130,7 @@ let stats_of_events ~router events =
     stanzas = count "placement";
     questions = count "question";
     probes = count "probe";
+    boundaries = sum_int "placement" "boundaries";
     retries;
     classify_calls = count "llm_classify";
     synthesize_calls = count "llm_synthesize";
@@ -117,6 +139,7 @@ let stats_of_events ~router events =
     completion_tokens;
     cost_usd = Llm.Tokens.cost ~prompt_tokens ~completion_tokens;
     phases;
+    boundary_ns;
   }
 
 (* Sessions for the same router (one log per policy step, say) merge
@@ -147,13 +170,15 @@ let of_sessions sessions =
 let figure4_markdown t =
   let b = Buffer.create 256 in
   Buffer.add_string b
-    "| Router | Route-maps | Stanzas | Synthesis calls | Questions | Retries |\n";
-  Buffer.add_string b "|---|---:|---:|---:|---:|---:|\n";
+    "| Router | Route-maps | Stanzas | Synthesis calls | Questions | \
+     Boundaries | Retries |\n";
+  Buffer.add_string b "|---|---:|---:|---:|---:|---:|---:|\n";
   List.iter
     (fun s ->
       Buffer.add_string b
-        (Printf.sprintf "| %s | %d | %d | %d | %d | %d |\n" s.router
-           s.route_maps s.stanzas s.synthesize_calls s.questions s.retries))
+        (Printf.sprintf "| %s | %d | %d | %d | %d | %d | %d |\n" s.router
+           s.route_maps s.stanzas s.synthesize_calls s.questions s.boundaries
+           s.retries))
     t.routers;
   Buffer.contents b
 
@@ -180,16 +205,16 @@ let to_markdown t =
 let to_csv t =
   let b = Buffer.create 256 in
   Buffer.add_string b
-    "router,sessions,route_maps,stanzas,questions,probes,retries,\
+    "router,sessions,route_maps,stanzas,questions,probes,boundaries,retries,\
      classify_calls,synthesize_calls,spec_calls,prompt_tokens,\
      completion_tokens,cost_usd\n";
   List.iter
     (fun s ->
       Buffer.add_string b
-        (Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f\n" s.router
-           s.sessions s.route_maps s.stanzas s.questions s.probes s.retries
-           s.classify_calls s.synthesize_calls s.spec_calls s.prompt_tokens
-           s.completion_tokens s.cost_usd))
+        (Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f\n"
+           s.router s.sessions s.route_maps s.stanzas s.questions s.probes
+           s.boundaries s.retries s.classify_calls s.synthesize_calls
+           s.spec_calls s.prompt_tokens s.completion_tokens s.cost_usd))
     t.routers;
   Buffer.contents b
 
@@ -208,6 +233,7 @@ let to_json t =
                    ("stanzas", Json.Int s.stanzas);
                    ("questions", Json.Int s.questions);
                    ("probes", Json.Int s.probes);
+                   ("boundaries", Json.Int s.boundaries);
                    ("retries", Json.Int s.retries);
                    ("classify_calls", Json.Int s.classify_calls);
                    ("synthesize_calls", Json.Int s.synthesize_calls);
@@ -216,6 +242,10 @@ let to_json t =
                    ("prompt_tokens", Json.Int s.prompt_tokens);
                    ("completion_tokens", Json.Int s.completion_tokens);
                    ("cost_usd", Json.Float s.cost_usd);
+                   ("boundary_ns", Json.Float s.boundary_ns);
+                   ( "boundary_ns_per_question",
+                     Json.Float
+                       (s.boundary_ns /. float_of_int (max 1 s.questions)) );
                    ( "phases",
                      Json.List
                        (List.map

@@ -15,6 +15,8 @@ type router_stats = {
   stanzas : int; (* placement events *)
   questions : int;
   probes : int;
+  boundaries : int; (* differing insertion boundaries, summed over
+                       placement events *)
   retries : int; (* verify events with a non-"verified" verdict *)
   classify_calls : int;
   synthesize_calls : int;
@@ -25,6 +27,9 @@ type router_stats = {
   phases : phase list;
       (* wall time per depth-1 pipeline span, plus "total" for the
          root span; JSON rendering only *)
+  boundary_ns : float;
+      (* wall time summed over find_boundaries spans; the JSON
+         rendering also derives boundary_ns_per_question from it *)
 }
 
 type t = { routers : router_stats list }
@@ -38,7 +43,7 @@ val of_sessions : Session.t list -> t
 
 val figure4_markdown : t -> string
 (** Just the paper's Figure-4 table (route-maps, stanzas, synthesis
-    calls, questions, retries per router). *)
+    calls, questions, boundaries, retries per router). *)
 
 val to_markdown : t -> string
 (** Figure-4 table plus the LLM usage/cost table. Deterministic. *)

@@ -105,6 +105,13 @@ let append t r =
 let resequence t =
   { t with rules = List.mapi (fun i r -> { r with seq = (i + 1) * 10 }) t.rules }
 
+let insert_at t pos r =
+  let n = List.length t.rules in
+  if pos < 0 || pos > n then invalid_arg "Acl.insert_at";
+  let before = List.filteri (fun i _ -> i < pos) t.rules in
+  let after = List.filteri (fun i _ -> i >= pos) t.rules in
+  resequence { t with rules = before @ (r :: after) }
+
 let rename t name = { t with name }
 
 let string_of_addr = function

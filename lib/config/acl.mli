@@ -68,6 +68,11 @@ val append : t -> rule -> t
 val resequence : t -> t
 (** Renumber every rule 10, 20, 30, ... preserving order. *)
 
+val insert_at : t -> int -> rule -> t
+(** Insert a rule at a 0-based position and {!resequence}, mirroring
+    {!Route_map.insert_at}. Raises [Invalid_argument] when the position
+    is outside [0..length rules]. *)
+
 val rename : t -> string -> t
 val string_of_rule : rule -> string
 val pp : Format.formatter -> t -> unit

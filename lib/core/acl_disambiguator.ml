@@ -31,13 +31,7 @@ let pp_question fmt q =
     q.boundary_seq Config.Packet.pp q.packet Config.Action.pp q.if_new_first
     Config.Action.pp q.if_old_first
 
-let insert_rule_at (acl : Config.Acl.t) pos (rule : Config.Acl.rule) =
-  let n = List.length acl.Config.Acl.rules in
-  if pos < 0 || pos > n then invalid_arg "Acl insertion position";
-  let before = List.filteri (fun i _ -> i < pos) acl.Config.Acl.rules in
-  let after = List.filteri (fun i _ -> i >= pos) acl.Config.Acl.rules in
-  Config.Acl.resequence
-    { acl with Config.Acl.rules = before @ (rule :: after) }
+let insert_rule_at = Config.Acl.insert_at
 
 (* Observability (see DESIGN.md §Observability for the naming scheme). *)
 let questions_counter =
@@ -52,28 +46,23 @@ let probes_counter =
   Obs.Counter.make "acl_disambiguator.binary_search.probes"
     ~help:"binary-search iterations (search depth)"
 
-let boundaries ~(target : Config.Acl.t) rule =
+(* One incremental sweep of the engine (naive per-position comparison
+   under CLARIFY_NAIVE_BOUNDARIES=1) instead of one two-ACL diff per
+   position. *)
+let boundaries ?pool ~(target : Config.Acl.t) rule =
   Obs.with_span "find_boundaries" @@ fun () ->
-  let n = List.length target.Config.Acl.rules in
-  let acl_at p = insert_rule_at target p rule in
+  let rules = Array.of_list target.Config.Acl.rules in
   let bs =
-    List.filter_map
-      (fun i ->
-        match
-          Engine.Compare_acls.first_difference (acl_at i) (acl_at (i + 1))
-        with
-        | None -> None
-        | Some d ->
-            Some
-              {
-                position = i;
-                boundary_seq =
-                  (List.nth target.Config.Acl.rules i).Config.Acl.seq;
-                packet = d.packet;
-                if_new_first = d.action_a;
-                if_old_first = d.action_b;
-              })
-      (List.init n Fun.id)
+    List.map
+      (fun (i, (d : Engine.Compare_acls.difference)) ->
+        {
+          position = i;
+          boundary_seq = rules.(i).Config.Acl.seq;
+          packet = d.packet;
+          if_new_first = d.action_a;
+          if_old_first = d.action_b;
+        })
+      (Engine.Compare_acls.adjacent_insertions ?pool ~target rule)
   in
   Obs.Counter.incr ~by:(List.length bs) boundaries_counter;
   bs
@@ -87,7 +76,7 @@ let view (q : question) =
     if_old_first = Format.asprintf "%a" Config.Action.pp q.if_old_first;
   }
 
-let run ?(mode = Binary_search) ~(target : Config.Acl.t)
+let run ?(mode = Binary_search) ?pool ~(target : Config.Acl.t)
     ~(rule : Config.Acl.rule) ~(oracle : oracle) () =
   let n = List.length target.Config.Acl.rules in
   let acl_at p = insert_rule_at target p rule in
@@ -97,17 +86,20 @@ let run ?(mode = Binary_search) ~(target : Config.Acl.t)
   in
   match mode with
   | Top_bottom -> (
-      match Engine.Compare_acls.first_difference (acl_at 0) (acl_at n) with
-      | None ->
+      (* The two extreme placements differ exactly when some adjacent
+         boundary does, and the first boundary's witness packet is the
+         one the two-extremes comparison finds first. *)
+      match boundaries ?pool ~target rule with
+      | [] ->
           Ok { acl = acl_at n; position = n; questions = []; boundaries = 0 }
-      | Some d -> (
+      | b :: _ -> (
           let q =
             {
               position = 0;
               boundary_seq = (List.hd target.Config.Acl.rules).Config.Acl.seq;
-              packet = d.packet;
-              if_new_first = d.action_a;
-              if_old_first = d.action_b;
+              packet = b.packet;
+              if_new_first = b.if_new_first;
+              if_old_first = b.if_old_first;
             }
           in
           match ask q with
@@ -128,7 +120,7 @@ let run ?(mode = Binary_search) ~(target : Config.Acl.t)
                   boundaries = 1;
                 }))
   | Binary_search ->
-      let bs = boundaries ~target rule in
+      let bs = boundaries ?pool ~target rule in
       let k = List.length bs in
       if k = 0 then
         Ok { acl = acl_at n; position = n; questions = []; boundaries = 0 }
@@ -148,7 +140,7 @@ let run ?(mode = Binary_search) ~(target : Config.Acl.t)
           }
       end
   | Linear ->
-      let bs = boundaries ~target rule in
+      let bs = boundaries ?pool ~target rule in
       let answers = List.map (fun q -> (q, ask q)) bs in
       if not (Disambig_common.monotone answers) then
         Error (Inconsistent_intent (asked ()))

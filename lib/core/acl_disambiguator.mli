@@ -26,12 +26,19 @@ type error = Inconsistent_intent of question list
 val pp_question : Format.formatter -> question -> unit
 
 val insert_rule_at : Config.Acl.t -> int -> Config.Acl.rule -> Config.Acl.t
-(** Insert at a position (0 = first) and resequence. *)
+(** Insert at a position (0 = first) and resequence; alias of
+    {!Config.Acl.insert_at}. *)
 
-val boundaries : target:Config.Acl.t -> Config.Acl.rule -> question list
+val boundaries :
+  ?pool:Parallel.Pool.t -> target:Config.Acl.t -> Config.Acl.rule -> question list
+(** All differing boundaries in position order, from one incremental
+    sweep of {!Engine.Compare_acls.adjacent_insertions} (naive
+    per-position comparison under [CLARIFY_NAIVE_BOUNDARIES=1]).
+    [?pool] fans contiguous position chunks across worker domains. *)
 
 val run :
   ?mode:mode ->
+  ?pool:Parallel.Pool.t ->
   target:Config.Acl.t ->
   rule:Config.Acl.rule ->
   oracle:oracle ->

@@ -66,32 +66,26 @@ let probes_counter =
     ~help:"binary-search iterations (search depth)"
 
 (* Boundary questions: position i differs from i+1 exactly on routes
-   handled by original stanza i and matched by the new stanza. *)
-let boundaries ~db ~(target : Config.Route_map.t) stanza =
+   handled by original stanza i and matched by the new stanza. The
+   sweep itself lives in {!Engine.Compare_route_policies} so the target
+   is compiled once (or per chunk under [?pool]) instead of once per
+   position; CLARIFY_NAIVE_BOUNDARIES=1 restores the per-position
+   comparisons. *)
+let boundaries ?pool ~db ~(target : Config.Route_map.t) stanza =
   Obs.with_span "find_boundaries" @@ fun () ->
-  let n = List.length target.Config.Route_map.stanzas in
-  let map_at p = Config.Route_map.insert_at target p stanza in
+  let stanzas = Array.of_list target.Config.Route_map.stanzas in
   let bs =
-    List.filter_map
-      (fun i ->
-        match
-          Engine.Compare_route_policies.first_difference ~db_a:db ~db_b:db
-            (map_at i)
-            (map_at (i + 1))
-        with
-        | None -> None
-        | Some d ->
-            Some
-              {
-                position = i;
-                boundary_seq =
-                  (List.nth target.Config.Route_map.stanzas i)
-                    .Config.Route_map.seq;
-                route = d.route;
-                if_new_first = d.result_a;
-                if_old_first = d.result_b;
-              })
-      (List.init n Fun.id)
+    List.map
+      (fun (i, (d : Engine.Compare_route_policies.difference)) ->
+        {
+          position = i;
+          boundary_seq = stanzas.(i).Config.Route_map.seq;
+          route = d.route;
+          if_new_first = d.result_a;
+          if_old_first = d.result_b;
+        })
+      (Engine.Compare_route_policies.adjacent_insertions ?pool ~db ~target
+         stanza)
   in
   Obs.Counter.incr ~by:(List.length bs) boundaries_counter;
   bs
@@ -107,7 +101,7 @@ let view (q : question) =
       Format.asprintf "%a" Config.Semantics.pp_route_result q.if_old_first;
   }
 
-let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
+let run ?(mode = Binary_search) ?pool ~db ~(target : Config.Route_map.t)
     ~(stanza : Config.Route_map.stanza) ~(oracle : oracle) () =
   let n = List.length target.Config.Route_map.stanzas in
   let map_at p = Config.Route_map.insert_at target p stanza in
@@ -117,23 +111,23 @@ let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
   in
   match mode with
   | Top_bottom -> (
-      (* The prototype's restricted mode: one comparison of the two
-         extreme placements, one question if they differ. *)
-      match
-        Engine.Compare_route_policies.first_difference ~db_a:db ~db_b:db
-          (map_at 0) (map_at n)
-      with
-      | None ->
+      (* The prototype's restricted mode: one question if the two
+         extreme placements differ. Those placements differ exactly
+         when some adjacent boundary does, and the first boundary's
+         witness is the same route the two-extremes comparison finds
+         first, so the sweep serves this mode too. *)
+      match boundaries ?pool ~db ~target stanza with
+      | [] ->
           Ok { map = map_at n; position = n; questions = []; boundaries = 0 }
-      | Some d -> (
+      | b :: _ -> (
           let q =
             {
               position = 0;
               boundary_seq =
                 (List.hd target.Config.Route_map.stanzas).Config.Route_map.seq;
-              route = d.route;
-              if_new_first = d.result_a;
-              if_old_first = d.result_b;
+              route = b.route;
+              if_new_first = b.if_new_first;
+              if_old_first = b.if_old_first;
             }
           in
           match ask q with
@@ -154,7 +148,7 @@ let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
                   boundaries = 1;
                 }))
   | Binary_search ->
-      let bs = boundaries ~db ~target stanza in
+      let bs = boundaries ?pool ~db ~target stanza in
       let k = List.length bs in
       if k = 0 then
         (* No overlap with any existing stanza: all placements are
@@ -176,7 +170,7 @@ let run ?(mode = Binary_search) ~db ~(target : Config.Route_map.t)
           }
       end
   | Linear ->
-      let bs = boundaries ~db ~target stanza in
+      let bs = boundaries ?pool ~db ~target stanza in
       let answers = List.map (fun q -> (q, ask q)) bs in
       if not (Disambig_common.monotone answers) then
         Error (Inconsistent_intent (asked ()))

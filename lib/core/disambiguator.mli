@@ -45,15 +45,21 @@ type error =
 val pp_question : Format.formatter -> question -> unit
 
 val boundaries :
+  ?pool:Parallel.Pool.t ->
   db:Config.Database.t ->
   target:Config.Route_map.t ->
   Config.Route_map.stanza ->
   question list
 (** All differing boundaries with their differential examples, in
-    position order. Exposed for tests and the evaluation harness. *)
+    position order, from one incremental sweep of
+    {!Engine.Compare_route_policies.adjacent_insertions} (naive
+    per-position comparison under [CLARIFY_NAIVE_BOUNDARIES=1]).
+    [?pool] fans contiguous position chunks across worker domains.
+    Exposed for tests and the evaluation harness. *)
 
 val run :
   ?mode:mode ->
+  ?pool:Parallel.Pool.t ->
   db:Config.Database.t ->
   target:Config.Route_map.t ->
   stanza:Config.Route_map.stanza ->

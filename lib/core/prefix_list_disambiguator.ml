@@ -57,11 +57,30 @@ let eval pl p =
   | Some a -> a
   | None -> Config.Action.Deny
 
+(* Observability (see DESIGN.md §Observability for the naming scheme). *)
+let questions_counter =
+  Obs.Counter.make "prefix_list_disambiguator.questions"
+    ~help:"differential questions shown to the user"
+
+let boundaries_counter =
+  Obs.Counter.make "prefix_list_disambiguator.boundaries"
+    ~help:"differing insertion boundaries (overlaps) found"
+
+let probes_counter =
+  Obs.Counter.make "prefix_list_disambiguator.binary_search.probes"
+    ~help:"binary-search iterations (search depth)"
+
 (* Adjacent placements i and i+1 differ exactly on prefixes matching
    both the new entry and existing entry i, provided no earlier entry
    captures them first and the two entries' actions differ. The
-   shadowing check is done concretely on the witness. *)
-let boundaries ~(target : Config.Prefix_list.t)
+   shadowing check is done concretely on the witness: per position, the
+   naive path materialises both placements and evaluates them, while
+   the default incremental path scans the target once — earlier entries
+   are the same under both placements, so placement evaluation reduces
+   to "is the witness shadowed, and do the two entries' actions
+   differ". The two paths return identical boundaries and witnesses. *)
+
+let naive_boundaries ~(target : Config.Prefix_list.t)
     (entry : Config.Prefix_list.entry) =
   let n = List.length target.Config.Prefix_list.entries in
   let pl_at p = insert_entry_at target p entry in
@@ -93,14 +112,50 @@ let boundaries ~(target : Config.Prefix_list.t)
               })
     (List.init n Fun.id)
 
-(* Observability (see DESIGN.md §Observability for the naming scheme). *)
-let questions_counter =
-  Obs.Counter.make "prefix_list_disambiguator.questions"
-    ~help:"differential questions shown to the user"
+let incremental_boundaries ~(target : Config.Prefix_list.t)
+    (entry : Config.Prefix_list.entry) =
+  let entries = Array.of_list target.Config.Prefix_list.entries in
+  let shadowed i w =
+    let rec scan j =
+      j < i
+      && (Netaddr.Prefix_range.matches entries.(j).Config.Prefix_list.range w
+          || scan (j + 1))
+    in
+    scan 0
+  in
+  List.filter_map
+    (fun i ->
+      let existing = entries.(i) in
+      if Config.Action.equal entry.Config.Prefix_list.action
+           existing.Config.Prefix_list.action
+      then None
+      else
+        match
+          Netaddr.Prefix_range.witness_overlap entry.Config.Prefix_list.range
+            existing.Config.Prefix_list.range
+        with
+        | None -> None
+        | Some w when shadowed i w -> None
+        | Some w ->
+            Some
+              {
+                position = i;
+                boundary_seq = existing.Config.Prefix_list.seq;
+                prefix = w;
+                if_new_first = entry.Config.Prefix_list.action;
+                if_old_first = existing.Config.Prefix_list.action;
+              })
+    (List.init (Array.length entries) Fun.id)
 
-let probes_counter =
-  Obs.Counter.make "prefix_list_disambiguator.binary_search.probes"
-    ~help:"binary-search iterations (search depth)"
+let boundaries ~target entry =
+  Obs.with_span "find_boundaries" @@ fun () ->
+  let bs =
+    if Engine.Boundary_mode.naive_requested () then
+      naive_boundaries ~target entry
+    else incremental_boundaries ~target entry
+  in
+  Obs.Counter.incr ~by:(List.length bs) boundaries_counter;
+  bs
 
 let view (q : question) =
   {

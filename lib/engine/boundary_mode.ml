@@ -1,0 +1,15 @@
+(* Strategy selection for boundary discovery (see DESIGN.md §11).
+
+   The incremental engine is the default; the naive per-position
+   re-execution survives behind CLARIFY_NAIVE_BOUNDARIES so tests and
+   CI can assert the two agree byte-for-byte, and so a regression in
+   the incremental path can be routed around in the field without a
+   rebuild. The variable is consulted per sweep, so tests may flip it
+   with [Unix.putenv] at runtime. *)
+
+let env_var = "CLARIFY_NAIVE_BOUNDARIES"
+
+let naive_requested () =
+  match Sys.getenv_opt env_var with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false

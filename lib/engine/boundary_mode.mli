@@ -1,0 +1,15 @@
+(** Strategy selection for boundary discovery.
+
+    [adjacent_insertions] (in {!Compare_route_policies} and
+    {!Compare_acls}) runs the incremental compile-once engine by
+    default; setting [CLARIFY_NAIVE_BOUNDARIES=1] (or [true]/[yes]/
+    [on]) in the environment switches every sweep that does not pass
+    an explicit [~naive] to the per-position re-execution path, whose
+    results the incremental engine must reproduce byte-for-byte. *)
+
+val env_var : string
+(** ["CLARIFY_NAIVE_BOUNDARIES"]. *)
+
+val naive_requested : unit -> bool
+(** Consulted once per sweep, so tests can flip the variable at
+    runtime with [Unix.putenv]. *)

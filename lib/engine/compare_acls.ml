@@ -13,39 +13,116 @@ type difference = {
 }
 
 (** All behavioural differences, one example packet per differing pair
-    of execution cells, capped at [limit]. *)
+    of execution cells, capped at [limit]. Reaching the cap exits the
+    cell product immediately, so [first_difference] stops at the first
+    differing pair instead of scanning the remaining O(n²) cells. *)
 let compare ?(limit = max_int) (a : Config.Acl.t) (b : Config.Acl.t) =
   Obs.Counter.incr Metrics.compare_acls_calls;
   let cells_a = Ps.exec a and cells_b = Ps.exec b in
   let out = ref [] in
   let count = ref 0 in
-  List.iter
-    (fun (ca : Ps.cell) ->
-      List.iter
-        (fun (cb : Ps.cell) ->
-          if !count < limit && not (Config.Action.equal ca.action cb.action)
-          then
-            match Ps.to_packet (Bdd.conj ca.guard cb.guard) with
-            | None -> ()
-            | Some packet ->
-                out :=
-                  {
-                    packet;
-                    action_a = ca.action;
-                    action_b = cb.action;
-                    rule_a = ca.rule_seq;
-                    rule_b = cb.rule_seq;
-                  }
-                  :: !out;
-                incr count)
-        cells_b)
-    cells_a;
+  (try
+     List.iter
+       (fun (ca : Ps.cell) ->
+         List.iter
+           (fun (cb : Ps.cell) ->
+             if !count >= limit then raise_notrace Exit;
+             if not (Config.Action.equal ca.action cb.action) then
+               match Ps.to_packet (Bdd.conj ca.guard cb.guard) with
+               | None -> ()
+               | Some packet ->
+                   out :=
+                     {
+                       packet;
+                       action_a = ca.action;
+                       action_b = cb.action;
+                       rule_a = ca.rule_seq;
+                       rule_b = cb.rule_seq;
+                     }
+                     :: !out;
+                   incr count)
+           cells_b)
+       cells_a
+   with Exit -> ());
   List.rev !out
 
 let first_difference a b =
   match compare ~limit:1 a b with [] -> None | d :: _ -> Some d
 
 let equal_behavior a b = first_difference a b = None
+
+(* ------------------------------------------------------------------ *)
+(* Batch adjacent-insertion analysis — the ACL mirror of
+   [Compare_route_policies.adjacent_insertions]; see DESIGN.md §11.
+   ACLs carry no transforms, so position [i] is a boundary exactly when
+   the new rule's action differs from rule [i]'s and the region
+   [cell_i.guard ∧ match(new)] is satisfiable. *)
+
+let position_chunks ~domains n =
+  let d = max 1 (min domains n) in
+  List.init d (fun c ->
+      let start = c * n / d and stop = (c + 1) * n / d in
+      (start, stop - start))
+  |> List.filter (fun (_, len) -> len > 0)
+
+let naive_chunk ~target rule (start, len) =
+  let acl_at p = Config.Acl.insert_at target p rule in
+  List.filter_map
+    (fun i ->
+      match first_difference (acl_at i) (acl_at (i + 1)) with
+      | None -> None
+      | Some d -> Some (i, d))
+    (List.init len (fun k -> start + k))
+
+let incremental_chunk ~(target : Config.Acl.t) (rule : Config.Acl.rule)
+    (start, len) =
+  Obs.Counter.incr Metrics.adjacent_contexts;
+  Obs.Counter.incr ~by:(max 0 (len - 1)) Metrics.adjacent_prefix_reuse;
+  let match_new = Ps.of_rule rule in
+  let cells = Array.of_list (Ps.exec target) in
+  List.filter_map
+    (fun i ->
+      let (c : Ps.cell) = cells.(i) in
+      if Config.Action.equal rule.Config.Acl.action c.action then None
+      else
+        match Ps.to_packet (Bdd.conj c.guard match_new) with
+        | None -> None
+        | Some packet ->
+            (* Both ACLs resequence, putting the new rule and rule i at
+               seq (i+1)*10 in their respective lists. *)
+            let seq = Some ((i + 1) * 10) in
+            Some
+              ( i,
+                {
+                  packet;
+                  action_a = rule.Config.Acl.action;
+                  action_b = c.action;
+                  rule_a = seq;
+                  rule_b = seq;
+                } ))
+    (List.init len (fun k -> start + k))
+
+let adjacent_insertions ?naive ?pool ~(target : Config.Acl.t)
+    (rule : Config.Acl.rule) =
+  Obs.Counter.incr Metrics.adjacent_insertions_calls;
+  let t0 = Obs.now () in
+  let naive =
+    match naive with Some b -> b | None -> Boundary_mode.naive_requested ()
+  in
+  let run_chunk =
+    if naive then naive_chunk ~target rule else incremental_chunk ~target rule
+  in
+  let n = List.length target.Config.Acl.rules in
+  let result =
+    match pool with
+    | Some pool when Parallel.Pool.domains pool > 1 && n > 1 ->
+        List.concat
+          (Parallel.Pool.map_chunked ~chunks_per_domain:1 pool ~f:run_chunk
+             (position_chunks ~domains:(Parallel.Pool.domains pool) n))
+    | _ -> if n = 0 then [] else run_chunk (0, n)
+  in
+  Obs.Histogram.observe_ns Metrics.boundary_ns ((Obs.now () -. t0) *. 1e9);
+  result
 
 let pp_difference fmt d =
   Format.fprintf fmt

@@ -79,7 +79,9 @@ let concrete_results ~db_a ~db_b rm_a rm_b route =
     Config.Semantics.eval_route_map db_b rm_b route )
 
 (** All behavioural differences, one example per differing pair of
-    execution cells, capped at [limit]. *)
+    execution cells, capped at [limit]. Reaching the cap exits the cell
+    product immediately, so [first_difference] stops at the first
+    differing pair instead of scanning the remaining O(n²) cells. *)
 let compare ?(limit = max_int) ~db_a ~db_b (rm_a : Config.Route_map.t)
     (rm_b : Config.Route_map.t) =
   Obs.Counter.incr Metrics.compare_route_policies_calls;
@@ -96,34 +98,35 @@ let compare ?(limit = max_int) ~db_a ~db_b (rm_a : Config.Route_map.t)
       incr count
     end
   in
-  List.iter
-    (fun (ca : Ctx.cell) ->
-      List.iter
-        (fun (cb : Ctx.cell) ->
-          if !count < limit then begin
-            let region = Bdd.conj ca.guard cb.guard in
-            let maybe_differs =
-              match (ca.action, cb.action) with
-              | Config.Action.Deny, Config.Action.Deny -> false
-              | Config.Action.Permit, Config.Action.Permit ->
-                  not
-                    (Config.Transform.equal ~db1:db_a ~db2:db_b
-                       (Config.Transform.of_sets db_a ca.sets)
-                       (Config.Transform.of_sets db_b cb.sets))
-              | _ -> true
-            in
-            if maybe_differs then
-              let op_a = (Config.Transform.of_sets db_a ca.sets).communities in
-              let op_b = (Config.Transform.of_sets db_b cb.sets).communities in
-              match sample_route ctx ~db_a ~db_b op_a op_b region with
-              | None -> ()
-              | Some route ->
-                  emit route
-                    (concrete_results ~db_a ~db_b rm_a rm_b route)
-                    ca.stanza_seq cb.stanza_seq
-          end)
-        cells_b)
-    cells_a;
+  (try
+     List.iter
+       (fun (ca : Ctx.cell) ->
+         List.iter
+           (fun (cb : Ctx.cell) ->
+             if !count >= limit then raise_notrace Exit;
+             let region = Bdd.conj ca.guard cb.guard in
+             let maybe_differs =
+               match (ca.action, cb.action) with
+               | Config.Action.Deny, Config.Action.Deny -> false
+               | Config.Action.Permit, Config.Action.Permit ->
+                   not
+                     (Config.Transform.equal ~db1:db_a ~db2:db_b
+                        (Config.Transform.of_sets db_a ca.sets)
+                        (Config.Transform.of_sets db_b cb.sets))
+               | _ -> true
+             in
+             if maybe_differs then
+               let op_a = (Config.Transform.of_sets db_a ca.sets).communities in
+               let op_b = (Config.Transform.of_sets db_b cb.sets).communities in
+               match sample_route ctx ~db_a ~db_b op_a op_b region with
+               | None -> ()
+               | Some route ->
+                   emit route
+                     (concrete_results ~db_a ~db_b rm_a rm_b route)
+                     ca.stanza_seq cb.stanza_seq)
+           cells_b)
+       cells_a
+   with Exit -> ());
   List.rev !differences
 
 (** First behavioural difference, if any. *)
@@ -134,6 +137,108 @@ let first_difference ~db_a ~db_b rm_a rm_b =
 
 let equal_behavior ~db_a ~db_b rm_a rm_b =
   first_difference ~db_a ~db_b rm_a rm_b = None
+
+(* ------------------------------------------------------------------ *)
+(* Batch adjacent-insertion analysis (DESIGN.md §11).
+
+   Inserting stanza S* at position i vs i+1 only reorders S* against
+   stanza s_i, so the two maps can differ exactly on the routes that
+   fall through stanzas 0..i-1 and match both S* and s_i. In the
+   first-match partition of the *target* map, cell i's guard already is
+   fall-through(0..i-1) ∧ match(s_i): the candidate region at position
+   i is one conjunction, [cell_i.guard ∧ match(new)], against a single
+   shared compilation — no per-position map construction or
+   re-execution. The pair-filtering, sampling and concrete-replay logic
+   below mirrors [compare] exactly so that witnesses are byte-identical
+   to the naive per-position sweep. *)
+
+(* Contiguous slices of [0..n-1], one per worker, so each parallel
+   chunk compiles its own context once and walks its slice. *)
+let position_chunks ~domains n =
+  let d = max 1 (min domains n) in
+  List.init d (fun c ->
+      let start = c * n / d and stop = (c + 1) * n / d in
+      (start, stop - start))
+  |> List.filter (fun (_, len) -> len > 0)
+
+let naive_chunk ~db ~target stanza (start, len) =
+  Obs.Counter.incr ~by:len Metrics.adjacent_contexts;
+  let map_at p = Config.Route_map.insert_at target p stanza in
+  List.filter_map
+    (fun i ->
+      match
+        first_difference ~db_a:db ~db_b:db (map_at i) (map_at (i + 1))
+      with
+      | None -> None
+      | Some d -> Some (i, d))
+    (List.init len (fun k -> start + k))
+
+let incremental_chunk ~db ~(target : Config.Route_map.t) stanza (start, len) =
+  Obs.Counter.incr Metrics.adjacent_contexts;
+  Obs.Counter.incr ~by:(max 0 (len - 1)) Metrics.adjacent_prefix_reuse;
+  (* Any insertion brings the new stanza's ancillary lists into scope;
+     position 0 is as good as any for the shared universe, which is a
+     function of the referenced community sets only. *)
+  let ctx = context ~db_a:db ~db_b:db (Config.Route_map.insert_at target 0 stanza) target in
+  let match_new = Ctx.of_stanza ctx db stanza in
+  let t_new = Config.Transform.of_sets db stanza.Config.Route_map.sets in
+  let cells = Array.of_list (Ctx.exec ctx db target) in
+  let map_at p = Config.Route_map.insert_at target p stanza in
+  List.filter_map
+    (fun i ->
+      let (c : Ctx.cell) = cells.(i) in
+      let maybe_differs =
+        match (stanza.Config.Route_map.action, c.action) with
+        | Config.Action.Deny, Config.Action.Deny -> false
+        | Config.Action.Permit, Config.Action.Permit ->
+            not
+              (Config.Transform.equal ~db1:db ~db2:db t_new
+                 (Config.Transform.of_sets db c.sets))
+        | _ -> true
+      in
+      if not maybe_differs then None
+      else
+        let region = Bdd.conj c.guard match_new in
+        let op_a = t_new.Config.Transform.communities in
+        let op_b = (Config.Transform.of_sets db c.sets).communities in
+        match sample_route ctx ~db_a:db ~db_b:db op_a op_b region with
+        | None -> None
+        | Some route ->
+            let result_a, result_b =
+              concrete_results ~db_a:db ~db_b:db (map_at i) (map_at (i + 1))
+                route
+            in
+            if Config.Semantics.route_result_equal result_a result_b then None
+            else
+              (* Both maps resequence, putting S* and s_i at seq
+                 (i+1)*10 in their respective maps. *)
+              let seq = Some ((i + 1) * 10) in
+              Some
+                (i, { route; result_a; result_b; stanza_a = seq; stanza_b = seq }))
+    (List.init len (fun k -> start + k))
+
+let adjacent_insertions ?naive ?pool ~db ~(target : Config.Route_map.t)
+    (stanza : Config.Route_map.stanza) =
+  Obs.Counter.incr Metrics.adjacent_insertions_calls;
+  let t0 = Obs.now () in
+  let naive =
+    match naive with Some b -> b | None -> Boundary_mode.naive_requested ()
+  in
+  let run_chunk =
+    if naive then naive_chunk ~db ~target stanza
+    else incremental_chunk ~db ~target stanza
+  in
+  let n = List.length target.Config.Route_map.stanzas in
+  let result =
+    match pool with
+    | Some pool when Parallel.Pool.domains pool > 1 && n > 1 ->
+        List.concat
+          (Parallel.Pool.map_chunked ~chunks_per_domain:1 pool ~f:run_chunk
+             (position_chunks ~domains:(Parallel.Pool.domains pool) n))
+    | _ -> if n = 0 then [] else run_chunk (0, n)
+  in
+  Obs.Histogram.observe_ns Metrics.boundary_ns ((Obs.now () -. t0) *. 1e9);
+  result
 
 let pp_difference fmt d =
   Format.fprintf fmt

@@ -39,5 +39,30 @@ val equal_behavior :
   Config.Route_map.t ->
   bool
 
+val adjacent_insertions :
+  ?naive:bool ->
+  ?pool:Parallel.Pool.t ->
+  db:Config.Database.t ->
+  target:Config.Route_map.t ->
+  Config.Route_map.stanza ->
+  (int * difference) list
+(** Every insertion position [i] (0-based, ascending) at which inserting
+    the stanza at [i] behaves differently from inserting it at [i + 1],
+    with one witness route per position — the full boundary sweep the
+    disambiguators binary-search over.
+
+    By default the sweep is incremental: the target map is symbolically
+    executed once and position [i]'s candidate region is
+    [cell_i.guard ∧ match(stanza)], so the whole sweep costs one
+    compilation instead of the naive [n] two-map comparisons. [~naive]
+    forces either strategy explicitly; when omitted,
+    {!Boundary_mode.naive_requested} decides (the
+    [CLARIFY_NAIVE_BOUNDARIES] escape hatch). Both strategies return
+    identical results — the property suite enforces byte-equality.
+
+    [~pool] splits the sweep into one contiguous chunk of positions per
+    worker domain; each chunk compiles its own context (BDDs never
+    cross domains), and results are re-assembled in position order. *)
+
 val pp_difference : Format.formatter -> difference -> unit
 (** Rendered in the paper's OPTION 1 / OPTION 2 style. *)

@@ -20,6 +20,26 @@ let compare_acls_calls =
   Obs.Counter.make "engine.compare_acls.solver_calls"
     ~help:"compareAcls invocations"
 
+let adjacent_insertions_calls =
+  Obs.Counter.make "engine.adjacent_insertions.calls"
+    ~help:"batch adjacent-insertion analyses (one per boundary sweep)"
+
+let adjacent_contexts =
+  Obs.Counter.make "engine.adjacent_insertions.contexts_built"
+    ~help:
+      "symbolic contexts built while finding boundaries (1 per sweep \
+       incrementally, n per sweep naively)"
+
+let adjacent_prefix_reuse =
+  Obs.Counter.make "engine.adjacent_insertions.prefix_cells_reused"
+    ~help:
+      "insertion positions served from a shared prefix execution instead \
+       of a fresh two-map re-execution"
+
+let boundary_ns =
+  Obs.Histogram.make "engine.adjacent_insertions.boundary_ns"
+    ~help:"wall time of one full boundary sweep (all insertion positions)"
+
 let bdd_nodes =
   Obs.Counter.make "bdd.nodes_allocated"
     ~help:"fresh BDD nodes allocated in this domain's unique table"

@@ -6,6 +6,23 @@ val search_filters_calls : Obs.Counter.t
 val search_route_policies_calls : Obs.Counter.t
 val compare_route_policies_calls : Obs.Counter.t
 val compare_acls_calls : Obs.Counter.t
+
+val adjacent_insertions_calls : Obs.Counter.t
+(** Batch boundary sweeps ([adjacent_insertions] in either compare
+    module), naive or incremental. *)
+
+val adjacent_contexts : Obs.Counter.t
+(** Symbolic contexts built during boundary discovery: the incremental
+    engine builds one per sweep (per chunk under a pool), the naive
+    path one per insertion position. *)
+
+val adjacent_prefix_reuse : Obs.Counter.t
+(** Insertion positions whose reachability came from a shared prefix
+    execution rather than a fresh two-map re-execution. *)
+
+val boundary_ns : Obs.Histogram.t
+(** Wall time of one full boundary sweep. *)
+
 val bdd_nodes : Obs.Counter.t
 val cache_hits : Obs.Counter.t
 val cache_misses : Obs.Counter.t

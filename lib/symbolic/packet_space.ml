@@ -113,6 +113,19 @@ let exec (acl : Config.Acl.t) =
   in
   go Bdd.one acl.Config.Acl.rules
 
+(** Prefix execution: [i]th element is the set of packets that fall
+    through (match none of) rules [0..i-1]; index 0 is the full space
+    and index [n] the implicit-deny guard. One traversal serves every
+    insertion position (DESIGN.md §11). *)
+let exec_prefixes (acl : Config.Acl.t) =
+  let rules = Array.of_list acl.Config.Acl.rules in
+  let n = Array.length rules in
+  let reach = Array.make (n + 1) Bdd.one in
+  for i = 0 to n - 1 do
+    reach.(i + 1) <- Bdd.conj reach.(i) (Bdd.neg (of_rule rules.(i)))
+  done;
+  reach
+
 (** The set of packets an ACL permits. *)
 let permitted acl =
   Bdd.disj_list

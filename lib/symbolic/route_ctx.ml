@@ -351,6 +351,20 @@ let exec ctx db (rm : Config.Route_map.t) =
   in
   go Bdd.one rm.Config.Route_map.stanzas
 
+(** Prefix execution: [i]th element is the set of routes that fall
+    through (match none of) stanzas [0..i-1], so index 0 is the full
+    space and index [n] is the implicit-deny guard. One traversal of
+    the map yields every insertion point's reachability at once — the
+    foundation of the incremental boundary engine (DESIGN.md §11). *)
+let exec_prefixes ctx db (rm : Config.Route_map.t) =
+  let stanzas = Array.of_list rm.Config.Route_map.stanzas in
+  let n = Array.length stanzas in
+  let reach = Array.make (n + 1) Bdd.one in
+  for i = 0 to n - 1 do
+    reach.(i + 1) <- Bdd.conj reach.(i) (Bdd.neg (of_stanza ctx db stanzas.(i)))
+  done;
+  reach
+
 (** Routes the map accepts (any permit stanza). *)
 let accepted ctx db rm =
   Bdd.disj_list

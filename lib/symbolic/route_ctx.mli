@@ -94,6 +94,14 @@ val exec : t -> Config.Database.t -> Config.Route_map.t -> cell list
     pairwise disjoint and cover everything, the last cell being the
     implicit deny. *)
 
+val exec_prefixes :
+  t -> Config.Database.t -> Config.Route_map.t -> Bdd.t array
+(** Prefix execution of a map with [n] stanzas: an array of [n + 1]
+    reachability sets whose [i]th element is the routes matching none
+    of stanzas [0..i-1] (index 0 is the full space, index [n] the
+    implicit-deny guard). Computed in one traversal, so every insertion
+    position's fall-through set comes from a single compilation. *)
+
 val accepted : t -> Config.Database.t -> Config.Route_map.t -> Bdd.t
 (** Routes the map accepts (any permit stanza). *)
 

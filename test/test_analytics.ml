@@ -122,6 +122,8 @@ let test_report_matches_fixture_events () =
       check_int "stanzas" (count_kind "placement" events) r.Rp.stanzas;
       check_int "questions" (count_kind "question" events) r.Rp.questions;
       check_int "probes" (count_kind "probe" events) r.Rp.probes;
+      check_int "boundaries" (sum_int_field "boundaries" events)
+        r.Rp.boundaries;
       check_int "classify" (count_kind "llm_classify" events)
         r.Rp.classify_calls;
       check_int "synthesize" (count_kind "llm_synthesize" events)
@@ -172,8 +174,8 @@ let test_report_renderings () =
   (match String.split_on_char '\n' (String.trim csv) with
   | header :: rows ->
       check_string "csv header"
-        "router,sessions,route_maps,stanzas,questions,probes,retries,\
-         classify_calls,synthesize_calls,spec_calls,prompt_tokens,\
+        "router,sessions,route_maps,stanzas,questions,probes,boundaries,\
+         retries,classify_calls,synthesize_calls,spec_calls,prompt_tokens,\
          completion_tokens,cost_usd"
         header;
       check_int "one csv row per router" 1 (List.length rows)

@@ -485,8 +485,14 @@ let test_pipeline_counters_clean_run =
     (List.length report.P.questions > 0);
   check_bool "verifier ran" true
     (counter_value "engine.search_route_policies.solver_calls" >= 1);
+  (* Boundary discovery goes through the batch incremental sweep: one
+     call, one shared context, the remaining positions served from it. *)
   check_bool "differ ran" true
-    (counter_value "engine.compare_route_policies.solver_calls" >= 1)
+    (counter_value "engine.adjacent_insertions.calls" >= 1);
+  check_bool "incremental sweep compiled once" true
+    (counter_value "engine.adjacent_insertions.contexts_built" >= 1);
+  check_bool "prefix cells reused" true
+    (counter_value "engine.adjacent_insertions.prefix_cells_reused" >= 1)
 
 let test_pipeline_counters_faulty_run =
   with_obs @@ fun () ->
@@ -549,8 +555,8 @@ let test_acl_pipeline_spans_and_counters =
     (counter_value "pipeline.verification_attempts");
   check_bool "searchFilters ran" true
     (counter_value "engine.search_filters.solver_calls" >= 1);
-  check_bool "compareAcls ran" true
-    (counter_value "engine.compare_acls.solver_calls" >= 1)
+  check_bool "acl boundary sweep ran" true
+    (counter_value "engine.adjacent_insertions.calls" >= 1)
 
 let test_disabled_pipeline_records_nothing () =
   Obs.disable ();
