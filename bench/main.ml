@@ -325,6 +325,116 @@ let run_parallel_comparison () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Batch synthesis: batch-of-N vs N sequential pipeline runs          *)
+(* ------------------------------------------------------------------ *)
+
+(* N pairwise match-disjoint intents against one wide target map: the
+   batch pipeline compiles the target's partition once for all N
+   boundary sets, the sequential baseline once per intent. Final
+   configurations are asserted identical on every bench run, and the
+   user-facing question counts are exported as pseudo-benchmarks so CI
+   can gate questions(batch) <= questions(sequential). *)
+let batch_scenario ~intents =
+  let db, _, _ = ablation_scenario 16 in
+  let prompts =
+    List.init intents (fun k ->
+        if k mod 2 = 0 then
+          Printf.sprintf
+            "Write a route-map stanza that permits routes containing the \
+             prefix 10.%d.0.0/16 with mask length less than or equal to 24. \
+             Their MED value should be set to %d."
+            k (50 + k)
+        else
+          Printf.sprintf
+            "Write a route-map stanza that denies routes containing the \
+             prefix 10.%d.0.0/16 with mask length less than or equal to 24."
+            k)
+  in
+  (db, prompts)
+
+let run_batch_comparison () =
+  Format.printf "=== Batch synthesis: batch-of-N vs N sequential runs ===@.";
+  let intents = 6 in
+  let db, prompts = batch_scenario ~intents in
+  let seq_questions = ref 0 in
+  let seq_db, seq_ns =
+    wall_ns (fun () ->
+        let llm = Llm.Mock_llm.create () in
+        List.fold_left
+          (fun db prompt ->
+            match
+              Clarify.Pipeline.run_route_map_update ~llm
+                ~oracle:(fun _ -> Clarify.Disambiguator.Prefer_new)
+                ~db ~target:"AB" ~prompt ()
+            with
+            | Ok r ->
+                seq_questions :=
+                  !seq_questions + List.length r.Clarify.Pipeline.questions;
+                r.Clarify.Pipeline.db
+            | Error e -> failwith (Clarify.Pipeline.error_to_string e))
+          db prompts)
+  in
+  let run_batch ?pool () =
+    let llm = Llm.Mock_llm.create () in
+    let items =
+      List.map
+        (fun prompt -> Clarify.Batch.Route_map_update { target = "AB"; prompt })
+        prompts
+    in
+    match
+      Clarify.Batch.run ?pool ~llm
+        ~oracle:(fun ~intent:_ ~target:_ _ -> Clarify.Disambig_common.Prefer_new)
+        ~db items
+    with
+    | Ok r -> r
+    | Error e -> failwith (Clarify.Batch.error_to_string e)
+  in
+  let report, batch_ns = wall_ns (fun () -> run_batch ()) in
+  if
+    Config.Parser.to_string report.Clarify.Batch.db
+    <> Config.Parser.to_string seq_db
+  then failwith "batch configuration differs from sequential";
+  let batch_questions =
+    List.fold_left
+      (fun n -> function
+        | Clarify.Batch.Route_map_result rr ->
+            n + List.length rr.Clarify.Pipeline.questions
+        | Clarify.Batch.Acl_result ar ->
+            n + List.length ar.Clarify.Pipeline.questions)
+      0 report.Clarify.Batch.items
+    - report.Clarify.Batch.questions_saved
+  in
+  if batch_questions > !seq_questions then
+    failwith "batch asked more questions than sequential";
+  Format.printf
+    "batch of %-2d  sequential %9.2f ms  batch %9.2f ms  speedup %.1fx@."
+    intents (seq_ns /. 1e6) (batch_ns /. 1e6) (seq_ns /. batch_ns);
+  Format.printf "questions: sequential %d, batch %d (saved %d)@."
+    !seq_questions batch_questions report.Clarify.Batch.questions_saved;
+  let timings =
+    ref
+      [
+        (Printf.sprintf "batch/sequential-%d" intents, seq_ns);
+        (Printf.sprintf "batch/batch-of-%d" intents, batch_ns);
+        ("batch/questions-sequential", float_of_int !seq_questions);
+        ("batch/questions-batch", float_of_int batch_questions);
+      ]
+  in
+  if Parallel.Pool.domains pool > 1 then begin
+    let pooled, pool_ns = wall_ns (fun () -> run_batch ~pool ()) in
+    if
+      Config.Parser.to_string pooled.Clarify.Batch.db
+      <> Config.Parser.to_string seq_db
+    then failwith "pooled batch configuration differs from serial";
+    timings :=
+      !timings @ [ (Printf.sprintf "batch/batch-of-%d-par" intents, pool_ns) ];
+    Format.printf "batch of %-2d  pooled x%d  %9.2f ms  speedup %.1fx@." intents
+      (Parallel.Pool.domains pool) (pool_ns /. 1e6) (seq_ns /. pool_ns)
+  end;
+  Format.printf "@.";
+  !timings
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -511,9 +621,11 @@ let () =
   Evaluation.A2_llm_disambiguator.(print Format.std_formatter (run ()));
   run_density_sweep ();
   let disambig_timings = run_disambig_comparison () in
+  let batch_timings = run_batch_comparison () in
   let parallel_timings = run_parallel_comparison () in
   let timings = run_benchmarks () in
   Option.iter
     (fun path ->
-      write_bench_json path (timings @ disambig_timings @ parallel_timings))
+      write_bench_json path
+        (timings @ disambig_timings @ batch_timings @ parallel_timings))
     json_out

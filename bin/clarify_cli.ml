@@ -243,6 +243,202 @@ let update_cmd =
       $ obs_term)
 
 (* ------------------------------------------------------------------ *)
+(* clarify batch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One intent per spec: "route-map:TARGET:PROMPT" or "acl:TARGET:PROMPT"
+   (also accepted with an underscore, "route_map"). *)
+let parse_intent_spec s =
+  match String.index_opt s ':' with
+  | None -> Error ("missing ':' in intent " ^ s)
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.index_opt rest ':' with
+      | None -> Error ("missing prompt in intent " ^ s)
+      | Some j -> (
+          let target = String.sub rest 0 j in
+          let prompt =
+            String.trim (String.sub rest (j + 1) (String.length rest - j - 1))
+          in
+          match kind with
+          | "route-map" | "route_map" ->
+              Ok (Clarify.Batch.Route_map_update { target; prompt })
+          | "acl" -> Ok (Clarify.Batch.Acl_update { target; prompt })
+          | k -> Error ("unknown intent kind " ^ k ^ " in " ^ s)))
+
+let batch_cmd =
+  let config =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "c"; "config" ] ~docv:"FILE" ~doc:"Existing configuration file.")
+  in
+  let intents =
+    Arg.(
+      value & opt_all string []
+      & info [ "i"; "intent" ] ~docv:"KIND:TARGET:PROMPT"
+          ~doc:
+            "One intent of the batch: $(b,route-map:NAME:English intent) or \
+             $(b,acl:NAME:English intent). Repeatable; order is the batch \
+             order.")
+  in
+  let intents_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "intents-file" ] ~docv:"FILE"
+          ~doc:
+            "Read intents from $(docv), one KIND:TARGET:PROMPT per line \
+             (blank lines and #-comments ignored), appended after any \
+             --intent flags.")
+  in
+  let answers =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "answers" ] ~docv:"SCRIPT"
+          ~doc:
+            "Answer disambiguation questions from this script instead of \
+             stdin: a string of 1s (new first) and 2s (keep existing).")
+  in
+  let faults =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-faults" ] ~docv:"N"
+          ~doc:
+            "Corrupt the first $(docv) LLM answers (seeded), demonstrating \
+             the verify-and-repair loop mid-batch.")
+  in
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Record the batch session as a JSONL event log that \
+             $(b,clarify replay) re-runs deterministically.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the batch conflict-graph sweep. Defaults to \
+             $(b,CLARIFY_JOBS), or 1 (serial). Results are identical at \
+             every value.")
+  in
+  let run config intents intents_file answers faults record jobs obs =
+    with_obs obs @@ fun () ->
+    with_recorder record @@ fun () ->
+    let db = load_config config in
+    let specs =
+      intents
+      @
+      match intents_file with
+      | None -> []
+      | Some path ->
+          String.split_on_char '\n' (read_file path)
+          |> List.filter_map (fun line ->
+                 let line = String.trim line in
+                 if line = "" || line.[0] = '#' then None else Some line)
+    in
+    let items =
+      List.map
+        (fun s ->
+          match parse_intent_spec s with
+          | Ok it -> it
+          | Error m ->
+              prerr_endline ("error: " ^ m);
+              exit 1)
+        specs
+    in
+    if items = [] then begin
+      prerr_endline "error: no intents given (use --intent or --intents-file)";
+      exit 1
+    end;
+    let llm =
+      Llm.Mock_llm.create
+        ~faults:(Llm.Fault_injector.schedule ~seed:11 ~faulty_attempts:faults)
+        ()
+    in
+    let next_answer =
+      match answers with
+      | Some s -> scripted_answers (parse_script s)
+      | None -> interactive_answer
+    in
+    let oracle ~intent ~target q =
+      Format.printf "@.[intent %d, %s]@." intent target;
+      (match q with
+      | Clarify.Batch.Route_map_q q ->
+          Format.printf "%a@.@." Clarify.Disambiguator.pp_question q
+      | Clarify.Batch.Acl_q q ->
+          Format.printf "%a@.@." Clarify.Acl_disambiguator.pp_question q);
+      match next_answer () with
+      | `New -> Clarify.Disambig_common.Prefer_new
+      | `Old -> Clarify.Disambig_common.Prefer_old
+    in
+    let pool = Parallel.Pool.create ?domains:jobs () in
+    match Clarify.Batch.run ~pool ~llm ~oracle ~db items with
+    | Error e ->
+        prerr_endline ("error: " ^ Clarify.Batch.error_to_string e);
+        exit 1
+    | Ok r ->
+        Format.printf
+          "@.Batch of %d intent(s): %d overlapping pair(s), %d genuine \
+           conflict(s), %d question(s) saved by the shared answer cache.@."
+          (List.length items) r.Clarify.Batch.overlap_pairs
+          (List.length r.Clarify.Batch.conflicts)
+          r.Clarify.Batch.questions_saved;
+        List.iter
+          (fun (c : Clarify.Batch.conflict) ->
+            Format.printf "@.Conflict between intents %d and %d on %s:@.%s@."
+              c.Clarify.Batch.intent_a c.Clarify.Batch.intent_b
+              c.Clarify.Batch.target
+              (match c.Clarify.Batch.witness with
+              | Clarify.Batch.Route_witness d ->
+                  Format.asprintf "%a"
+                    Engine.Compare_route_policies.pp_difference d
+              | Clarify.Batch.Acl_witness d ->
+                  Format.asprintf "%a" Engine.Compare_acls.pp_difference d
+              | Clarify.Batch.Prefix_witness p ->
+                  Format.asprintf "shared prefix %a" Netaddr.Prefix.pp p))
+          r.Clarify.Batch.conflicts;
+        List.iteri
+          (fun k res ->
+            match res with
+            | Clarify.Batch.Route_map_result rr ->
+                Format.printf
+                  "Intent %d (route-map %s): inserted at position %d after %d \
+                   synthesis attempt(s), %d question(s).@."
+                  k rr.Clarify.Pipeline.map.Config.Route_map.name
+                  rr.Clarify.Pipeline.position
+                  rr.Clarify.Pipeline.synthesis_attempts
+                  (List.length rr.Clarify.Pipeline.questions)
+            | Clarify.Batch.Acl_result ar ->
+                Format.printf
+                  "Intent %d (acl %s): inserted at position %d after %d \
+                   synthesis attempt(s), %d question(s).@."
+                  k ar.Clarify.Pipeline.acl.Config.Acl.name
+                  ar.Clarify.Pipeline.position
+                  ar.Clarify.Pipeline.synthesis_attempts
+                  (List.length ar.Clarify.Pipeline.questions))
+          r.Clarify.Batch.items;
+        Format.printf "@.Updated configuration:@.%s@."
+          (Config.Parser.to_string r.Clarify.Batch.db)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Apply a batch of English intents at once: synthesize all stanzas, \
+          build the pairwise inter-intent conflict graph with one symbolic \
+          sweep per target policy, and ask only about genuine conflicts.")
+    Term.(
+      const run $ config $ intents $ intents_file $ answers $ faults $ record
+      $ jobs $ obs_term)
+
+(* ------------------------------------------------------------------ *)
 (* clarify replay                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -636,6 +832,7 @@ let () =
        (Cmd.group (Cmd.info "clarify" ~version:"1.0.0" ~doc)
           [
             update_cmd;
+            batch_cmd;
             replay_cmd;
             obs_cmd;
             trace_cmd;

@@ -26,6 +26,11 @@ type router_stats = {
   cost_usd : float;
   phases : phase list; (* wall time per pipeline phase; JSON only *)
   boundary_ns : float; (* find_boundaries span time; JSON only *)
+  batch_sessions : int; (* session_start with pipeline="batch" *)
+  batch_intents : int; (* intents over all batch_plan events *)
+  batch_conflict_pairs : int; (* genuine inter-intent conflict edges *)
+  batch_fast_path : int; (* batch items placed without recompiling *)
+  batch_questions_saved : int; (* batch_cache_hit events *)
 }
 
 type t = { routers : router_stats list }
@@ -123,6 +128,22 @@ let stats_of_events ~router events =
     |> List.map snd
     |> List.sort (fun a b -> String.compare a.phase b.phase)
   in
+  let batch_sessions =
+    List.length
+      (List.filter
+         (fun e ->
+           e.E.kind = "session_start"
+           && E.str_field "pipeline" e = Some "batch")
+         events)
+  in
+  let batch_fast_path =
+    List.length
+      (List.filter
+         (fun e ->
+           e.E.kind = "batch_item"
+           && E.field "fast_path" e = Some (Json.Bool true))
+         events)
+  in
   {
     router;
     sessions = count "session_start";
@@ -140,6 +161,11 @@ let stats_of_events ~router events =
     cost_usd = Llm.Tokens.cost ~prompt_tokens ~completion_tokens;
     phases;
     boundary_ns;
+    batch_sessions;
+    batch_intents = sum_int "batch_plan" "intents";
+    batch_conflict_pairs = sum_int "batch_plan" "conflict_pairs";
+    batch_fast_path;
+    batch_questions_saved = count "batch_cache_hit";
   }
 
 (* Sessions for the same router (one log per policy step, say) merge
@@ -197,24 +223,49 @@ let cost_markdown t =
     t.routers;
   Buffer.contents b
 
+(* Only rendered when batch sessions are present, so reports over
+   single-intent logs (e.g. the committed E4 golden) are unchanged. *)
+let batch_markdown t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "| Router | Batch sessions | Intents | Conflict pairs | Fast-path \
+     placements | Questions saved |\n";
+  Buffer.add_string b "|---|---:|---:|---:|---:|---:|\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %d | %d | %d | %d | %d |\n" s.router
+           s.batch_sessions s.batch_intents s.batch_conflict_pairs
+           s.batch_fast_path s.batch_questions_saved))
+    t.routers;
+  Buffer.contents b
+
 let to_markdown t =
   "# Session report\n\n## Figure 4: per-router interaction counts\n\n"
   ^ figure4_markdown t ^ "\n## LLM usage and estimated cost\n\n"
   ^ cost_markdown t
+  ^
+  if List.exists (fun s -> s.batch_sessions > 0) t.routers then
+    "\n## Batch intents\n\n" ^ batch_markdown t
+  else ""
 
 let to_csv t =
   let b = Buffer.create 256 in
   Buffer.add_string b
     "router,sessions,route_maps,stanzas,questions,probes,boundaries,retries,\
      classify_calls,synthesize_calls,spec_calls,prompt_tokens,\
-     completion_tokens,cost_usd\n";
+     completion_tokens,cost_usd,batch_sessions,batch_intents,\
+     batch_conflict_pairs,batch_fast_path,batch_questions_saved\n";
   List.iter
     (fun s ->
       Buffer.add_string b
-        (Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f\n"
+        (Printf.sprintf
+           "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%d,%d\n"
            s.router s.sessions s.route_maps s.stanzas s.questions s.probes
            s.boundaries s.retries s.classify_calls s.synthesize_calls
-           s.spec_calls s.prompt_tokens s.completion_tokens s.cost_usd))
+           s.spec_calls s.prompt_tokens s.completion_tokens s.cost_usd
+           s.batch_sessions s.batch_intents s.batch_conflict_pairs
+           s.batch_fast_path s.batch_questions_saved))
     t.routers;
   Buffer.contents b
 
@@ -242,6 +293,12 @@ let to_json t =
                    ("prompt_tokens", Json.Int s.prompt_tokens);
                    ("completion_tokens", Json.Int s.completion_tokens);
                    ("cost_usd", Json.Float s.cost_usd);
+                   ("batch_sessions", Json.Int s.batch_sessions);
+                   ("batch_intents", Json.Int s.batch_intents);
+                   ("batch_conflict_pairs", Json.Int s.batch_conflict_pairs);
+                   ("batch_fast_path", Json.Int s.batch_fast_path);
+                   ( "batch_questions_saved",
+                     Json.Int s.batch_questions_saved );
                    ("boundary_ns", Json.Float s.boundary_ns);
                    ( "boundary_ns_per_question",
                      Json.Float

@@ -30,6 +30,16 @@ type router_stats = {
   boundary_ns : float;
       (* wall time summed over find_boundaries spans; the JSON
          rendering also derives boundary_ns_per_question from it *)
+  batch_sessions : int; (* session_start events with pipeline="batch" *)
+  batch_intents : int; (* intents summed over batch_plan events *)
+  batch_conflict_pairs : int;
+      (* genuine inter-intent conflict edges reported by batch plans *)
+  batch_fast_path : int;
+      (* batch items placed from precomputed boundaries, without
+         recompiling the target *)
+  batch_questions_saved : int;
+      (* questions served from the shared batch answer cache
+         (batch_cache_hit events) *)
 }
 
 type t = { routers : router_stats list }

@@ -76,10 +76,19 @@ let view (q : question) =
     if_old_first = Format.asprintf "%a" Config.Action.pp q.if_old_first;
   }
 
-let run ?(mode = Binary_search) ?pool ~(target : Config.Acl.t)
+let run ?(mode = Binary_search) ?pool ?precomputed ~(target : Config.Acl.t)
     ~(rule : Config.Acl.rule) ~(oracle : oracle) () =
   let n = List.length target.Config.Acl.rules in
   let acl_at p = insert_rule_at target p rule in
+  (* Batch runs hand in boundaries translated from a shared
+     multi-rule sweep; the counter still ticks for telemetry parity. *)
+  let boundaries ?pool ~target rule =
+    match precomputed with
+    | Some bs ->
+        Obs.Counter.incr ~by:(List.length bs) boundaries_counter;
+        bs
+    | None -> boundaries ?pool ~target rule
+  in
   let asked, ask =
     Disambig_common.asker ~subsystem:"acl" ~counter:questions_counter ~view
       ~oracle

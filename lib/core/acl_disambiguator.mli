@@ -10,7 +10,7 @@ type question = {
   if_old_first : Config.Action.t;
 }
 
-type answer = Prefer_new | Prefer_old
+type answer = Disambig_common.answer = Prefer_new | Prefer_old
 type oracle = question -> answer
 type mode = Binary_search | Top_bottom | Linear
 
@@ -24,6 +24,10 @@ type outcome = {
 type error = Inconsistent_intent of question list
 
 val pp_question : Format.formatter -> question -> unit
+
+val view : question -> Disambig_common.view
+(** The telemetry rendering of a question — also the batch answer
+    cache's key material. *)
 
 val insert_rule_at : Config.Acl.t -> int -> Config.Acl.rule -> Config.Acl.t
 (** Insert at a position (0 = first) and resequence; alias of
@@ -39,11 +43,14 @@ val boundaries :
 val run :
   ?mode:mode ->
   ?pool:Parallel.Pool.t ->
+  ?precomputed:question list ->
   target:Config.Acl.t ->
   rule:Config.Acl.rule ->
   oracle:oracle ->
   unit ->
   (outcome, error) result
+(** [?precomputed] skips the engine sweep and uses the given boundary
+    questions — the batch pipeline's fast path. *)
 
 val scripted : answer list -> oracle
 val intent_driven : (Config.Packet.t -> Config.Action.t) -> oracle

@@ -90,6 +90,62 @@ let first_new_position ~default ~position answers =
   | Some (q, _) -> position q
   | None -> default
 
+(* Shared answer cache for batch runs: when several intents in a batch
+   surface the *same* placement question against the same policy, the
+   user's first answer is reused instead of asking again.
+
+   The key deliberately includes the policy name and the question's
+   (position, boundary_seq) coordinates, not just the rendered text:
+   two intents can produce byte-identical question text against
+   different policies or at different positions, and those are
+   different questions — merging them on text alone would silently
+   answer one intent's question with another's. *)
+module Answer_cache = struct
+  type key = {
+    policy : string;
+    position : int;
+    boundary_seq : int;
+    example : string;
+    if_new_first : string;
+    if_old_first : string;
+  }
+
+  type t = { tbl : (key, answer) Hashtbl.t; mutable hits : int }
+
+  let create () = { tbl = Hashtbl.create 16; hits = 0 }
+
+  let key ~policy (v : view) =
+    {
+      policy;
+      position = v.position;
+      boundary_seq = v.boundary_seq;
+      example = v.example;
+      if_new_first = v.if_new_first;
+      if_old_first = v.if_old_first;
+    }
+
+  let find t ~policy v =
+    match Hashtbl.find_opt t.tbl (key ~policy v) with
+    | Some a ->
+        t.hits <- t.hits + 1;
+        Some a
+    | None -> None
+
+  let add t ~policy v a = Hashtbl.replace t.tbl (key ~policy v) a
+  let hits t = t.hits
+
+  (* Wrap an oracle so repeated questions (same policy, same
+     coordinates, same rendered content) are served from the cache. *)
+  let cached t ~policy ~(view : 'q -> view) (oracle : 'q -> answer) q =
+    let v = view q in
+    match find t ~policy v with
+    | Some a -> a
+    | None ->
+        let a = oracle q in
+        add t ~policy v a;
+        a
+end
+
 (* Answers drawn from a fixed list (scripted tests/CLIs and replay);
    raises [Failure] when exhausted. *)
 let scripted answers =

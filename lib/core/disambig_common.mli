@@ -57,3 +57,28 @@ val first_new_position :
 val scripted : answer list -> 'q -> answer
 (** Answers drawn from a fixed list; raises [Failure] when
     exhausted. *)
+
+(** Shared answer cache for batch runs ({!Batch}). Keys include the
+    policy name and the question's (position, boundary_seq) pair in
+    addition to the rendered text, so two identical-text questions from
+    different intents against different policies or positions are never
+    silently merged. *)
+module Answer_cache : sig
+  type t
+
+  val create : unit -> t
+
+  val find : t -> policy:string -> view -> answer option
+  (** Cached answer for an identical earlier question, if any; counts a
+      hit. *)
+
+  val add : t -> policy:string -> view -> answer -> unit
+
+  val hits : t -> int
+  (** Questions served from the cache so far. *)
+
+  val cached :
+    t -> policy:string -> view:('q -> view) -> ('q -> answer) -> 'q -> answer
+  (** [cached t ~policy ~view oracle] behaves like [oracle] but serves
+      repeated questions from the cache without consulting it again. *)
+end

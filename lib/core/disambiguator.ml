@@ -101,10 +101,21 @@ let view (q : question) =
       Format.asprintf "%a" Config.Semantics.pp_route_result q.if_old_first;
   }
 
-let run ?(mode = Binary_search) ?pool ~db ~(target : Config.Route_map.t)
-    ~(stanza : Config.Route_map.stanza) ~(oracle : oracle) () =
+let run ?(mode = Binary_search) ?pool ?precomputed ~db
+    ~(target : Config.Route_map.t) ~(stanza : Config.Route_map.stanza)
+    ~(oracle : oracle) () =
   let n = List.length target.Config.Route_map.stanzas in
   let map_at p = Config.Route_map.insert_at target p stanza in
+  (* Batch runs hand in boundaries they already translated from a
+     shared multi-stanza sweep; the counter still ticks so telemetry
+     matches a sequential run. *)
+  let boundaries ?pool ~db ~target stanza =
+    match precomputed with
+    | Some bs ->
+        Obs.Counter.incr ~by:(List.length bs) boundaries_counter;
+        bs
+    | None -> boundaries ?pool ~db ~target stanza
+  in
   let asked, ask =
     Disambig_common.asker ~subsystem:"route_map" ~counter:questions_counter
       ~view ~oracle

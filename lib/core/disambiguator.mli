@@ -18,7 +18,7 @@ type question = {
   if_old_first : Config.Semantics.route_result;
 }
 
-type answer =
+type answer = Disambig_common.answer =
   | Prefer_new (* the route should be handled by the new stanza *)
   | Prefer_old (* the route should keep its existing behaviour *)
 
@@ -44,6 +44,10 @@ type error =
 
 val pp_question : Format.formatter -> question -> unit
 
+val view : question -> Disambig_common.view
+(** The telemetry rendering of a question — also the batch answer
+    cache's key material. *)
+
 val boundaries :
   ?pool:Parallel.Pool.t ->
   db:Config.Database.t ->
@@ -60,12 +64,17 @@ val boundaries :
 val run :
   ?mode:mode ->
   ?pool:Parallel.Pool.t ->
+  ?precomputed:question list ->
   db:Config.Database.t ->
   target:Config.Route_map.t ->
   stanza:Config.Route_map.stanza ->
   oracle:oracle ->
   unit ->
   (outcome, error) result
+(** [?precomputed] skips the engine sweep and uses the given boundary
+    questions (position order) — the batch pipeline's fast path, which
+    translates boundaries from one shared multi-stanza sweep instead of
+    recompiling the target per intent. *)
 
 (** {2 Oracles} *)
 

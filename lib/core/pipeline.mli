@@ -72,3 +72,38 @@ val run_acl_update :
   (acl_report, error) result
 (** Run one incremental ACL update end to end. For ACLs the parsed
     intent itself serves as the spec. *)
+
+(** {2 Building blocks shared with the batch pipeline ({!Batch})}
+
+    The synthesize-verify-repair loops and the flight-recorder event
+    emitters, exposed so batch runs reuse the exact same LLM call
+    sequence, repair behaviour and event schema as sequential runs. *)
+
+val synthesis_loop :
+  Llm.Mock_llm.t ->
+  max_attempts:int ->
+  entry:Llm.Prompt_db.entry ->
+  prompt:string ->
+  spec:Engine.Spec.t ->
+  ( Config.Database.t * Config.Route_map.t * int * string list,
+    error )
+  result
+(** The route-map verify-repair loop: [(snippet, map, attempts,
+    verification history)] on success. *)
+
+val acl_synthesis_loop :
+  Llm.Mock_llm.t ->
+  max_attempts:int ->
+  entry:Llm.Prompt_db.entry ->
+  prompt:string ->
+  (Config.Acl.rule * int * string list, error) result
+(** The ACL verify-repair loop; the parsed intent serves as spec. *)
+
+val mode_to_string : Disambiguator.mode -> string
+val acl_mode_to_string : Acl_disambiguator.mode -> string
+
+val emit_placement : position:int -> boundaries:int -> questions:int -> unit
+
+val runs_counter : Obs.Counter.t
+val errors_counter : Obs.Counter.t
+val llm_calls_counter : Obs.Counter.t

@@ -11,7 +11,7 @@ type question = {
   if_old_first : Config.Action.t;
 }
 
-type answer = Prefer_new | Prefer_old
+type answer = Disambig_common.answer = Prefer_new | Prefer_old
 type oracle = question -> answer
 type mode = Binary_search | Top_bottom | Linear
 
@@ -25,6 +25,10 @@ type outcome = {
 type error = Inconsistent_intent of question list
 
 val pp_question : Format.formatter -> question -> unit
+
+val view : question -> Disambig_common.view
+(** The telemetry rendering of a question — also the batch answer
+    cache's key material. *)
 
 val insert_entry_at :
   Config.Prefix_list.t -> int -> Config.Prefix_list.entry -> Config.Prefix_list.t

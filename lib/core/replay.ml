@@ -83,18 +83,25 @@ let run_events recorded =
           | _ -> Some (Error "malformed llm_synthesize event"))
       recorded
   in
+  (* A question event immediately preceded by a "batch_cache_hit"
+     marker was answered from the batch answer cache, not by the user;
+     the replayed run will serve it from its own cache, so its answer
+     must not consume from the scripted oracle. *)
   let* answers =
     List.fold_left
       (fun acc e ->
-        let* acc = acc in
-        if e.E.kind <> "question" then Ok acc
+        let* acc, cached = acc in
+        if e.E.kind = "batch_cache_hit" then Ok (acc, true)
+        else if e.E.kind <> "question" then Ok (acc, cached)
+        else if cached then Ok (acc, false)
         else
           match E.str_field "answer" e with
-          | Some "new" -> Ok (`New :: acc)
-          | Some "old" -> Ok (`Old :: acc)
+          | Some "new" -> Ok (`New :: acc, false)
+          | Some "old" -> Ok (`Old :: acc, false)
           | _ -> Error "question event without a new/old answer")
-      (Ok []) recorded
-    |> Result.map List.rev
+      (Ok ([], false))
+      recorded
+    |> Result.map (fun (acc, _) -> List.rev acc)
   in
   let llm = Llm.Mock_llm.create ~replay:responses () in
   let next = scripted_answers answers in
@@ -136,6 +143,59 @@ let run_events recorded =
             ignore
               (Pipeline.run_acl_update ~max_attempts ~mode ~llm ~oracle ~db
                  ~target ~prompt ()))
+    | "batch" ->
+        let* rm_mode =
+          match mode_name with
+          | "binary_search" -> Ok Disambiguator.Binary_search
+          | "top_bottom" -> Ok Disambiguator.Top_bottom
+          | "linear" -> Ok Disambiguator.Linear
+          | m -> Error (Printf.sprintf "unknown disambiguation mode %S" m)
+        in
+        let* acl_mode =
+          match E.str_field "acl_mode" start with
+          | None | Some "binary_search" -> Ok Acl_disambiguator.Binary_search
+          | Some "top_bottom" -> Ok Acl_disambiguator.Top_bottom
+          | Some "linear" -> Ok Acl_disambiguator.Linear
+          | Some m -> Error (Printf.sprintf "unknown disambiguation mode %S" m)
+        in
+        let* items =
+          match E.field "items" start with
+          | Some (Json.List items) ->
+              List.fold_left
+                (fun acc j ->
+                  let* acc = acc in
+                  let str name =
+                    match Json.member name j with
+                    | Some (Json.String s) -> Ok s
+                    | _ ->
+                        Error
+                          (Printf.sprintf
+                             "batch session_start: item missing field %S" name)
+                  in
+                  let* kind = str "kind" in
+                  let* target = str "target" in
+                  let* prompt = str "prompt" in
+                  match kind with
+                  | "route_map" ->
+                      Ok (Batch.Route_map_update { target; prompt } :: acc)
+                  | "acl" -> Ok (Batch.Acl_update { target; prompt } :: acc)
+                  | k ->
+                      Error
+                        (Printf.sprintf "batch session_start: unknown kind %S" k))
+                (Ok []) items
+              |> Result.map List.rev
+          | _ -> Error "batch session_start: missing items list"
+        in
+        let oracle ~intent:_ ~target:_ _ =
+          match next () with
+          | `New -> Disambig_common.Prefer_new
+          | `Old -> Disambig_common.Prefer_old
+        in
+        Ok
+          (fun () ->
+            ignore
+              (Batch.run ~max_attempts ~rm_mode ~acl_mode ~llm ~oracle ~db
+                 items))
     | p -> Error (Printf.sprintf "unknown pipeline kind %S" p)
   in
   (* Re-run under a fresh in-memory recorder. An exhausted oracle means

@@ -74,12 +74,11 @@ let naive_chunk ~target rule (start, len) =
       | Some d -> Some (i, d))
     (List.init len (fun k -> start + k))
 
-let incremental_chunk ~(target : Config.Acl.t) (rule : Config.Acl.rule)
-    (start, len) =
-  Obs.Counter.incr Metrics.adjacent_contexts;
-  Obs.Counter.incr ~by:(max 0 (len - 1)) Metrics.adjacent_prefix_reuse;
+(* Boundaries of one candidate rule against a pre-executed partition of
+   the target: position [i] is a boundary exactly when the actions
+   differ and [cell_i.guard ∧ match(rule)] is satisfiable. *)
+let cell_boundaries cells rule (start, len) =
   let match_new = Ps.of_rule rule in
-  let cells = Array.of_list (Ps.exec target) in
   List.filter_map
     (fun i ->
       let (c : Ps.cell) = cells.(i) in
@@ -102,6 +101,13 @@ let incremental_chunk ~(target : Config.Acl.t) (rule : Config.Acl.rule)
                 } ))
     (List.init len (fun k -> start + k))
 
+let incremental_chunk ~(target : Config.Acl.t) (rule : Config.Acl.rule)
+    (start, len) =
+  Obs.Counter.incr Metrics.adjacent_contexts;
+  Obs.Counter.incr ~by:(max 0 (len - 1)) Metrics.adjacent_prefix_reuse;
+  let cells = Array.of_list (Ps.exec target) in
+  cell_boundaries cells rule (start, len)
+
 let adjacent_insertions ?naive ?pool ~(target : Config.Acl.t)
     (rule : Config.Acl.rule) =
   Obs.Counter.incr Metrics.adjacent_insertions_calls;
@@ -123,6 +129,106 @@ let adjacent_insertions ?naive ?pool ~(target : Config.Acl.t)
   in
   Obs.Histogram.observe_ns Metrics.boundary_ns ((Obs.now () -. t0) *. 1e9);
   result
+
+(* ------------------------------------------------------------------ *)
+(* Multi-rule batch sweep — the ACL mirror of
+   [Compare_route_policies.batch_insertions]; see DESIGN.md §12. The
+   packet space has a fixed variable set, so witnesses are trivially
+   independent of how the work is sharded across a pool. *)
+
+type pair_kind = Pair_disjoint | Pair_overlap | Pair_conflict of difference
+
+type batch_sweep = {
+  per_candidate : (int * difference) list array;
+  overlaps : (int * int) list;
+  conflicts : (int * int * difference) list;
+}
+
+let chunk_list ~domains items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let d = max 1 (min domains n) in
+  List.init d (fun c ->
+      let start = c * n / d and stop = (c + 1) * n / d in
+      Array.to_list (Array.sub arr start (stop - start)))
+  |> List.filter (fun l -> l <> [])
+
+let batch_insertions ?pool ~(target : Config.Acl.t) rules =
+  let candidates = Array.of_list rules in
+  let ncand = Array.length candidates in
+  if ncand = 0 then { per_candidate = [||]; overlaps = []; conflicts = [] }
+  else begin
+    Obs.Counter.incr Metrics.adjacent_insertions_calls;
+    let t0 = Obs.now () in
+    let n = List.length target.Config.Acl.rules in
+    let bounds_task ks =
+      Obs.Counter.incr Metrics.adjacent_contexts;
+      let cells = Array.of_list (Ps.exec target) in
+      List.map (fun k -> (k, cell_boundaries cells candidates.(k) (0, n))) ks
+    in
+    let classify_pair (i, j) =
+      let ri = candidates.(i) and rj = candidates.(j) in
+      let region = Bdd.conj (Ps.of_rule ri) (Ps.of_rule rj) in
+      match Ps.to_packet region with
+      | None -> (i, j, Pair_disjoint)
+      | Some packet ->
+          if Config.Action.equal ri.Config.Acl.action rj.Config.Acl.action
+          then (i, j, Pair_overlap)
+          else
+            ( i,
+              j,
+              Pair_conflict
+                {
+                  packet;
+                  action_a = ri.Config.Acl.action;
+                  action_b = rj.Config.Acl.action;
+                  rule_a = Some ri.Config.Acl.seq;
+                  rule_b = Some rj.Config.Acl.seq;
+                } )
+    in
+    let pairs_task ps = List.map classify_pair ps in
+    let all_pairs =
+      List.concat
+        (List.init ncand (fun i ->
+             List.init (ncand - i - 1) (fun d -> (i, i + d + 1))))
+    in
+    let bounds, pairs =
+      match pool with
+      | Some pool when Parallel.Pool.domains pool > 1 && ncand > 1 ->
+          let d = Parallel.Pool.domains pool in
+          let bres =
+            Parallel.Pool.map_chunked pool ~f:bounds_task
+              (chunk_list ~domains:d (List.init ncand Fun.id))
+          in
+          let pres =
+            Parallel.Pool.map_chunked pool ~f:pairs_task
+              (chunk_list ~domains:d all_pairs)
+          in
+          (List.concat bres, List.concat pres)
+      | _ ->
+          (bounds_task (List.init ncand Fun.id), pairs_task all_pairs)
+    in
+    Obs.Counter.incr
+      ~by:(max 0 ((ncand * max 1 n) - 1))
+      Metrics.adjacent_prefix_reuse;
+    let per_candidate = Array.make ncand [] in
+    List.iter (fun (k, bs) -> per_candidate.(k) <- bs) bounds;
+    let overlaps =
+      List.filter_map
+        (function
+          | i, j, (Pair_overlap | Pair_conflict _) -> Some (i, j)
+          | _, _, Pair_disjoint -> None)
+        pairs
+    in
+    let conflicts =
+      List.filter_map
+        (function i, j, Pair_conflict d -> Some (i, j, d) | _ -> None)
+        pairs
+    in
+    Obs.Counter.incr ~by:(List.length conflicts) Metrics.batch_conflict_pairs;
+    Obs.Histogram.observe_ns Metrics.boundary_ns ((Obs.now () -. t0) *. 1e9);
+    { per_candidate; overlaps; conflicts }
+  end
 
 let pp_difference fmt d =
   Format.fprintf fmt

@@ -31,4 +31,26 @@ val adjacent_insertions :
     into one contiguous chunk per worker domain. Both strategies return
     identical results. *)
 
+type batch_sweep = {
+  per_candidate : (int * difference) list array;
+      (** candidate [k]'s boundary sweep against the original target,
+          exactly what {!adjacent_insertions} would return for it *)
+  overlaps : (int * int) list;
+      (** candidate pairs [i < j] whose match regions intersect *)
+  conflicts : (int * int * difference) list;
+      (** overlapping pairs with differing actions, with a witness
+          packet from the shared region *)
+}
+
+val batch_insertions :
+  ?pool:Parallel.Pool.t ->
+  target:Config.Acl.t ->
+  Config.Acl.rule list ->
+  batch_sweep
+(** Multi-rule sweep for batch synthesis: boundary sweeps for every
+    candidate plus the pairwise inter-intent overlap/conflict graph,
+    against one symbolic execution of [target] per worker chunk (one
+    total when serial). Increments {!Metrics.batch_conflict_pairs} by
+    the number of conflicts. *)
+
 val pp_difference : Format.formatter -> difference -> unit

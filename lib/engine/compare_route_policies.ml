@@ -173,16 +173,14 @@ let naive_chunk ~db ~target stanza (start, len) =
       | Some d -> Some (i, d))
     (List.init len (fun k -> start + k))
 
-let incremental_chunk ~db ~(target : Config.Route_map.t) stanza (start, len) =
-  Obs.Counter.incr Metrics.adjacent_contexts;
-  Obs.Counter.incr ~by:(max 0 (len - 1)) Metrics.adjacent_prefix_reuse;
-  (* Any insertion brings the new stanza's ancillary lists into scope;
-     position 0 is as good as any for the shared universe, which is a
-     function of the referenced community sets only. *)
-  let ctx = context ~db_a:db ~db_b:db (Config.Route_map.insert_at target 0 stanza) target in
+(* Boundaries of one candidate stanza against a pre-executed partition
+   of the target: position [i]'s candidate region is
+   [cells.(i).guard ∧ match(stanza)], sampled and replayed concretely
+   exactly as [compare] would, so witnesses match the naive sweep. *)
+let cell_boundaries ctx cells ~db ~(target : Config.Route_map.t) stanza
+    (start, len) =
   let match_new = Ctx.of_stanza ctx db stanza in
   let t_new = Config.Transform.of_sets db stanza.Config.Route_map.sets in
-  let cells = Array.of_list (Ctx.exec ctx db target) in
   let map_at p = Config.Route_map.insert_at target p stanza in
   List.filter_map
     (fun i ->
@@ -217,6 +215,16 @@ let incremental_chunk ~db ~(target : Config.Route_map.t) stanza (start, len) =
                 (i, { route; result_a; result_b; stanza_a = seq; stanza_b = seq }))
     (List.init len (fun k -> start + k))
 
+let incremental_chunk ~db ~(target : Config.Route_map.t) stanza (start, len) =
+  Obs.Counter.incr Metrics.adjacent_contexts;
+  Obs.Counter.incr ~by:(max 0 (len - 1)) Metrics.adjacent_prefix_reuse;
+  (* Any insertion brings the new stanza's ancillary lists into scope;
+     position 0 is as good as any for the shared universe, which is a
+     function of the referenced community sets only. *)
+  let ctx = context ~db_a:db ~db_b:db (Config.Route_map.insert_at target 0 stanza) target in
+  let cells = Array.of_list (Ctx.exec ctx db target) in
+  cell_boundaries ctx cells ~db ~target stanza (start, len)
+
 let adjacent_insertions ?naive ?pool ~db ~(target : Config.Route_map.t)
     (stanza : Config.Route_map.stanza) =
   Obs.Counter.incr Metrics.adjacent_insertions_calls;
@@ -239,6 +247,175 @@ let adjacent_insertions ?naive ?pool ~db ~(target : Config.Route_map.t)
   in
   Obs.Histogram.observe_ns Metrics.boundary_ns ((Obs.now () -. t0) *. 1e9);
   result
+
+(* ------------------------------------------------------------------ *)
+(* Multi-stanza batch sweep (DESIGN.md §12).
+
+   A batch of N candidate stanzas against one target policy shares a
+   single compiled first-match partition: every candidate's boundary
+   sweep is N conjunctions against the same cells, and the pairwise
+   inter-intent analysis is one conjunction per candidate pair. The
+   symbolic scope always covers the target plus *every* candidate, so
+   the community/as-path universe — and therefore every witness — is
+   identical however the work is sharded across a pool. *)
+
+type pair_kind = Pair_disjoint | Pair_overlap | Pair_conflict of difference
+
+type batch_sweep = {
+  per_candidate : (int * difference) list array;
+      (* candidate k's boundary sweep against the original target *)
+  overlaps : (int * int) list; (* i < j: match regions intersect *)
+  conflicts : (int * int * difference) list;
+      (* overlapping pairs whose behaviours differ, with a witness *)
+}
+
+(* Contiguous slices of a work list, one per worker. *)
+let chunk_list ~domains items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let d = max 1 (min domains n) in
+  List.init d (fun c ->
+      let start = c * n / d and stop = (c + 1) * n / d in
+      Array.to_list (Array.sub arr start (stop - start)))
+  |> List.filter (fun l -> l <> [])
+
+let batch_insertions ?pool ~db ~(target : Config.Route_map.t) stanzas =
+  let candidates = Array.of_list stanzas in
+  let ncand = Array.length candidates in
+  if ncand = 0 then { per_candidate = [||]; overlaps = []; conflicts = [] }
+  else begin
+    Obs.Counter.incr Metrics.adjacent_insertions_calls;
+    let t0 = Obs.now () in
+    let n = List.length target.Config.Route_map.stanzas in
+    (* The shared scope map: target stanzas plus every candidate, so
+       each chunk's universe is the same whichever candidates it owns. *)
+    let scope_map =
+      let base =
+        1
+        + List.fold_left
+            (fun a (s : Config.Route_map.stanza) -> max a s.seq)
+            0 target.Config.Route_map.stanzas
+      in
+      Config.Route_map.make target.Config.Route_map.name
+        (target.Config.Route_map.stanzas
+        @ List.mapi
+            (fun k s -> { s with Config.Route_map.seq = base + k })
+            stanzas)
+    in
+    let make_ctx () =
+      Obs.Counter.incr Metrics.adjacent_contexts;
+      Ctx.create [ (db, [ scope_map; target ]) ]
+    in
+    let bounds_task ks =
+      let ctx = make_ctx () in
+      let cells = Array.of_list (Ctx.exec ctx db target) in
+      List.map
+        (fun k ->
+          (k, cell_boundaries ctx cells ~db ~target candidates.(k) (0, n)))
+        ks
+    in
+    let classify_pair ctx (i, j) =
+      let si = candidates.(i) and sj = candidates.(j) in
+      let region =
+        Bdd.conj (Ctx.of_stanza ctx db si) (Ctx.of_stanza ctx db sj)
+      in
+      if not (Ctx.is_sat ctx region) then (i, j, Pair_disjoint)
+      else
+        let ti = Config.Transform.of_sets db si.Config.Route_map.sets in
+        let tj = Config.Transform.of_sets db sj.Config.Route_map.sets in
+        let maybe_differs =
+          match (si.Config.Route_map.action, sj.Config.Route_map.action) with
+          | Config.Action.Deny, Config.Action.Deny -> false
+          | Config.Action.Permit, Config.Action.Permit ->
+              not (Config.Transform.equal ~db1:db ~db2:db ti tj)
+          | _ -> true
+        in
+        if not maybe_differs then (i, j, Pair_overlap)
+        else
+          match
+            sample_route ctx ~db_a:db ~db_b:db
+              ti.Config.Transform.communities tj.Config.Transform.communities
+              region
+          with
+          | None -> (i, j, Pair_overlap)
+          | Some route ->
+              let map_of s =
+                Config.Route_map.make target.Config.Route_map.name [ s ]
+              in
+              let result_a, result_b =
+                concrete_results ~db_a:db ~db_b:db (map_of si) (map_of sj)
+                  route
+              in
+              if Config.Semantics.route_result_equal result_a result_b then
+                (i, j, Pair_overlap)
+              else
+                ( i,
+                  j,
+                  Pair_conflict
+                    {
+                      route;
+                      result_a;
+                      result_b;
+                      stanza_a = Some si.Config.Route_map.seq;
+                      stanza_b = Some sj.Config.Route_map.seq;
+                    } )
+    in
+    let pairs_task ps =
+      let ctx = make_ctx () in
+      List.map (classify_pair ctx) ps
+    in
+    let all_pairs =
+      List.concat
+        (List.init ncand (fun i ->
+             List.init (ncand - i - 1) (fun d -> (i, i + d + 1))))
+    in
+    let bounds, pairs =
+      match pool with
+      | Some pool when Parallel.Pool.domains pool > 1 && ncand > 1 ->
+          let d = Parallel.Pool.domains pool in
+          let bres =
+            Parallel.Pool.map_chunked pool ~f:bounds_task
+              (chunk_list ~domains:d (List.init ncand Fun.id))
+          in
+          let pres =
+            Parallel.Pool.map_chunked pool ~f:pairs_task
+              (chunk_list ~domains:d all_pairs)
+          in
+          (List.concat bres, List.concat pres)
+      | _ ->
+          let ctx = make_ctx () in
+          let cells = Array.of_list (Ctx.exec ctx db target) in
+          ( List.map
+              (fun k ->
+                ( k,
+                  cell_boundaries ctx cells ~db ~target candidates.(k) (0, n)
+                ))
+              (List.init ncand Fun.id),
+            List.map (classify_pair ctx) all_pairs )
+    in
+    Obs.Counter.incr
+      ~by:(max 0 ((ncand * max 1 n) - 1))
+      Metrics.adjacent_prefix_reuse;
+    let per_candidate = Array.make ncand [] in
+    List.iter (fun (k, bs) -> per_candidate.(k) <- bs) bounds;
+    let overlaps =
+      List.filter_map
+        (function
+          | i, j, (Pair_overlap | Pair_conflict _) -> Some (i, j)
+          | _, _, Pair_disjoint -> None)
+        pairs
+    in
+    let conflicts =
+      List.filter_map
+        (function
+          | i, j, Pair_conflict d -> Some (i, j, d)
+          | _ -> None)
+        pairs
+    in
+    Obs.Counter.incr ~by:(List.length conflicts) Metrics.batch_conflict_pairs;
+    Obs.Histogram.observe_ns Metrics.boundary_ns ((Obs.now () -. t0) *. 1e9);
+    { per_candidate; overlaps; conflicts }
+  end
 
 let pp_difference fmt d =
   Format.fprintf fmt

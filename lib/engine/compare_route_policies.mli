@@ -64,5 +64,30 @@ val adjacent_insertions :
     worker domain; each chunk compiles its own context (BDDs never
     cross domains), and results are re-assembled in position order. *)
 
+type batch_sweep = {
+  per_candidate : (int * difference) list array;
+      (** candidate [k]'s boundary sweep against the original target,
+          exactly what {!adjacent_insertions} would return for it *)
+  overlaps : (int * int) list;
+      (** candidate pairs [i < j] whose match regions intersect *)
+  conflicts : (int * int * difference) list;
+      (** overlapping pairs with genuinely different behaviour on some
+          shared route, with a differential witness *)
+}
+
+val batch_insertions :
+  ?pool:Parallel.Pool.t ->
+  db:Config.Database.t ->
+  target:Config.Route_map.t ->
+  Config.Route_map.stanza list ->
+  batch_sweep
+(** Multi-stanza sweep for batch synthesis: boundary sweeps for every
+    candidate plus the pairwise inter-intent overlap/conflict graph,
+    all against one compiled first-match partition of [target] (one
+    symbolic context serially; one per chunk under [~pool]). The
+    symbolic scope always includes every candidate, so witnesses are
+    independent of how the work is sharded. Increments
+    {!Metrics.batch_conflict_pairs} by the number of conflicts. *)
+
 val pp_difference : Format.formatter -> difference -> unit
 (** Rendered in the paper's OPTION 1 / OPTION 2 style. *)

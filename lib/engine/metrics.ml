@@ -40,6 +40,24 @@ let boundary_ns =
   Obs.Histogram.make "engine.adjacent_insertions.boundary_ns"
     ~help:"wall time of one full boundary sweep (all insertion positions)"
 
+let batch_intents =
+  Obs.Counter.make "engine.batch.intents"
+    ~help:"intents processed by batch synthesis runs"
+
+let batch_conflict_pairs =
+  Obs.Counter.make "engine.batch.conflict_pairs"
+    ~help:"genuine inter-intent conflict pairs found by batch sweeps"
+
+let batch_questions_saved =
+  Obs.Counter.make "engine.batch.questions_saved"
+    ~help:
+      "disambiguation questions answered from the batch answer cache \
+       instead of being asked again"
+
+let batch_ns =
+  Obs.Histogram.make "engine.batch.batch_ns"
+    ~help:"wall time of one full batch synthesis run (all intents)"
+
 let bdd_nodes =
   Obs.Counter.make "bdd.nodes_allocated"
     ~help:"fresh BDD nodes allocated in this domain's unique table"

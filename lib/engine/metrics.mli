@@ -23,6 +23,20 @@ val adjacent_prefix_reuse : Obs.Counter.t
 val boundary_ns : Obs.Histogram.t
 (** Wall time of one full boundary sweep. *)
 
+val batch_intents : Obs.Counter.t
+(** Intents processed by batch synthesis runs ({!Clarify.Batch}). *)
+
+val batch_conflict_pairs : Obs.Counter.t
+(** Genuine inter-intent conflict pairs found by the multi-stanza batch
+    sweeps ([batch_insertions] in either compare module). *)
+
+val batch_questions_saved : Obs.Counter.t
+(** Disambiguation questions a batch run served from its shared answer
+    cache instead of asking the user again. *)
+
+val batch_ns : Obs.Histogram.t
+(** Wall time of one full batch synthesis run. *)
+
 val bdd_nodes : Obs.Counter.t
 val cache_hits : Obs.Counter.t
 val cache_misses : Obs.Counter.t

@@ -176,7 +176,8 @@ let test_report_renderings () =
       check_string "csv header"
         "router,sessions,route_maps,stanzas,questions,probes,boundaries,\
          retries,classify_calls,synthesize_calls,spec_calls,prompt_tokens,\
-         completion_tokens,cost_usd"
+         completion_tokens,cost_usd,batch_sessions,batch_intents,\
+         batch_conflict_pairs,batch_fast_path,batch_questions_saved"
         header;
       check_int "one csv row per router" 1 (List.length rows)
   | [] -> Alcotest.fail "empty csv");
@@ -190,6 +191,37 @@ let test_report_renderings () =
       check_bool "json row has phases" true
         (Json.member "phases" row <> None)
   | _ -> Alcotest.fail "json lacks the routers array"
+
+(* The batch fixture aggregates into the batch columns: one batch
+   session of three intents with one genuine conflict pair, and the
+   markdown gains its batch section (absent from single-intent
+   reports like the committed E4 golden). *)
+let test_batch_fixture_report () =
+  let s =
+    match S.load_file "../examples/batch_session.jsonl" with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "cannot load batch fixture: %s" m
+  in
+  let report = Rp.of_sessions [ s ] in
+  match report.Rp.routers with
+  | [ r ] ->
+      check_int "one batch session" 1 r.Rp.batch_sessions;
+      check_int "three intents" 3 r.Rp.batch_intents;
+      check_int "one conflict pair" 1 r.Rp.batch_conflict_pairs;
+      check_bool "some placements took the fast path" true
+        (r.Rp.batch_fast_path >= 1);
+      check_int "placements cover every intent" 3 r.Rp.stanzas;
+      let md = Rp.to_markdown report in
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i =
+          i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      check_bool "markdown has the batch section" true
+        (contains md "## Batch intents")
+  | rows -> Alcotest.failf "expected one router row, got %d" (List.length rows)
 
 (* The acceptance gate: record E4, aggregate the logs, and demand both
    (a) the per-router rows equal the stats the experiment itself
@@ -421,6 +453,8 @@ let () =
           Alcotest.test_case "row matches the raw events" `Quick
             test_report_matches_fixture_events;
           Alcotest.test_case "renderings" `Quick test_report_renderings;
+          Alcotest.test_case "batch fixture aggregates" `Quick
+            test_batch_fixture_report;
           Alcotest.test_case "e4 run vs report vs golden" `Quick
             test_e4_report_matches_run_and_golden;
         ] );

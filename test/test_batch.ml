@@ -1,0 +1,552 @@
+(* Batch synthesis equivalence: for every family (route-map, ACL,
+   prefix-list), a batch run over N intents must produce exactly the
+   configuration N sequential pipeline runs produce, asking a question
+   set contained in the sequential one — serial and pooled. Plus pinned
+   cases: a conflicting pair with its witness checked exactly, a
+   conflict-free batch compiling the target partition once, and the
+   answer-cache dedup regression (policy/position are part of the key,
+   not just the rendered text). *)
+
+open Config
+module I = Llm.Intent
+module P = Clarify.Pipeline
+module B = Clarify.Batch
+module D = Clarify.Disambiguator
+module AD = Clarify.Acl_disambiguator
+module PD = Clarify.Prefix_list_disambiguator
+module DC = Clarify.Disambig_common
+
+let pfx = Netaddr.Prefix.of_string_exn
+let check_int = Alcotest.(check int)
+
+(* One pool for every pooled case; workers are reused across calls. *)
+let pool = lazy (Parallel.Pool.create ~domains:4 ())
+let get_pool = function true -> Some (Lazy.force pool) | false -> None
+
+let config_string db = Parser.to_string db
+
+(* Questions are compared through their telemetry views, tagged with the
+   target policy: the view carries position, boundary seq, the rendered
+   example and both candidate behaviours. *)
+let rm_key target q = (target, D.view q)
+let acl_key target q = (target, AD.view q)
+let pd_key target q = (target, PD.view q)
+
+let subset ~of_:ys xs = List.for_all (fun x -> List.mem x ys) xs
+
+let same_multiset xs ys =
+  List.length xs = List.length ys && subset ~of_:ys xs && subset ~of_:xs ys
+
+(* ------------------------------------------------------------------ *)
+(* Route-map scenarios                                                *)
+(* ------------------------------------------------------------------ *)
+
+let base_lists =
+  {|ip prefix-list WIDE permit 10.0.0.0/8 le 24
+ip prefix-list NARROW permit 10.1.0.0/16 le 32
+ip prefix-list OTHER permit 99.0.0.0/8 le 16
+ip as-path access-list FROM32 permit _32$
+ip community-list expanded GOLD permit _300:3_
+|}
+
+let gen_action = QCheck.Gen.oneofl [ Action.Permit; Action.Deny ]
+
+let gen_existing_map =
+  QCheck.Gen.(
+    list_size (int_range 1 3)
+      (pair gen_action
+         (oneofl
+            [
+              [ Route_map.Match_prefix_list [ "WIDE" ] ];
+              [ Route_map.Match_prefix_list [ "NARROW" ] ];
+              [ Route_map.Match_prefix_list [ "OTHER" ] ];
+              [ Route_map.Match_as_path [ "FROM32" ] ];
+              [ Route_map.Match_community [ "GOLD" ] ];
+              [ Route_map.Match_local_pref 300 ];
+            ]))
+    >>= fun stanzas ->
+    return
+      (Route_map.make "TARGET"
+         (List.mapi
+            (fun i (action, matches) ->
+              Route_map.stanza ~seq:((i + 1) * 10) ~matches action)
+            stanzas)))
+
+(* Community- and as-path-free intents: batch fast-path boundaries must
+   be byte-identical to sequential ones, and extra candidates in the
+   shared sweep context must not perturb witness sampling (DESIGN.md
+   §12). Prefix windows and set clauses still generate overlaps and
+   genuine conflicts between intents. *)
+let gen_rm_intent =
+  QCheck.Gen.(
+    gen_action >>= fun action ->
+    oneofl
+      [
+        [ Netaddr.Prefix_range.make (pfx "10.0.0.0/8") ~ge:None ~le:(Some 16) ];
+        [ Netaddr.Prefix_range.make (pfx "10.1.0.0/16") ~ge:None ~le:(Some 24) ];
+        [ Netaddr.Prefix_range.exact (pfx "99.0.0.0/8") ];
+        [ Netaddr.Prefix_range.make (pfx "172.16.0.0/12") ~ge:None ~le:(Some 20) ];
+      ]
+    >>= fun prefixes ->
+    oneofl [ []; [ Route_map.Set_metric 55 ]; [ Route_map.Set_local_pref 200 ] ]
+    >>= fun sets ->
+    return
+      {
+        I.action;
+        prefixes;
+        communities = [];
+        as_path_origin = None;
+        as_path_contains = None;
+        local_pref = None;
+        metric_match = None;
+        tag_match = None;
+        sets;
+      })
+
+let gen_rm_scenario =
+  QCheck.Gen.(pair gen_existing_map (list_size (int_range 2 3) gen_rm_intent))
+
+let arb_rm_scenario =
+  QCheck.make
+    ~print:(fun (rm, intents) ->
+      Format.asprintf "%a@.%s" Route_map.pp rm
+        (String.concat "\n"
+           (List.map (fun i -> I.to_prompt (I.Route_map i)) intents)))
+    gen_rm_scenario
+
+let rm_setup rm = Database.add_route_map (Parser.parse_exn base_lists) rm
+
+let sequential_route_maps db prompts =
+  let llm = Llm.Mock_llm.create () in
+  List.fold_left
+    (fun (db, qs) prompt ->
+      match
+        P.run_route_map_update ~llm ~oracle:D.always_new ~db ~target:"TARGET"
+          ~prompt ()
+      with
+      | Error e ->
+          QCheck.Test.fail_reportf "sequential: %s" (P.error_to_string e)
+      | Ok r -> (r.P.db, qs @ List.map (rm_key "TARGET") r.P.questions))
+    (db, []) prompts
+
+let batch_route_maps ~pooled db prompts =
+  let llm = Llm.Mock_llm.create () in
+  let items =
+    List.map (fun prompt -> B.Route_map_update { target = "TARGET"; prompt }) prompts
+  in
+  let oracle ~intent:_ ~target:_ _ = DC.Prefer_new in
+  match B.run ?pool:(get_pool pooled) ~llm ~oracle ~db items with
+  | Error e -> QCheck.Test.fail_reportf "batch: %s" (B.error_to_string e)
+  | Ok r ->
+      let qs =
+        List.concat_map
+          (function
+            | B.Route_map_result rr ->
+                List.map (rm_key "TARGET") rr.P.questions
+            | B.Acl_result _ -> [])
+          r.B.items
+      in
+      (r, qs)
+
+let prop_rm_batch_equals_sequential ~pooled ~count =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "route-map batch == sequential (%s)"
+         (if pooled then "pooled" else "serial"))
+    ~count arb_rm_scenario
+    (fun (rm, intents) ->
+      let db = rm_setup rm in
+      let prompts = List.map (fun i -> I.to_prompt (I.Route_map i)) intents in
+      let db_seq, seq_qs = sequential_route_maps db prompts in
+      let report, batch_qs = batch_route_maps ~pooled db prompts in
+      if config_string report.B.db <> config_string db_seq then
+        QCheck.Test.fail_reportf "final configs differ:@.%s@.-- vs --@.%s"
+          (config_string report.B.db)
+          (config_string db_seq);
+      if not (subset ~of_:seq_qs batch_qs) then
+        QCheck.Test.fail_reportf
+          "batch asked a question the sequential run never asked";
+      (* With the always-new user the question streams are in fact
+         identical, not just contained. *)
+      same_multiset batch_qs seq_qs)
+
+(* ------------------------------------------------------------------ *)
+(* ACL scenarios                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_existing_acl =
+  QCheck.Gen.(
+    list_size (int_range 1 4)
+      (oneofl
+         [
+           Acl.rule ~protocol:Packet.Tcp ~dst_port:(Acl.Eq 23) Action.Deny;
+           Acl.rule ~protocol:Packet.Tcp
+             ~src:(Acl.addr_of_prefix (pfx "10.20.0.0/16"))
+             Action.Permit;
+           Acl.rule ~protocol:Packet.Udp ~dst_port:(Acl.Eq 53) Action.Permit;
+           Acl.rule ~protocol:Packet.Udp Action.Deny;
+           Acl.rule ~protocol:Packet.Icmp
+             ~src:(Acl.addr_of_prefix (pfx "10.20.0.0/16"))
+             Action.Permit;
+           Acl.rule ~dst:(Acl.addr_of_prefix (pfx "192.168.0.0/24")) Action.Deny;
+         ])
+    >>= fun rules ->
+    return
+      (Acl.make "FW"
+         (List.mapi (fun i (r : Acl.rule) -> { r with seq = (i + 1) * 10 }) rules)))
+
+let gen_acl_intent =
+  QCheck.Gen.(
+    gen_action >>= fun action ->
+    oneofl [ Packet.Tcp; Packet.Udp ] >>= fun protocol ->
+    oneofl [ Acl.Any; Acl.addr_of_prefix (pfx "10.20.0.0/16") ] >>= fun src ->
+    oneofl [ Acl.Any_port; Acl.Eq 443; Acl.Eq 53; Acl.Range (8000, 8080) ]
+    >>= fun dst_port ->
+    return (I.acl_intent ~protocol ~src ~dst_port action))
+
+let gen_acl_scenario =
+  QCheck.Gen.(pair gen_existing_acl (list_size (int_range 2 3) gen_acl_intent))
+
+let arb_acl_scenario =
+  QCheck.make
+    ~print:(fun (acl, intents) ->
+      Format.asprintf "%a@.%s" Acl.pp acl
+        (String.concat "\n" (List.map I.to_prompt intents)))
+    gen_acl_scenario
+
+let acl_setup acl = Database.add_acl Database.empty acl
+
+let sequential_acls db prompts =
+  let llm = Llm.Mock_llm.create () in
+  List.fold_left
+    (fun (db, qs) prompt ->
+      match
+        P.run_acl_update ~llm
+          ~oracle:(fun _ -> AD.Prefer_new)
+          ~db ~target:"FW" ~prompt ()
+      with
+      | Error e ->
+          QCheck.Test.fail_reportf "sequential: %s" (P.error_to_string e)
+      | Ok r -> (r.P.db, qs @ List.map (acl_key "FW") r.P.questions))
+    (db, []) prompts
+
+let batch_acls ~pooled db prompts =
+  let llm = Llm.Mock_llm.create () in
+  let items =
+    List.map (fun prompt -> B.Acl_update { target = "FW"; prompt }) prompts
+  in
+  let oracle ~intent:_ ~target:_ _ = DC.Prefer_new in
+  match B.run ?pool:(get_pool pooled) ~llm ~oracle ~db items with
+  | Error e -> QCheck.Test.fail_reportf "batch: %s" (B.error_to_string e)
+  | Ok r ->
+      let qs =
+        List.concat_map
+          (function
+            | B.Acl_result ar -> List.map (acl_key "FW") ar.P.questions
+            | B.Route_map_result _ -> [])
+          r.B.items
+      in
+      (r, qs)
+
+let prop_acl_batch_equals_sequential ~pooled ~count =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "acl batch == sequential (%s)"
+         (if pooled then "pooled" else "serial"))
+    ~count arb_acl_scenario
+    (fun (acl, intents) ->
+      let db = acl_setup acl in
+      let prompts = List.map I.to_prompt intents in
+      let db_seq, seq_qs = sequential_acls db prompts in
+      let report, batch_qs = batch_acls ~pooled db prompts in
+      config_string report.B.db = config_string db_seq
+      && same_multiset batch_qs seq_qs)
+
+(* ------------------------------------------------------------------ *)
+(* Prefix-list scenarios                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_range =
+  QCheck.Gen.oneofl
+    [
+      Netaddr.Prefix_range.make (pfx "10.0.0.0/8") ~ge:None ~le:(Some 24);
+      Netaddr.Prefix_range.make (pfx "10.1.0.0/16") ~ge:None ~le:(Some 32);
+      Netaddr.Prefix_range.make (pfx "10.0.0.0/8") ~ge:(Some 25) ~le:None;
+      Netaddr.Prefix_range.exact (pfx "99.0.0.0/8");
+      Netaddr.Prefix_range.make (pfx "172.16.0.0/12") ~ge:None ~le:(Some 20);
+    ]
+
+let gen_existing_prefix_list =
+  QCheck.Gen.(
+    list_size (int_range 1 4) (pair gen_action gen_range) >>= fun entries ->
+    return
+      (Prefix_list.make "PL"
+         (List.mapi
+            (fun i (action, range) ->
+              Prefix_list.entry ~seq:((i + 1) * 10) ~action range)
+            entries)))
+
+let gen_prefix_scenario =
+  QCheck.Gen.(
+    pair gen_existing_prefix_list
+      (list_size (int_range 2 4) (pair gen_action gen_range)))
+
+let arb_prefix_scenario =
+  QCheck.make
+    ~print:(fun (pl, entries) ->
+      Format.asprintf "%a@.+%d entries" Prefix_list.pp pl (List.length entries))
+    gen_prefix_scenario
+
+let prop_prefix_batch_equals_sequential ~count =
+  QCheck.Test.make ~name:"prefix-list batch == sequential" ~count
+    arb_prefix_scenario
+    (fun (pl, entries) ->
+      let entries =
+        List.map
+          (fun (action, range) -> Prefix_list.entry ~action range)
+          entries
+      in
+      (* Sequential: one disambiguation per entry against the evolving
+         list, always-new user. *)
+      let _, seq_qs, seq_pl =
+        List.fold_left
+          (fun (cur, qs, _) entry ->
+            match
+              PD.run ~target:cur ~entry ~oracle:(fun _ -> PD.Prefer_new) ()
+            with
+            | Error _ -> QCheck.Test.fail_report "sequential: inconsistent"
+            | Ok o ->
+                ( o.PD.prefix_list,
+                  qs @ List.map (pd_key "PL") o.PD.questions,
+                  o.PD.prefix_list ))
+          (pl, [], pl) entries
+      in
+      let db = Database.add_prefix_list Database.empty pl in
+      let items = List.map (fun entry -> { B.target = "PL"; entry }) entries in
+      let oracle ~intent:_ ~target:_ _ = DC.Prefer_new in
+      match B.insert_prefix_list_entries ~oracle ~db items with
+      | Error e -> QCheck.Test.fail_reportf "batch: %s" (B.error_to_string e)
+      | Ok r ->
+          let batch_qs =
+            List.concat_map
+              (fun (o : PD.outcome) -> List.map (pd_key "PL") o.PD.questions)
+              r.B.outcomes
+          in
+          let final =
+            match Database.prefix_list r.B.db "PL" with
+            | Some got -> got
+            | None -> QCheck.Test.fail_report "batch dropped the prefix list"
+          in
+          Format.asprintf "%a" Prefix_list.pp final
+          = Format.asprintf "%a" Prefix_list.pp seq_pl
+          && same_multiset batch_qs seq_qs)
+
+(* ------------------------------------------------------------------ *)
+(* Pinned cases                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let lab_edge =
+  {|ip access-list extended FW
+ deny tcp any any eq 23
+ permit tcp 10.20.0.0 0.0.255.255 any
+ deny udp any any|}
+
+(* Two intents whose match regions coincide and whose actions differ:
+   the sweep must report exactly one conflict edge, oriented from the
+   earlier intent to the later one, with a differential witness packet
+   that both rules match and on which they disagree. *)
+let test_pinned_acl_conflict () =
+  let db = Parser.parse_exn lab_edge in
+  let llm = Llm.Mock_llm.create () in
+  let items =
+    [
+      B.Acl_update
+        {
+          target = "FW";
+          prompt =
+            "Write an access list rule that permits tcp traffic from \
+             anywhere to any destination with destination port 443.";
+        };
+      B.Acl_update
+        {
+          target = "FW";
+          prompt =
+            "Write an access list rule that denies tcp traffic from anywhere \
+             to any destination with destination port 443.";
+        };
+    ]
+  in
+  let oracle ~intent:_ ~target:_ _ = DC.Prefer_new in
+  let report =
+    match B.run ~llm ~oracle ~db items with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "batch failed: %s" (B.error_to_string e)
+  in
+  check_int "one conflict edge" 1 (List.length report.B.conflicts);
+  let c = List.hd report.B.conflicts in
+  check_int "edge from the first intent" 0 c.B.intent_a;
+  check_int "edge to the second intent" 1 c.B.intent_b;
+  Alcotest.(check string) "edge target" "FW" c.B.target;
+  match c.B.witness with
+  | B.Acl_witness d ->
+      Alcotest.(check bool)
+        "witness actions disagree (permit vs deny)" true
+        (d.Engine.Compare_acls.action_a = Action.Permit
+        && d.Engine.Compare_acls.action_b = Action.Deny);
+      let p = d.Engine.Compare_acls.packet in
+      Alcotest.(check string)
+        "witness protocol" "tcp"
+        (Packet.protocol_to_string p.Packet.protocol);
+      check_int "witness destination port" 443 p.Packet.dst_port;
+      (* Both synthesized rules must actually match the witness and
+         disagree on it — the edge is genuine, not a rendering. *)
+      let rule_of k =
+        match List.nth report.B.items k with
+        | B.Acl_result ar -> ar.P.rule
+        | B.Route_map_result _ -> Alcotest.fail "expected an ACL result"
+      in
+      Alcotest.(check bool)
+        "witness matched by both rules" true
+        (Acl.match_rule (rule_of 0) p && Acl.match_rule (rule_of 1) p)
+  | _ -> Alcotest.fail "expected an ACL witness"
+
+(* A conflict-free batch: three mutually match-disjoint route-map
+   intents. The whole run must build exactly ONE symbolic context (one
+   compiled partition of the target, shared by all three boundary sets
+   and every pairwise check), report no overlap, and ask exactly the
+   questions the three sequential runs ask — zero inter-intent
+   questions. *)
+let test_conflict_free_single_context () =
+  let rm =
+    Route_map.make "TARGET"
+      [
+        Route_map.stanza ~seq:10
+          ~matches:[ Route_map.Match_prefix_list [ "WIDE" ] ]
+          Action.Deny;
+        Route_map.stanza ~seq:20
+          ~matches:[ Route_map.Match_local_pref 300 ]
+          Action.Permit;
+      ]
+  in
+  let db = rm_setup rm in
+  let prompts =
+    [
+      "Write a route-map stanza that permits routes containing the prefix \
+       99.0.0.0/8. Their MED value should be set to 55.";
+      "Write a route-map stanza that denies routes containing the prefix \
+       172.16.0.0/12 with mask length less than or equal to 20.";
+      "Write a route-map stanza that permits routes containing the prefix \
+       192.168.0.0/16. Their local preference should be set to 200.";
+    ]
+  in
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  let db_seq, seq_qs = sequential_route_maps db prompts in
+  let before = Obs.Counter.value Engine.Metrics.adjacent_contexts in
+  let report, batch_qs = batch_route_maps ~pooled:false db prompts in
+  let after = Obs.Counter.value Engine.Metrics.adjacent_contexts in
+  check_int "one symbolic context for the whole batch" 1 (after - before);
+  check_int "no overlap edges" 0 report.B.overlap_pairs;
+  check_int "no conflict edges" 0 (List.length report.B.conflicts);
+  Alcotest.(check string)
+    "same final config" (config_string db_seq)
+    (config_string report.B.db);
+  Alcotest.(check bool)
+    "zero inter-intent questions" true
+    (same_multiset batch_qs seq_qs)
+
+(* Satellite regression: the shared answer cache keys on the policy AND
+   the question's coordinates, never on the rendered text alone. *)
+let test_answer_cache_dedup () =
+  let cache = DC.Answer_cache.create () in
+  let v =
+    {
+      DC.position = 1;
+      boundary_seq = 10;
+      example = "Network: 10.0.0.0/8";
+      if_new_first = "ACTION: permit";
+      if_old_first = "ACTION: deny";
+    }
+  in
+  DC.Answer_cache.add cache ~policy:"ISP_OUT" v DC.Prefer_new;
+  Alcotest.(check bool)
+    "identical text, other policy: miss" true
+    (DC.Answer_cache.find cache ~policy:"ISP_IN" v = None);
+  Alcotest.(check bool)
+    "identical text, other position: miss" true
+    (DC.Answer_cache.find cache ~policy:"ISP_OUT" { v with DC.position = 2 }
+    = None);
+  Alcotest.(check bool)
+    "identical text, other boundary seq: miss" true
+    (DC.Answer_cache.find cache ~policy:"ISP_OUT"
+       { v with DC.boundary_seq = 20 }
+    = None);
+  check_int "misses are not hits" 0 (DC.Answer_cache.hits cache);
+  Alcotest.(check bool)
+    "same policy and coordinates: hit" true
+    (DC.Answer_cache.find cache ~policy:"ISP_OUT" v = Some DC.Prefer_new);
+  check_int "one hit counted" 1 (DC.Answer_cache.hits cache)
+
+(* The cache in action: the same entry inserted twice into the same
+   prefix list, with a user who keeps existing behaviour. The first
+   insertion lands at the bottom, leaving every original coordinate
+   untouched, so the second insertion's boundary question recurs
+   verbatim and is served from the cache — the user is consulted
+   once. *)
+let test_cache_saves_repeated_questions () =
+  let pl =
+    Prefix_list.make "PL"
+      [
+        Prefix_list.entry ~seq:10 ~action:Action.Permit
+          (Netaddr.Prefix_range.make (pfx "10.0.0.0/8") ~ge:None ~le:(Some 24));
+      ]
+  in
+  let db = Database.add_prefix_list Database.empty pl in
+  let entry =
+    Prefix_list.entry ~action:Action.Deny
+      (Netaddr.Prefix_range.make (pfx "10.0.0.0/8") ~ge:None ~le:(Some 16))
+  in
+  let consulted = ref 0 in
+  let oracle ~intent:_ ~target:_ _ =
+    incr consulted;
+    DC.Prefer_old
+  in
+  match
+    B.insert_prefix_list_entries ~oracle ~db [ { B.target = "PL"; entry }; { B.target = "PL"; entry } ]
+  with
+  | Error e -> Alcotest.failf "batch failed: %s" (B.error_to_string e)
+  | Ok r ->
+      Alcotest.(check bool) "saved at least one question" true (r.B.questions_saved >= 1);
+      let asked =
+        List.fold_left
+          (fun n (o : PD.outcome) -> n + List.length o.PD.questions)
+          0 r.B.outcomes
+      in
+      check_int "user consulted once per distinct question"
+        (asked - r.B.questions_saved)
+        !consulted
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "batch"
+    [
+      ( "equivalence",
+        [
+          q (prop_rm_batch_equals_sequential ~pooled:false ~count:200);
+          q (prop_rm_batch_equals_sequential ~pooled:true ~count:60);
+          q (prop_acl_batch_equals_sequential ~pooled:false ~count:200);
+          q (prop_acl_batch_equals_sequential ~pooled:true ~count:60);
+          q (prop_prefix_batch_equals_sequential ~count:200);
+        ] );
+      ( "pinned",
+        [
+          Alcotest.test_case "conflicting ACL pair with witness" `Quick
+            test_pinned_acl_conflict;
+          Alcotest.test_case "conflict-free batch, one context" `Quick
+            test_conflict_free_single_context;
+          Alcotest.test_case "answer cache keyed on policy+position" `Quick
+            test_answer_cache_dedup;
+          Alcotest.test_case "cache saves repeated questions" `Quick
+            test_cache_saves_repeated_questions;
+        ] );
+    ]

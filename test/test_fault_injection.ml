@@ -121,6 +121,103 @@ let test_two_faults () =
       check_int "two loops" 2 (counter_value "pipeline.counterexample_loops");
       check_int "two injections" 2 (counter_value "llm.faults.injected")
 
+(* ------------------------------------------------------------------ *)
+(* Faults mid-batch                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A three-intent batch on ISP_OUT where intents 1 and 2 genuinely
+   conflict. The first scheduled fault is consumed — inapplicably, so
+   the output stays clean — by intent 0 (its snippet has no set
+   clause); the fault under test therefore corrupts intent 1's first
+   synthesis, mid-batch and on a conflict-graph participant. *)
+let batch_items =
+  [
+    Clarify.Batch.Route_map_update
+      {
+        target = "ISP_OUT";
+        prompt =
+          "Write a route-map stanza that denies routes containing the prefix \
+           200.0.0.0/8.";
+      };
+    Clarify.Batch.Route_map_update
+      { target = "ISP_OUT"; prompt = Evaluation.E1_running_example.prompt };
+    Clarify.Batch.Route_map_update
+      {
+        target = "ISP_OUT";
+        prompt =
+          "Write a route-map stanza that denies routes containing the prefix \
+           100.0.0.0/18 with mask length less than or equal to 23.";
+      };
+  ]
+
+let run_batch ~faults () =
+  let llm = Llm.Mock_llm.create ~faults () in
+  let oracle ~intent:_ ~target:_ _ = Clarify.Disambig_common.Prefer_new in
+  Clarify.Batch.run ~llm ~oracle
+    ~db:(parse_ok Evaluation.E1_running_example.isp_out_config)
+    batch_items
+
+let batch_questions (report : Clarify.Batch.report) =
+  List.concat_map
+    (function
+      | Clarify.Batch.Route_map_result rr ->
+          List.map Clarify.Disambiguator.view rr.P.questions
+      | Clarify.Batch.Acl_result ar ->
+          List.map Clarify.Acl_disambiguator.view ar.P.questions)
+    report.Clarify.Batch.items
+
+let attempts_of (report : Clarify.Batch.report) =
+  List.map
+    (function
+      | Clarify.Batch.Route_map_result rr -> rr.P.synthesis_attempts
+      | Clarify.Batch.Acl_result ar -> ar.P.synthesis_attempts)
+    report.Clarify.Batch.items
+
+(* Injecting any fault class mid-batch: the repair loop recovers inside
+   phase 1, and the rest of the batch is untouched — same final
+   configuration, same conflict edges, and the answered questions come
+   in exactly the same order as a clean batch. *)
+let test_batch_fault_repaired fault () =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  let clean =
+    match run_batch ~faults:[] () with
+    | Ok r -> r
+    | Error e ->
+        Alcotest.failf "clean batch failed: %s" (Clarify.Batch.error_to_string e)
+  in
+  let faulty =
+    match run_batch ~faults:[ F.Drop_set_clause; fault ] () with
+    | Error e ->
+        Alcotest.failf "batch with %s not repaired: %s" (F.fault_to_string fault)
+          (Clarify.Batch.error_to_string e)
+    | Ok r -> r
+  in
+  check_int "fault injected once" 1 (counter_value "llm.faults.injected");
+  Alcotest.(check (list int))
+    "repair cost lands on the faulted intent only" [ 1; 2; 1 ]
+    (attempts_of faulty);
+  check_int "clean intents stay single-attempt" 3
+    (List.fold_left ( + ) 0 (attempts_of clean));
+  Alcotest.(check string)
+    "same final configuration"
+    (Config.Parser.to_string clean.Clarify.Batch.db)
+    (Config.Parser.to_string faulty.Clarify.Batch.db);
+  (* The conflict graph survives the repair: same genuine edge between
+     intents 1 and 2, same overlap count. *)
+  check_int "one conflict edge" 1 (List.length faulty.Clarify.Batch.conflicts);
+  let edge = List.hd faulty.Clarify.Batch.conflicts in
+  check_int "edge a" 1 edge.Clarify.Batch.intent_a;
+  check_int "edge b" 2 edge.Clarify.Batch.intent_b;
+  check_int "overlap pairs as in the clean run"
+    clean.Clarify.Batch.overlap_pairs faulty.Clarify.Batch.overlap_pairs;
+  (* Answered questions keep their order: the faulty run asks exactly
+     the clean run's questions, in the same sequence. *)
+  Alcotest.(check bool)
+    "questions unchanged and unreordered" true
+    (batch_questions clean = batch_questions faulty)
+
 let () =
   Alcotest.run "fault-injection"
     [
@@ -141,4 +238,10 @@ let () =
           Alcotest.test_case "clean run" `Quick test_clean_run;
           Alcotest.test_case "two faults" `Quick test_two_faults;
         ] );
+      ( "mid-batch",
+        List.map
+          (fun fault ->
+            Alcotest.test_case (F.fault_to_string fault) `Quick
+              (test_batch_fault_repaired fault))
+          F.all_faults );
     ]

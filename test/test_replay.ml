@@ -105,10 +105,77 @@ let test_unusable_logs_rejected () =
   | Ok _ -> Alcotest.fail "log without session_start accepted"
 
 (* ------------------------------------------------------------------ *)
-(* Golden fixture                                                     *)
+(* Batch sessions                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let batch_config =
+  Evaluation.E1_running_example.isp_out_config
+  ^ {|
+ip access-list extended LAB_EDGE
+ deny tcp any any eq 23
+ permit tcp 10.20.0.0 0.0.255.255 any
+ deny udp any any|}
+
+let batch_items =
+  [
+    Clarify.Batch.Route_map_update
+      {
+        target = "ISP_OUT";
+        prompt = Evaluation.E1_running_example.prompt;
+      };
+    Clarify.Batch.Route_map_update
+      {
+        target = "ISP_OUT";
+        prompt =
+          "Write a route-map stanza that denies routes containing the prefix \
+           100.0.0.0/18 with mask length less than or equal to 23.";
+      };
+    Clarify.Batch.Acl_update
+      {
+        target = "LAB_EDGE";
+        prompt =
+          "Write an access list rule that permits tcp traffic from anywhere \
+           to any destination with destination port 443.";
+      };
+  ]
+
+(* A batch session — including a genuine inter-intent conflict between
+   the two ISP_OUT intents — records and replays bit-for-bit. *)
+let test_batch_roundtrip () =
+  let llm = Llm.Mock_llm.create () in
+  let oracle ~intent:_ ~target:_ _ = Clarify.Disambig_common.Prefer_new in
+  let result, events =
+    Telemetry.with_memory_recorder (fun () ->
+        Clarify.Batch.run ~llm ~oracle ~db:(parse_ok batch_config) batch_items)
+  in
+  let report =
+    match result with
+    | Ok r -> r
+    | Error e ->
+        Alcotest.failf "recording batch failed: %s"
+          (Clarify.Batch.error_to_string e)
+  in
+  check_int "one genuine conflict" 1
+    (List.length report.Clarify.Batch.conflicts);
+  let r = expect_identical events in
+  Alcotest.(check string) "pipeline" "batch" r.R.pipeline
+
+(* ------------------------------------------------------------------ *)
+(* Golden fixtures                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let fixture = "../examples/acl_session.jsonl"
+let batch_fixture = "../examples/batch_session.jsonl"
+
+let test_golden_batch_fixture_replays () =
+  let report =
+    match R.run_file batch_fixture with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "replay refused the batch fixture: %s" m
+  in
+  if not (R.identical report) then
+    Alcotest.failf "golden batch fixture diverged:@.%a" R.pp_report report;
+  Alcotest.(check string) "pipeline" "batch" report.R.pipeline
 
 let fixture_events () =
   match Telemetry.load_file fixture with
@@ -178,6 +245,8 @@ let () =
             test_tampered_response_diverges;
           Alcotest.test_case "unusable logs rejected" `Quick
             test_unusable_logs_rejected;
+          Alcotest.test_case "batch session with a conflict" `Quick
+            test_batch_roundtrip;
         ] );
       ( "golden fixture",
         [
@@ -185,5 +254,7 @@ let () =
             test_golden_fixture_replays;
           Alcotest.test_case "matches the live pipeline" `Quick
             test_golden_fixture_matches_live_pipeline;
+          Alcotest.test_case "batch session replays identically" `Quick
+            test_golden_batch_fixture_replays;
         ] );
     ]
