@@ -54,11 +54,9 @@ let with_obs (metrics, trace) f =
     Obs.enable ();
     if trace then Obs.set_sink (Obs.text_sink Format.err_formatter);
     if metrics then
-      at_exit (fun () ->
-          (* Fold the BDD manager's live sizes (unique table, memos,
-             compile cache) into the report before printing it. *)
-          Engine.Metrics.publish_manager_stats ();
-          Format.printf "@.%a@." Obs.pp_report ())
+      (* The BDD manager's live sizes (unique table, memos, compile
+         cache) are gauge collectors now — the report samples them. *)
+      at_exit (fun () -> Format.printf "@.%a@." Obs.pp_report ())
   end;
   f ()
 
@@ -470,6 +468,52 @@ let replay_cmd =
 (* clarify obs diff                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Experiments (shared by `clarify eval` and `clarify obs serve`)      *)
+(* ------------------------------------------------------------------ *)
+
+(* e4 manages its own per-router logs; e1 records as one session. *)
+let run_experiments ?record_dir ?(scale = 1.0) ~pool fmt which =
+  let record_session name f =
+    match record_dir with
+    | None -> f ()
+    | Some dir ->
+        let oc = open_out (Filename.concat dir (name ^ ".jsonl")) in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Telemetry.with_channel_recorder oc @@ fun () ->
+            Telemetry.with_context [ ("experiment", name) ] f)
+  in
+  let e1 () =
+    record_session "e1" @@ fun () ->
+    Evaluation.E1_running_example.(print fmt (run ()))
+  in
+  let e2 () =
+    Evaluation.E23_overlap_study.(
+      print ~title:"E2: cloud WAN overlap study (Section 3.1)" fmt
+        (cloud ~pool ()))
+  in
+  let e3 () =
+    Evaluation.E23_overlap_study.(
+      print ~title:"E3: campus overlap study (Section 3.2)" fmt
+        (campus ~scale ~pool ()))
+  in
+  let e4 () = Evaluation.E4_lightyear.(print fmt (run ?record_dir ~pool ())) in
+  match which with
+  | `E1 -> e1 ()
+  | `E2 -> e2 ()
+  | `E3 -> e3 ()
+  | `E4 -> e4 ()
+  | `All ->
+      e1 ();
+      e2 ();
+      e3 ();
+      e4 ()
+
+let experiment_enum =
+  [ ("e1", `E1); ("e2", `E2); ("e3", `E3); ("e4", `E4); ("all", `All) ]
+
 let obs_cmd =
   (* Plain strings, not Arg.file: a missing snapshot must exit 2 as the
      documented exits promise, not cmdliner's usage-error 124. *)
@@ -535,9 +579,180 @@ let obs_cmd =
            ])
       Term.(const diff $ old_file $ new_file $ threshold $ all)
   in
+  let serve_cmd =
+    let port =
+      Arg.(
+        value & opt int 9217
+        & info [ "port"; "p" ] ~docv:"PORT"
+            ~doc:"TCP port for the /metrics endpoint (0 picks a free port).")
+    in
+    let host =
+      Arg.(
+        value
+        & opt string "127.0.0.1"
+        & info [ "host" ] ~docv:"IP"
+            ~doc:"Address to bind (an IP literal; default loopback).")
+    in
+    let which =
+      Arg.(
+        value
+        & pos 0 (enum (("idle", `Idle) :: experiment_enum)) `Idle
+        & info [] ~docv:"EXPERIMENT"
+            ~doc:
+              "Workload to run while serving: one of e1, e2, e3, e4, all, or \
+               idle (serve an empty registry until interrupted).")
+    in
+    let linger =
+      Arg.(
+        value & flag
+        & info [ "linger" ]
+            ~doc:
+              "Keep serving after the experiment finishes (until \
+               interrupted) instead of exiting; final counter totals and \
+               gauge samples stay scrapeable.")
+    in
+    let jobs =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "jobs"; "j" ] ~docv:"N"
+            ~doc:
+              "Worker domains for the experiment's parallel sweeps \
+               (defaults to $(b,CLARIFY_JOBS), or 1).")
+    in
+    let serve port host which linger jobs =
+      Obs.enable ();
+      match Obs_serve.Server.start ~host ~port () with
+      | Error m ->
+          prerr_endline ("error: cannot serve metrics: " ^ m);
+          exit 2
+      | Ok server ->
+          (* stderr, so piping the experiment's stdout stays clean. *)
+          Printf.eprintf "serving OpenMetrics on http://%s:%d/metrics\n%!" host
+            (Obs_serve.Server.port server);
+          let pool = Parallel.Pool.create ?domains:jobs () in
+          (match which with
+          | `Idle -> ()
+          | (`E1 | `E2 | `E3 | `E4 | `All) as w ->
+              run_experiments ~pool Format.std_formatter w);
+          if linger || which = `Idle then begin
+            Printf.eprintf "experiment done; still serving (Ctrl-C to stop)\n%!";
+            let rec forever () =
+              Unix.sleep 3600;
+              forever ()
+            in
+            forever ()
+          end
+          else Obs_serve.Server.stop server
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Serve live metrics over HTTP while running an experiment: a \
+            background thread answers $(b,GET /metrics) with the \
+            Prometheus/OpenMetrics text rendering of a fresh snapshot \
+            (counters, latency histograms, runtime gauges). Pair with \
+            $(b,clarify top) or any Prometheus scraper."
+         ~exits:
+           [
+             Cmd.Exit.info 0 ~doc:"the experiment completed.";
+             Cmd.Exit.info 2 ~doc:"the endpoint could not be bound.";
+           ])
+      Term.(const serve $ port $ host $ which $ linger $ jobs)
+  in
   Cmd.group
-    (Cmd.info "obs" ~doc:"Inspect and compare observability snapshots.")
-    [ diff_cmd ]
+    (Cmd.info "obs"
+       ~doc:
+         "Observability: compare bench snapshots, serve live metrics.")
+    [ diff_cmd; serve_cmd ]
+
+(* ------------------------------------------------------------------ *)
+
+let top_cmd =
+  let port =
+    Arg.(
+      value & opt int 9217
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"Port of the $(b,clarify obs serve) endpoint to watch.")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"IP" ~doc:"Endpoint address (an IP literal).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval"; "i" ] ~docv:"SECONDS"
+          ~doc:"Seconds between scrapes (rates are computed per window).")
+  in
+  let samples =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "samples"; "n" ] ~docv:"N"
+          ~doc:"Render N frames, then exit (default: until interrupted).")
+  in
+  let run port host interval samples =
+    let scrape () =
+      match Obs_serve.Scrape.fetch ~host ~port "/metrics" with
+      | Error e -> Error e
+      | Ok body -> (
+          match Obs_serve.Scrape.parse body with
+          | Error e -> Error ("bad exposition text: " ^ e)
+          | Ok s -> Ok (Obs_serve.Top.of_scrape ~at:(Unix.gettimeofday ()) s))
+    in
+    (* The first scrape must succeed — a refused connection here means
+       there is nothing to watch. Later failures are tolerated (the
+       serving process may be between experiments or briefly saturated)
+       up to a few in a row. *)
+    let first =
+      match scrape () with
+      | Ok s -> s
+      | Error e ->
+          Printf.eprintf "error: cannot scrape http://%s:%d/metrics: %s\n" host
+            port e;
+          exit 1
+    in
+    let clear = Unix.isatty Unix.stdout in
+    let rec loop prev rendered failures =
+      let finished =
+        match samples with Some n -> rendered >= n | None -> false
+      in
+      if not finished then begin
+        Unix.sleepf interval;
+        match scrape () with
+        | Error e ->
+            if failures + 1 >= 5 then begin
+              Printf.eprintf "error: %d scrapes failed in a row (%s)\n"
+                (failures + 1) e;
+              exit 1
+            end
+            else loop prev rendered (failures + 1)
+        | Ok cur ->
+            if clear then print_string "\x1b[2J\x1b[H";
+            print_string (Obs_serve.Top.render ~prev ~cur);
+            flush stdout;
+            loop cur (rendered + 1) 0
+      end
+    in
+    loop first 0 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Watch a $(b,clarify obs serve) endpoint like top(1): scrape \
+          /metrics every interval and render counter rates, histogram \
+          p50/p99 latencies, per-domain worker utilization and runtime \
+          gauges over the last window."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"the requested number of frames rendered.";
+           Cmd.Exit.info 1
+             ~doc:"the first scrape failed, or five in a row did.";
+         ])
+    Term.(const run $ port $ host $ interval $ samples)
 
 (* ------------------------------------------------------------------ *)
 (* clarify trace                                                      *)
@@ -741,7 +956,7 @@ let eval_cmd =
   let which =
     Arg.(
       value
-      & pos 0 (enum [ ("e1", `E1); ("e2", `E2); ("e3", `E3); ("e4", `E4); ("all", `All) ]) `All
+      & pos 0 (enum experiment_enum) `All
       & info [] ~docv:"EXPERIMENT" ~doc:"One of e1, e2, e3, e4, all.")
   in
   let scale =
@@ -782,44 +997,7 @@ let eval_cmd =
         (* Recorded sessions carry their timing tree (span events). *)
         Obs.enable ();
         Obs.add_sink (Telemetry.span_sink ()));
-    (* e4 manages its own per-router logs; e1 records as one session. *)
-    let record_session name f =
-      match record_dir with
-      | None -> f ()
-      | Some dir ->
-          let oc = open_out (Filename.concat dir (name ^ ".jsonl")) in
-          Fun.protect
-            ~finally:(fun () -> close_out oc)
-            (fun () ->
-              Telemetry.with_channel_recorder oc @@ fun () ->
-              Telemetry.with_context [ ("experiment", name) ] f)
-    in
-    let fmt = Format.std_formatter in
-    let e1 () =
-      record_session "e1" @@ fun () ->
-      Evaluation.E1_running_example.(print fmt (run ()))
-    in
-    let e2 () =
-      Evaluation.E23_overlap_study.(
-        print ~title:"E2: cloud WAN overlap study (Section 3.1)" fmt
-          (cloud ~pool ()))
-    in
-    let e3 () =
-      Evaluation.E23_overlap_study.(
-        print ~title:"E3: campus overlap study (Section 3.2)" fmt
-          (campus ~scale ~pool ()))
-    in
-    let e4 () = Evaluation.E4_lightyear.(print fmt (run ?record_dir ~pool ())) in
-    match which with
-    | `E1 -> e1 ()
-    | `E2 -> e2 ()
-    | `E3 -> e3 ()
-    | `E4 -> e4 ()
-    | `All ->
-        e1 ();
-        e2 ();
-        e3 ();
-        e4 ()
+    run_experiments ?record_dir ~scale ~pool Format.std_formatter which
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Regenerate the paper's experiments.")
@@ -835,6 +1013,7 @@ let () =
             batch_cmd;
             replay_cmd;
             obs_cmd;
+            top_cmd;
             trace_cmd;
             report_cmd;
             audit_cmd;

@@ -31,6 +31,7 @@ type router_stats = {
   batch_conflict_pairs : int; (* genuine inter-intent conflict edges *)
   batch_fast_path : int; (* batch items placed without recompiling *)
   batch_questions_saved : int; (* batch_cache_hit events *)
+  gauges : (string * float) list; (* last "gauges" event; JSON only *)
 }
 
 type t = { routers : router_stats list }
@@ -144,6 +145,23 @@ let stats_of_events ~router events =
            && E.field "fast_path" e = Some (Json.Bool true))
          events)
   in
+  (* Runtime state sampled when the session closed; the last gauges
+     event wins when several sessions merge into one router row. Like
+     the phase timings, nondeterministic, so JSON-only. *)
+  let gauges =
+    List.fold_left
+      (fun acc e ->
+        if e.E.kind <> "gauges" then acc
+        else
+          List.filter_map
+            (fun (n, v) ->
+              match v with
+              | Json.Float f -> Some (n, f)
+              | Json.Int i -> Some (n, float_of_int i)
+              | _ -> None)
+            e.E.fields)
+      [] events
+  in
   {
     router;
     sessions = count "session_start";
@@ -166,6 +184,7 @@ let stats_of_events ~router events =
     batch_conflict_pairs = sum_int "batch_plan" "conflict_pairs";
     batch_fast_path;
     batch_questions_saved = count "batch_cache_hit";
+    gauges;
   }
 
 (* Sessions for the same router (one log per policy step, say) merge
@@ -303,6 +322,9 @@ let to_json t =
                    ( "boundary_ns_per_question",
                      Json.Float
                        (s.boundary_ns /. float_of_int (max 1 s.questions)) );
+                   ( "gauges",
+                     Json.Obj
+                       (List.map (fun (n, v) -> (n, Json.Float v)) s.gauges) );
                    ( "phases",
                      Json.List
                        (List.map

@@ -40,6 +40,10 @@ type router_stats = {
   batch_questions_saved : int;
       (* questions served from the shared batch answer cache
          (batch_cache_hit events) *)
+  gauges : (string * float) list;
+      (* the last "gauges" event of the router's sessions: point-in-time
+         runtime state (GC pressure, BDD manager sizes, pool occupancy)
+         sampled when the session closed; JSON rendering only *)
 }
 
 type t = { routers : router_stats list }

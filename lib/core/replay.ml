@@ -47,10 +47,14 @@ let required e name =
 let run_events recorded =
   let ( let* ) r f = Result.bind r f in
   (* Span mirror events (Telemetry.span_sink) carry wall-clock timings
-     that never reproduce; drop them from both streams before
-     comparing. The replay side never emits them anyway (no sink is
-     installed), but recordings made with --record-dir contain them. *)
-  let recorded = List.filter (fun e -> e.E.kind <> "span") recorded in
+     that never reproduce, and gauge samples are point-in-time runtime
+     state; drop both from the streams before comparing. The replay
+     side never emits them anyway (no sink is installed, gauges are
+     only sampled by the evaluation harness), but recordings made with
+     --record-dir contain them. *)
+  let recorded =
+    List.filter (fun e -> e.E.kind <> "span" && e.E.kind <> "gauges") recorded
+  in
   let* start =
     match recorded with
     | e :: _ when e.E.kind = "session_start" -> Ok e

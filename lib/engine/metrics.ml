@@ -86,27 +86,31 @@ let () =
                Obs.Counter.incr (if hit then cache_hits else cache_misses))
          else None))
 
-let manager_nodes = Obs.Counter.make "bdd.manager.nodes"
-let manager_memo = Obs.Counter.make "bdd.manager.memo_entries"
-let manager_cache_entries = Obs.Counter.make "bdd.manager.cache_entries"
+(* The sampling domain's manager sizes, as gauges collected at read
+   time: every snapshot and every /metrics scrape sees the live unique
+   table, memo and compile-cache occupancy with no publish step.
+   (These replace the old high-water [bdd.manager.*] counters and
+   their explicit [publish_manager_stats] call.) Each domain has its
+   own manager; a scrape samples the domain it runs on — domain 0 for
+   the serving thread — while worker-domain BDD churn still shows up
+   through the per-domain [bdd.nodes_allocated{domain=N}] counters. *)
+let manager_stats () = Symbdd.Bdd.Manager.stats (Symbdd.Bdd.manager ())
 
-(* Copy the current manager's size gauges into counters so `clarify
-   obs` snapshots show where BDD memory stands. Counters are monotonic,
-   so each publish raises the counter to the current gauge when it has
-   grown (diffed against the counter's own value, which survives
-   [Obs.reset] correctly: the counter zeroes and the next publish
-   re-raises it). After a [Manager.reset] shrinks a gauge the counter
-   holds its high-water mark. *)
-let publish_manager_stats () =
-  let s = Symbdd.Bdd.Manager.stats (Symbdd.Bdd.manager ()) in
-  let memo =
-    s.Symbdd.Bdd.Manager.neg_memo + s.Symbdd.Bdd.Manager.and_memo
-    + s.Symbdd.Bdd.Manager.xor_memo + s.Symbdd.Bdd.Manager.restrict_memo
-  in
-  let raise_to counter gauge =
-    let d = gauge - Obs.Counter.value counter in
-    if d > 0 then Obs.Counter.incr ~by:d counter
-  in
-  raise_to manager_nodes s.Symbdd.Bdd.Manager.nodes;
-  raise_to manager_memo memo;
-  raise_to manager_cache_entries s.Symbdd.Bdd.Manager.cache_entries
+let manager_nodes =
+  Obs.Gauge.collector "bdd.manager.nodes"
+    ~help:"live nodes in this domain's BDD unique table" (fun () ->
+      float_of_int (manager_stats ()).Symbdd.Bdd.Manager.nodes)
+
+let manager_memo =
+  Obs.Gauge.collector "bdd.manager.memo_entries"
+    ~help:"entries across this domain's BDD operation memo tables"
+    (fun () ->
+      let s = manager_stats () in
+      float_of_int
+        (s.Symbdd.Bdd.Manager.neg_memo + s.Symbdd.Bdd.Manager.and_memo
+       + s.Symbdd.Bdd.Manager.xor_memo + s.Symbdd.Bdd.Manager.restrict_memo))
+
+let manager_cache_entries =
+  Obs.Gauge.collector "bdd.manager.cache_entries"
+    ~help:"entries in this domain's symbolic compilation cache" (fun () ->
+      float_of_int (manager_stats ()).Symbdd.Bdd.Manager.cache_entries)

@@ -41,9 +41,12 @@ val bdd_nodes : Obs.Counter.t
 val cache_hits : Obs.Counter.t
 val cache_misses : Obs.Counter.t
 
-val publish_manager_stats : unit -> unit
-(** Raise the [bdd.manager.nodes] / [bdd.manager.memo_entries] /
-    [bdd.manager.cache_entries] counters to the current domain
-    manager's live sizes (high-water marks; counters are monotonic).
-    Call just before taking a snapshot so `clarify obs` reports show
-    where BDD memory stands. *)
+val manager_nodes : Obs.Gauge.t
+(** Live nodes in the sampling domain's BDD unique table, collected at
+    read time (snapshots and /metrics scrapes need no publish step). *)
+
+val manager_memo : Obs.Gauge.t
+(** Entries across the sampling domain's BDD operation memo tables. *)
+
+val manager_cache_entries : Obs.Gauge.t
+(** Entries in the sampling domain's symbolic compilation cache. *)

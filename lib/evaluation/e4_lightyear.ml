@@ -125,7 +125,19 @@ let with_router_recording ~record_dir ~router f =
         ~finally:(fun () -> close_out oc)
         (fun () ->
           Telemetry.with_channel_recorder oc @@ fun () ->
-          Telemetry.with_context [ ("router", router) ] f)
+          Telemetry.with_context [ ("router", router) ] (fun () ->
+              let r = f () in
+              (* Close each router log with a point-in-time gauge
+                 sample (GC pressure, BDD manager sizes, pool
+                 occupancy) so `clarify report --format json` can show
+                 runtime state per router. The event kind is unknown to
+                 the deterministic md/csv renderings, which ignore it
+                 by construction. *)
+              Telemetry.emit ~kind:"gauges" (fun () ->
+                  List.map
+                    (fun (n, v) -> (n, Json.Float v))
+                    (Obs.Gauge.sample_all ()));
+              r))
 
 (* Build one router's config by running every step through the
    pipeline, with the oracle answering from the reference semantics. *)

@@ -1,15 +1,16 @@
 (* Process-global observability registry.
 
-   Domain-safety contract (see DESIGN.md §Multicore): metric
-   registration and the span record path are guarded by a mutex, and
-   the open-span stack is domain-local, so worker domains may register
-   labeled series, increment counters and open spans concurrently.
-   Counter increments and histogram observations on a *shared* series
-   are unsynchronized field updates — memory-safe in OCaml, but two
-   domains racing on the same series can lose updates. The parallel
-   layer therefore gives each worker its own [domain=N]-labeled series
-   for hot-path metrics; totals on shared series are best-effort under
-   parallelism. *)
+   Domain-safety contract (see DESIGN.md §Multicore and §13): metric
+   registration and the span record path are guarded by a mutex, but
+   the counter/histogram *recording* hot path is mutex-free. Every
+   series owns one shard per domain that ever touched it (allocated via
+   [Domain.DLS] on first touch, linked into the series under the
+   registry mutex), so an increment is a plain field update on memory
+   no other domain writes. Reads ([value], [Snapshot.capture]) merge
+   the shards lazily; merging a shard owned by a still-running domain
+   is a racy-but-memory-safe int read, so live snapshots (the /metrics
+   endpoint) see slightly stale values, while post-join snapshots (the
+   bench/eval path, which joins worker domains first) are exact. *)
 
 (* ------------------------------------------------------------------ *)
 (* State and lifecycle                                                *)
@@ -17,9 +18,9 @@
 
 let enabled_flag = ref false
 
-(* Guards the metric registries (Hashtbl add/iterate) and the span
-   record path (buffer, sequence counter, sink forwarding). Never held
-   while user code runs. *)
+(* Guards the metric registries (Hashtbl add/iterate, shard lists) and
+   the span record path (buffer, sequence counter, sink forwarding).
+   Never held while user code runs, and never on the increment path. *)
 let registry_mutex = Mutex.create ()
 
 let locked f =
@@ -90,37 +91,146 @@ module Labels = struct
   (* Canonicalize here too, so a name rebuilt from an unsorted label
      list still matches the registered series. *)
   let full_name name kvs = name ^ encode (canon kvs)
+
+  (* Inverse of {!full_name} on well-formed names. A name that does not
+     parse (no closing brace, bad pair syntax) is treated as label-free
+     so exposition never drops a series. *)
+  let parse full =
+    match String.index_opt full '{' with
+    | None -> (full, [])
+    | Some i -> (
+        let n = String.length full in
+        if n = 0 || full.[n - 1] <> '}' then (full, [])
+        else
+          let base = String.sub full 0 i in
+          let buf = Buffer.create 16 in
+          let labels = ref [] in
+          let rec pair j =
+            match String.index_from_opt full j '=' with
+            | None -> raise Exit
+            | Some eq ->
+                if eq >= n - 1 || full.[eq + 1] <> '"' then raise Exit;
+                let k = String.sub full j (eq - j) in
+                Buffer.clear buf;
+                value k (eq + 2)
+          and value k j =
+            if j >= n then raise Exit
+            else
+              match full.[j] with
+              | '\\' when j + 1 < n ->
+                  Buffer.add_char buf full.[j + 1];
+                  value k (j + 2)
+              | '"' ->
+                  labels := (k, Buffer.contents buf) :: !labels;
+                  next (j + 1)
+              | c ->
+                  Buffer.add_char buf c;
+                  value k (j + 1)
+          and next j =
+            if j = n - 1 && full.[j] = '}' then ()
+            else if j < n - 1 && full.[j] = ',' then pair (j + 1)
+            else raise Exit
+          in
+          match pair (i + 1) with
+          | () -> (base, List.rev !labels)
+          | exception Exit -> (full, []))
 end
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality guard                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Labels are data-driven (router names, fault classes); at fleet scale
+   an unbounded label space would grow the registry without limit.
+   Each base name may register at most [series_limit] labeled series;
+   further label sets collapse into one [{overflow="true"}] sink series
+   per base, so totals stay correct and the overflow is visible in
+   every snapshot and scrape. *)
+let overflow_labels = [ ("overflow", "true") ]
+
+let series_limit_ref =
+  ref
+    (match Sys.getenv_opt "CLARIFY_OBS_SERIES_LIMIT" with
+    | None -> 256
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> 256))
+
+let series_limit () = !series_limit_ref
+let set_series_limit n = series_limit_ref := max 1 n
+
+(* Must be called with [registry_mutex] held. Decides the label set a
+   new registration is stored under, charging genuine label sets
+   against the per-base budget; the sink itself is exempt. *)
+let resolve_labels ~counts base labels =
+  if labels = [] || labels = overflow_labels then labels
+  else
+    let used = Option.value ~default:0 (Hashtbl.find_opt counts base) in
+    if used >= !series_limit_ref then overflow_labels
+    else begin
+      Hashtbl.replace counts base (used + 1);
+      labels
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                           *)
 (* ------------------------------------------------------------------ *)
 
 module Counter = struct
+  (* One shard per (series, domain): only its owning domain ever
+     writes it, so [incr] is a race-free field update with no lock. *)
+  type shard = { mutable v : int }
+
   type t = {
     name : string; (* full name, labels encoded *)
     base : string;
     labels : Labels.t;
     help : string;
-    mutable value : int;
+    shards : shard list ref; (* appended under the registry mutex *)
+    key : shard Domain.DLS.key;
   }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+  let labeled_bases : (string, int) Hashtbl.t = Hashtbl.create 16
+
+  let new_series ~help ~base ~name labels =
+    let shards = ref [] in
+    let key =
+      (* The init closure runs on the first [Domain.DLS.get] in each
+         domain — i.e. on an increment path, never while the registry
+         mutex is held — and links the fresh shard into the series. *)
+      Domain.DLS.new_key (fun () ->
+          let s = { v = 0 } in
+          locked (fun () -> shards := s :: !shards);
+          s)
+    in
+    { name; base; labels; help; shards; key }
 
   let labeled ?(help = "") base kvs =
     let labels = Labels.canon kvs in
-    let name = Labels.full_name base labels in
     locked (fun () ->
-        match Hashtbl.find_opt registry name with
+        match Hashtbl.find_opt registry (Labels.full_name base labels) with
         | Some c -> c
-        | None ->
-            let c = { name; base; labels; help; value = 0 } in
-            Hashtbl.add registry name c;
-            c)
+        | None -> (
+            let labels = resolve_labels ~counts:labeled_bases base labels in
+            let name = Labels.full_name base labels in
+            match Hashtbl.find_opt registry name with
+            | Some c -> c (* the overflow sink, or a racing registration *)
+            | None ->
+                let c = new_series ~help ~base ~name labels in
+                Hashtbl.add registry name c;
+                c))
 
   let make ?help name = labeled ?help name []
-  let incr ?(by = 1) c = if !enabled_flag then c.value <- c.value + by
-  let value c = c.value
+
+  let incr ?(by = 1) c =
+    if !enabled_flag then begin
+      let s = Domain.DLS.get c.key in
+      s.v <- s.v + by
+    end
+
+  let value c = List.fold_left (fun acc (s : shard) -> acc + s.v) 0 !(c.shards)
   let name c = c.name
   let base_name c = c.base
   let labels c = c.labels
@@ -138,17 +248,19 @@ module Counter = struct
      live in module bodies across resets, and drop the dynamically
      created labeled series outright: their cardinality is data-driven
      (per router, per fault class), so keeping dead registrations would
-     leak across runs. *)
+     leak across runs. Shards of kept series stay linked (their owning
+     domains may still hold the DLS slot) and are zeroed in place. *)
   let reset () =
     locked (fun () ->
         Hashtbl.filter_map_inplace
           (fun _ c ->
             if c.labels = [] then begin
-              c.value <- 0;
+              List.iter (fun (s : shard) -> s.v <- 0) !(c.shards);
               Some c
             end
             else None)
-          registry)
+          registry;
+        Hashtbl.reset labeled_bases)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -160,40 +272,57 @@ module Histogram = struct
   let bounds =
     [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10; infinity |]
 
+  (* Per-domain shard, like {!Counter.shard}. [fstats] packs sum and
+     max into a flat float array so an observation never boxes a float
+     (a mutable float field in an int-carrying record would). *)
+  type shard = {
+    counts : int array; (* one slot per bound *)
+    mutable count : int;
+    fstats : float array; (* [| sum_ns; max_ns |] *)
+  }
+
   type t = {
     name : string; (* full name, labels encoded *)
     base : string;
     labels : Labels.t;
     help : string;
-    counts : int array; (* one slot per bound *)
-    mutable count : int;
-    mutable sum_ns : float;
-    mutable max_ns : float;
+    shards : shard list ref;
+    key : shard Domain.DLS.key;
   }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+  let labeled_bases : (string, int) Hashtbl.t = Hashtbl.create 16
+
+  let new_series ~help ~base ~name labels =
+    let shards = ref [] in
+    let key =
+      Domain.DLS.new_key (fun () ->
+          let s =
+            {
+              counts = Array.make (Array.length bounds) 0;
+              count = 0;
+              fstats = [| 0.; 0. |];
+            }
+          in
+          locked (fun () -> shards := s :: !shards);
+          s)
+    in
+    { name; base; labels; help; shards; key }
 
   let labeled ?(help = "") base kvs =
     let labels = Labels.canon kvs in
-    let name = Labels.full_name base labels in
     locked (fun () ->
-        match Hashtbl.find_opt registry name with
+        match Hashtbl.find_opt registry (Labels.full_name base labels) with
         | Some h -> h
-        | None ->
-            let h =
-              {
-                name;
-                base;
-                labels;
-                help;
-                counts = Array.make (Array.length bounds) 0;
-                count = 0;
-                sum_ns = 0.;
-                max_ns = 0.;
-              }
-            in
-            Hashtbl.add registry name h;
-            h)
+        | None -> (
+            let labels = resolve_labels ~counts:labeled_bases base labels in
+            let name = Labels.full_name base labels in
+            match Hashtbl.find_opt registry name with
+            | Some h -> h
+            | None ->
+                let h = new_series ~help ~base ~name labels in
+                Hashtbl.add registry name h;
+                h))
 
   let make ?help name = labeled ?help name []
 
@@ -204,22 +333,36 @@ module Histogram = struct
   let observe_ns h ns =
     if !enabled_flag then begin
       let ns = if ns < 0. then 0. else ns in
-      h.counts.(slot ns) <- h.counts.(slot ns) + 1;
-      h.count <- h.count + 1;
-      h.sum_ns <- h.sum_ns +. ns;
-      if ns > h.max_ns then h.max_ns <- ns
+      let s = Domain.DLS.get h.key in
+      let i = slot ns in
+      s.counts.(i) <- s.counts.(i) + 1;
+      s.count <- s.count + 1;
+      s.fstats.(0) <- s.fstats.(0) +. ns;
+      if ns > s.fstats.(1) then s.fstats.(1) <- ns
     end
 
-  let count h = h.count
-  let sum_ns h = h.sum_ns
-  let max_ns h = h.max_ns
+  let count h = List.fold_left (fun acc s -> acc + s.count) 0 !(h.shards)
+
+  let sum_ns h =
+    List.fold_left (fun acc s -> acc +. s.fstats.(0)) 0. !(h.shards)
+
+  let max_ns h =
+    List.fold_left (fun acc s -> Float.max acc s.fstats.(1)) 0. !(h.shards)
+
+  let merged_counts h =
+    let m = Array.make (Array.length bounds) 0 in
+    List.iter
+      (fun s -> Array.iteri (fun i c -> m.(i) <- m.(i) + c) s.counts)
+      !(h.shards);
+    m
 
   let buckets h =
+    let counts = merged_counts h in
     let cum = ref 0 in
     Array.to_list
       (Array.mapi
          (fun i b ->
-           cum := !cum + h.counts.(i);
+           cum := !cum + counts.(i);
            (b, !cum))
          bounds)
 
@@ -243,15 +386,131 @@ module Histogram = struct
         Hashtbl.filter_map_inplace
           (fun _ h ->
             if h.labels = [] then begin
-              Array.fill h.counts 0 (Array.length h.counts) 0;
-              h.count <- 0;
-              h.sum_ns <- 0.;
-              h.max_ns <- 0.;
+              List.iter
+                (fun s ->
+                  Array.fill s.counts 0 (Array.length s.counts) 0;
+                  s.count <- 0;
+                  s.fstats.(0) <- 0.;
+                  s.fstats.(1) <- 0.)
+                !(h.shards);
               Some h
             end
             else None)
-          registry)
+          registry;
+        Hashtbl.reset labeled_bases)
 end
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Gauge = struct
+  (* A point-in-time sample: either pushed with [set] or pulled from a
+     collector closure at read time. Gauges are not sharded — sets are
+     rare (batch boundaries, not per-task), and last-writer-wins is the
+     natural gauge semantics. *)
+  type t = {
+    name : string; (* full name, labels encoded *)
+    base : string;
+    labels : Labels.t;
+    help : string;
+    mutable value : float;
+    mutable collect : (unit -> float) option;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  let labeled_bases : (string, int) Hashtbl.t = Hashtbl.create 16
+
+  let labeled ?(help = "") base kvs =
+    let labels = Labels.canon kvs in
+    locked (fun () ->
+        match Hashtbl.find_opt registry (Labels.full_name base labels) with
+        | Some g -> g
+        | None -> (
+            let labels = resolve_labels ~counts:labeled_bases base labels in
+            let name = Labels.full_name base labels in
+            match Hashtbl.find_opt registry name with
+            | Some g -> g
+            | None ->
+                let g =
+                  { name; base; labels; help; value = 0.; collect = None }
+                in
+                Hashtbl.add registry name g;
+                g))
+
+  let make ?help name = labeled ?help name []
+
+  let collector ?help name f =
+    let g = make ?help name in
+    g.collect <- Some f;
+    g
+
+  let set g v = if !enabled_flag then g.value <- v
+
+  (* Collectors are sampled on every read (a failing collector keeps
+     the last good sample); pushed gauges just return the cell. *)
+  let value g =
+    match g.collect with
+    | None -> g.value
+    | Some f -> (
+        match f () with
+        | v ->
+            g.value <- v;
+            v
+        | exception _ -> g.value)
+
+  let name g = g.name
+  let base_name g = g.base
+  let labels g = g.labels
+  let find name = locked (fun () -> Hashtbl.find_opt registry name)
+
+  let find_labeled base kvs =
+    locked (fun () ->
+        Hashtbl.find_opt registry (Labels.full_name base (Labels.canon kvs)))
+
+  let all () =
+    locked (fun () -> Hashtbl.fold (fun _ g acc -> g :: acc) registry [])
+    |> List.sort (fun a b -> String.compare a.name b.name)
+
+  let sample_all () = List.map (fun g -> (g.name, value g)) (all ())
+
+  (* Pushed zero-label gauges return to 0; collectors keep collecting
+     (their value is ambient process state, not run state). Labeled
+     gauges are data-driven and dropped, like labeled counters. *)
+  let reset () =
+    locked (fun () ->
+        Hashtbl.filter_map_inplace
+          (fun _ g ->
+            if g.labels = [] then begin
+              if g.collect = None then g.value <- 0.;
+              Some g
+            end
+            else None)
+          registry;
+        Hashtbl.reset labeled_bases)
+end
+
+(* Built-in runtime collectors: GC pressure for the whole process.
+   [Gc.quick_stat] reads cached counters without forcing a collection,
+   so sampling these on every scrape is safe during a run. *)
+let () =
+  let qs f () = f (Gc.quick_stat ()) in
+  ignore
+    (Gauge.collector "runtime.gc.minor_collections"
+       ~help:"minor GC collections since program start"
+       (qs (fun s -> float_of_int s.Gc.minor_collections)));
+  ignore
+    (Gauge.collector "runtime.gc.major_collections"
+       ~help:"major GC collections since program start"
+       (qs (fun s -> float_of_int s.Gc.major_collections)));
+  ignore
+    (Gauge.collector "runtime.gc.heap_words"
+       ~help:"major heap size in words"
+       (qs (fun s -> float_of_int s.Gc.heap_words)));
+  ignore
+    (Gauge.collector "runtime.gc.live_words"
+       ~help:"live words in the major heap at the last GC slice"
+       (qs (fun s -> float_of_int s.Gc.live_words)))
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                              *)
@@ -398,15 +657,16 @@ let spans () = locked (fun () -> List.rev !recorded)
 let dropped_spans () = locked (fun () -> !dropped)
 
 (* Clears *every* piece of mutable state this module accumulates —
-   counters and histograms (labeled series dropped entirely), the span
-   buffer and its overflow count, the span sequence counter, the
-   open-span stack, and the start-offset origin — so two back-to-back
-   identical runs produce identical snapshots (under a deterministic
-   clock). Sinks, subscribers and the enabled state are configuration,
-   not run state, and are kept. *)
+   counters, histograms and gauges (labeled series dropped entirely),
+   the span buffer and its overflow count, the span sequence counter,
+   the open-span stack, and the start-offset origin — so two
+   back-to-back identical runs produce identical snapshots (under a
+   deterministic clock). Sinks, subscribers, collectors and the
+   enabled state are configuration, not run state, and are kept. *)
 let reset () =
   Counter.reset ();
   Histogram.reset ();
+  Gauge.reset ();
   locked (fun () ->
       recorded := [];
       recorded_len := 0;
@@ -414,6 +674,26 @@ let reset () =
       next_seq := 0);
   stack () := [];
   origin := !clock ()
+
+(* ------------------------------------------------------------------ *)
+(* Help index                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Base name -> help text over every registered metric family, for
+   exposition ([# HELP] lines). First registration wins per base. *)
+let help_index () =
+  let tbl = Hashtbl.create 32 in
+  let remember base help =
+    if help <> "" && not (Hashtbl.mem tbl base) then Hashtbl.add tbl base help
+  in
+  List.iter (fun (c : Counter.t) -> remember c.Counter.base c.Counter.help)
+    (Counter.all ());
+  List.iter (fun (g : Gauge.t) -> remember g.Gauge.base g.Gauge.help)
+    (Gauge.all ());
+  List.iter (fun (h : Histogram.t) -> remember h.Histogram.base h.Histogram.help)
+    (Histogram.all ());
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                          *)
@@ -434,6 +714,16 @@ let pp_report fmt () =
             (Counter.value c))
         counters
     end;
+    (match Gauge.sample_all () with
+    | [] -> ()
+    | gauges ->
+        Format.fprintf fmt "gauges:@,";
+        List.iter
+          (fun (n, v) ->
+            if Float.is_integer v && Float.abs v < 1e15 then
+              Format.fprintf fmt "  %-48s %10.0f@," n v
+            else Format.fprintf fmt "  %-48s %10.2f@," n v)
+          gauges);
     if hists <> [] then begin
       Format.fprintf fmt "latencies (per span path):@,";
       List.iter
@@ -465,10 +755,11 @@ module Snapshot = struct
 
   type t = {
     counters : (string * int) list; (* sorted by name, non-zero only *)
+    gauges : (string * float) list; (* sorted by name, every series *)
     histograms : (string * hist) list;
   }
 
-  let take () =
+  let capture () =
     let counters =
       List.filter_map
         (fun c ->
@@ -476,6 +767,7 @@ module Snapshot = struct
           else Some (Counter.name c, Counter.value c))
         (Counter.all ())
     in
+    let gauges = Gauge.sample_all () in
     let histograms =
       List.filter_map
         (fun h ->
@@ -491,11 +783,16 @@ module Snapshot = struct
                 } ))
         (Histogram.all ())
     in
-    { counters; histograms }
+    { counters; gauges; histograms }
+
+  let take = capture
 
   let mean_ns (h : hist) =
     if h.count = 0 then 0. else h.sum_ns /. float_of_int h.count
 
+  (* Gauges are point-in-time samples (GC state, pool occupancy) and
+     deliberately excluded: equality is the determinism check used by
+     the serial-vs-parallel gates, which gauges would always fail. *)
   let equal a b =
     a.counters = b.counters
     && List.length a.histograms = List.length b.histograms
@@ -521,6 +818,8 @@ module Snapshot = struct
       [
         ( "counters",
           Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) t.counters) );
+        ( "gauges",
+          Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) t.gauges) );
         ( "histograms",
           Json.Obj
             (List.map
@@ -563,6 +862,22 @@ module Snapshot = struct
           | Some i -> Ok ((n, i) :: acc)
           | None -> Error (Printf.sprintf "snapshot: counter %S not an int" n))
         (Ok []) counter_fields
+    in
+    (* Absent in snapshots written before gauges existed. *)
+    let* gauges =
+      match Json.member "gauges" j with
+      | None -> Ok []
+      | Some (Json.Obj fields) ->
+          List.fold_left
+            (fun acc (n, v) ->
+              let* acc = acc in
+              match num v with
+              | Some f -> Ok ((n, f) :: acc)
+              | None ->
+                  Error (Printf.sprintf "snapshot: gauge %S not a number" n))
+            (Ok []) fields
+          |> Result.map List.rev
+      | Some _ -> Error "snapshot: \"gauges\" is not an object"
     in
     let* hist_fields = obj_fields "histograms" in
     let hist_of_json n hj =
@@ -611,7 +926,131 @@ module Snapshot = struct
           Ok ((n, h) :: acc))
         (Ok []) hist_fields
     in
-    Ok { counters = List.rev counters; histograms = List.rev histograms }
+    Ok
+      {
+        counters = List.rev counters;
+        gauges;
+        histograms = List.rev histograms;
+      }
+
+  (* ---------------------------------------------------------------- *)
+  (* Prometheus / OpenMetrics text exposition                         *)
+  (* ---------------------------------------------------------------- *)
+
+  let prom_metric_name base =
+    "clarify_"
+    ^ String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+          | _ -> '_')
+        base
+
+  (* Label values escape backslash, double quote and newline; help text
+     escapes backslash and newline (Prometheus text format rules). *)
+  let prom_escape ~quote s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '"' when quote -> Buffer.add_string buf "\\\""
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let prom_number v =
+    if v <> v then "NaN"
+    else if v = infinity then "+Inf"
+    else if v = neg_infinity then "-Inf"
+    else if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else
+      let s = Printf.sprintf "%.12g" v in
+      if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+  (* Group a full-name-sorted series list into families: bases sorted,
+     series inside a family kept in full-name order (deterministic). *)
+  let families series =
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (full, v) ->
+        let base, labels = Labels.parse full in
+        (match Hashtbl.find_opt tbl base with
+        | None ->
+            order := base :: !order;
+            Hashtbl.add tbl base [ (labels, v) ]
+        | Some prev -> Hashtbl.replace tbl base ((labels, v) :: prev)))
+      series;
+    List.sort String.compare !order
+    |> List.map (fun base -> (base, List.rev (Hashtbl.find tbl base)))
+
+  let to_prometheus ?(help = []) t =
+    let buf = Buffer.create 4096 in
+    let label_block kvs =
+      match kvs with
+      | [] -> ""
+      | kvs ->
+          "{"
+          ^ String.concat ","
+              (List.map
+                 (fun (k, v) -> k ^ "=\"" ^ prom_escape ~quote:true v ^ "\"")
+                 kvs)
+          ^ "}"
+    in
+    let header ~typ ~family base =
+      (match List.assoc_opt base help with
+      | Some h when h <> "" ->
+          Buffer.add_string buf
+            ("# HELP " ^ family ^ " " ^ prom_escape ~quote:false h ^ "\n")
+      | _ -> ());
+      Buffer.add_string buf ("# TYPE " ^ family ^ " " ^ typ ^ "\n")
+    in
+    List.iter
+      (fun (base, series) ->
+        let family = prom_metric_name base ^ "_total" in
+        header ~typ:"counter" ~family base;
+        List.iter
+          (fun (labels, v) ->
+            Buffer.add_string buf
+              (family ^ label_block labels ^ " " ^ string_of_int v ^ "\n"))
+          series)
+      (families t.counters);
+    List.iter
+      (fun (base, series) ->
+        let family = prom_metric_name base in
+        header ~typ:"gauge" ~family base;
+        List.iter
+          (fun (labels, v) ->
+            Buffer.add_string buf
+              (family ^ label_block labels ^ " " ^ prom_number v ^ "\n"))
+          series)
+      (families t.gauges);
+    List.iter
+      (fun (base, series) ->
+        let family = prom_metric_name base in
+        header ~typ:"histogram" ~family base;
+        List.iter
+          (fun (labels, (h : hist)) ->
+            List.iter
+              (fun (b, cum) ->
+                Buffer.add_string buf
+                  (family ^ "_bucket"
+                  ^ label_block (labels @ [ ("le", prom_number b) ])
+                  ^ " " ^ string_of_int cum ^ "\n"))
+              h.buckets;
+            Buffer.add_string buf
+              (family ^ "_sum" ^ label_block labels ^ " "
+             ^ prom_number h.sum_ns ^ "\n");
+            Buffer.add_string buf
+              (family ^ "_count" ^ label_block labels ^ " "
+             ^ string_of_int h.count ^ "\n"))
+          series)
+      (families t.histograms);
+    Buffer.add_string buf "# EOF\n";
+    Buffer.contents buf
 end
 
 let to_json () =
@@ -621,6 +1060,9 @@ let to_json () =
         if Counter.value c = 0 then None
         else Some (Counter.name c, Json.Int (Counter.value c)))
       (Counter.all ())
+  in
+  let gauges =
+    List.map (fun (n, v) -> (n, Json.Float v)) (Gauge.sample_all ())
   in
   let histograms =
     List.filter_map
@@ -649,6 +1091,7 @@ let to_json () =
   Json.Obj
     [
       ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
       ("histograms", Json.Obj histograms);
       ("spans", Json.List spans);
     ]

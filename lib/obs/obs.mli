@@ -1,11 +1,19 @@
-(** Process-wide observability: counters, latency histograms and
-    hierarchical spans with pluggable sinks.
+(** Process-wide observability: counters, latency histograms, gauges
+    and hierarchical spans with pluggable sinks, plus pull-based
+    Prometheus/OpenMetrics exposition.
 
     The registry is global and zero-dependency (monotonic-ish time via a
-    pluggable clock, [Sys.time] by default). Instrumented code pays a
-    single [if enabled] branch per event while the layer is disabled, so
-    it is safe to leave instrumentation in hot paths; recording only
-    happens after {!enable}.
+    pluggable clock, [Unix.gettimeofday] by default). Instrumented code
+    pays a single [if enabled] branch per event while the layer is
+    disabled, so it is safe to leave instrumentation in hot paths;
+    recording only happens after {!enable}.
+
+    Recording is sharded per domain: each series keeps one private
+    shard per domain that touches it ([Domain.DLS]), so counter
+    increments and histogram observations never take a lock and never
+    race between domains. Reads merge the shards lazily — exact once
+    worker domains are joined, best-effort (racy-but-safe stale reads)
+    while they run, which is what live scrapes want.
 
     Naming scheme (see DESIGN.md §Observability): counters and spans are
     dot-separated, [<subsystem>.<event>], e.g. [llm.calls.synthesize],
@@ -35,11 +43,26 @@ val now : unit -> float
     event timestamps deterministic too. *)
 
 val reset : unit -> unit
-(** Zero every counter and histogram, drop dynamically created labeled
-    series, drop recorded spans (and the overflow count, sequence
-    counter and open-span stack) and re-anchor the span start-offset
-    origin. Zero-label metric registrations, sinks, subscribers and the
-    enabled state are kept. *)
+(** Zero every counter, histogram and pushed gauge, drop dynamically
+    created labeled series, drop recorded spans (and the overflow
+    count, sequence counter and open-span stack) and re-anchor the span
+    start-offset origin. Zero-label metric registrations, gauge
+    collectors, sinks, subscribers and the enabled state are kept. *)
+
+val series_limit : unit -> int
+(** The cardinality guard: the maximum number of labeled series one
+    base name may register. Initialized from [CLARIFY_OBS_SERIES_LIMIT]
+    (default 256). Beyond the limit, new label sets collapse into the
+    per-base [{overflow="true"}] sink series. *)
+
+val set_series_limit : int -> unit
+(** Set the per-base labeled-series budget (clamped to [>= 1]). Applies
+    to registrations made after the call. *)
+
+val overflow_labels : (string * string) list
+(** The label set of the cardinality-overflow sink series,
+    [[("overflow", "true")]]. Registering it explicitly addresses the
+    sink directly; it is exempt from the series budget. *)
 
 (** Metric dimensions. A label set is a list of [key, value] pairs
     (canonically sorted by key); a labeled metric is registered under
@@ -58,6 +81,10 @@ module Labels : sig
 
   val full_name : string -> t -> string
   (** [full_name base labels = base ^ encode labels]. *)
+
+  val parse : string -> string * t
+  (** Inverse of {!full_name} on well-formed full names; a name that
+      does not parse is returned unchanged with no labels. *)
 end
 
 (** Monotonic event counters. *)
@@ -71,13 +98,20 @@ module Counter : sig
 
   val labeled : ?help:string -> string -> (string * string) list -> t
   (** [labeled base kvs] registers (or looks up) one series of the
-      [base] family per distinct label set. Idempotent per label set;
-      the label list is canonicalized, so order does not matter. *)
+      [base] family per distinct label set. Idempotent per label set,
+      and atomic under concurrent registration: two domains racing on
+      the same (base, labels) receive the same series. The label list
+      is canonicalized, so order does not matter. Once the per-base
+      budget ({!series_limit}) is spent, further label sets all resolve
+      to the [{overflow="true"}] sink series. *)
 
   val incr : ?by:int -> t -> unit
-  (** No-op while the layer is disabled. *)
+  (** No-op while the layer is disabled. Lock-free: writes this
+      domain's private shard of the series. *)
 
   val value : t -> int
+  (** Sum over all shards. Exact when no other domain is concurrently
+      incrementing; otherwise a best-effort (never torn) live read. *)
 
   val name : t -> string
   (** The full registered name, labels encoded. *)
@@ -89,7 +123,7 @@ module Counter : sig
 end
 
 (** Latency histograms over fixed exponential buckets of nanoseconds
-    (1us, 10us, ..., 10s, +inf). *)
+    (1us, 10us, ..., 10s, +inf). Sharded per domain like counters. *)
 module Histogram : sig
   type t
 
@@ -100,7 +134,8 @@ module Histogram : sig
   (** One series per label set, like {!Counter.labeled}. *)
 
   val observe_ns : t -> float -> unit
-  (** No-op while the layer is disabled. *)
+  (** No-op while the layer is disabled. Lock-free, like
+      {!Counter.incr}. *)
 
   val count : t -> int
   val sum_ns : t -> float
@@ -115,6 +150,40 @@ module Histogram : sig
   val labels : t -> Labels.t
   val find : string -> t option
   val find_labeled : string -> (string * string) list -> t option
+end
+
+(** Point-in-time samples: pushed with {!Gauge.set} or pulled from a
+    collector closure on every read. Built-in collectors sample GC
+    pressure ([runtime.gc.*]); [lib/parallel] and the engine register
+    pool-occupancy and BDD-manager collectors. Gauges appear in
+    snapshots and exposition but are excluded from {!Snapshot.equal}
+    (they are ambient state, not run state). *)
+module Gauge : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  (** Idempotent, like {!Counter.make}. *)
+
+  val labeled : ?help:string -> string -> (string * string) list -> t
+  (** One series per label set, like {!Counter.labeled}, under the same
+      cardinality guard. *)
+
+  val collector : ?help:string -> string -> (unit -> float) -> t
+  (** [collector name f] registers a gauge whose value is [f ()] at
+      every read. A raising collector keeps the last good sample. *)
+
+  val set : t -> float -> unit
+  (** No-op while the layer is disabled (collectors sample anyway). *)
+
+  val value : t -> float
+  val name : t -> string
+  val base_name : t -> string
+  val labels : t -> Labels.t
+  val find : string -> t option
+  val find_labeled : string -> (string * string) list -> t option
+
+  val sample_all : unit -> (string * float) list
+  (** Every registered gauge, sampled, sorted by full name. *)
 end
 
 (** A completed span. *)
@@ -157,14 +226,18 @@ val text_sink : Format.formatter -> sink
     their parents, as in any close-order trace). *)
 
 val json_sink : Buffer.t -> sink
-(** One compact JSON object per line per span (JSONL), into an
-    in-memory buffer. The buffer grows without bound, so prefer
-    {!jsonl_sink} for long-running processes. *)
+[@@alert deprecated
+  "Obs.json_sink grows an unbounded in-memory Buffer; use jsonl_sink \
+   with an out_channel instead."]
+(** @deprecated One compact JSON object per line per span (JSONL), into
+    an in-memory buffer. The buffer grows without bound; use
+    {!jsonl_sink} instead. *)
 
 val jsonl_sink : out_channel -> sink
-(** Same line format as {!json_sink}, streamed to a channel and flushed
-    after every span, so long runs spill to disk instead of growing an
-    unbounded buffer and a crash loses at most the open spans. *)
+(** One compact JSON object per line per span (JSONL), streamed to a
+    channel and flushed after every span, so long runs spill to disk
+    instead of growing an unbounded buffer and a crash loses at most
+    the open spans. *)
 
 val tee : sink -> sink -> sink
 (** [tee a b] forwards each span to [a] then [b]. *)
@@ -180,17 +253,23 @@ val pp_duration : Format.formatter -> float -> unit
 (** Nanoseconds rendered with a human unit (ns/us/ms/s). *)
 
 val pp_report : Format.formatter -> unit -> unit
-(** The full snapshot: every non-zero counter, then per-span-path
-    latency aggregates (count, total, mean, max), then any other
-    non-empty histogram. *)
+(** The full snapshot: every non-zero counter, every gauge, then
+    per-span-path latency aggregates (count, total, mean, max), then
+    any other non-empty histogram. *)
 
 val to_json : unit -> Json.t
-(** The same snapshot as a JSON object:
-    [{"counters": {...}, "histograms": {...}, "spans": [...]}]. *)
+(** The same snapshot as a JSON object: [{"counters": {...},
+    "gauges": {...}, "histograms": {...}, "spans": [...]}]. *)
+
+val help_index : unit -> (string * string) list
+(** Base metric name -> help text for every registered family that
+    declared one, sorted by base name. Feeds the [# HELP] lines of
+    {!Snapshot.to_prometheus}. *)
 
 (** A frozen copy of the registry's aggregates, serializable to the
-    stable schema used by bench snapshots ([BENCH.json]) and compared by
-    [clarify obs diff]. *)
+    stable schema used by bench snapshots ([BENCH.json]), compared by
+    [clarify obs diff], and renderable as Prometheus text for the
+    [/metrics] endpoint. *)
 module Snapshot : sig
   type hist = {
     count : int;
@@ -203,17 +282,37 @@ module Snapshot : sig
 
   type t = {
     counters : (string * int) list; (* sorted by name, non-zero only *)
+    gauges : (string * float) list; (* sorted by name, every series *)
     histograms : (string * hist) list;
   }
 
+  val capture : unit -> t
+  (** Freeze every non-zero counter, every gauge (collectors sampled
+      now) and every non-empty histogram, merging per-domain shards. *)
+
   val take : unit -> t
-  (** Freeze every non-zero counter and non-empty histogram. *)
+  (** Alias of {!capture} (the pre-sharding name). *)
 
   val mean_ns : hist -> float
+
   val equal : t -> t -> bool
+  (** Counters and histograms only: gauges are point-in-time samples
+      and would break the serial-vs-parallel determinism gates. *)
 
   val to_json : t -> Json.t
 
   val of_json : Json.t -> (t, string) result
-  (** Inverse of {!to_json}: [of_json (to_json s) = Ok s]. *)
+  (** Inverse of {!to_json}: [of_json (to_json s) = Ok s]. Snapshots
+      written before gauges existed load with [gauges = []]. *)
+
+  val to_prometheus : ?help:(string * string) list -> t -> string
+  (** Render the snapshot in the Prometheus text exposition format
+      (version 0.0.4, with a trailing [# EOF] line). Metric names gain
+      a [clarify_] prefix with non-alphanumerics mapped to [_];
+      counters gain the [_total] suffix; histograms render cumulative
+      [_bucket{le="..."}] series (the overflow bound as [+Inf]) plus
+      [_sum]/[_count]. Families are emitted counters-gauges-histograms,
+      each sorted by base name, series in full-name order, so the
+      rendering is deterministic for a given snapshot. [help] maps base
+      names to [# HELP] text (see {!help_index}). *)
 end

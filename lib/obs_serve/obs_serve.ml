@@ -1,0 +1,477 @@
+(* Pull-based live metrics.
+
+   [Server] answers [GET /metrics] with the Prometheus rendering of a
+   fresh [Obs.Snapshot.capture] from a background systhread. Within one
+   domain, systhreads interleave under the runtime lock (they never run
+   simultaneously), so the serving thread's registry reads are as safe
+   as any same-domain reader; shards owned by still-running worker
+   domains are merged as racy-but-memory-safe reads, which is exactly
+   the live-view contract ([Obs] interface docs).
+
+   [Scrape] is the matching minimal client: a one-shot HTTP GET over a
+   Unix socket plus a parser for the exposition text, shared by
+   [clarify top] and the round-trip tests.
+
+   [Top] turns two scrapes into a terminal dashboard: windowed rates
+   from counter deltas, p50/p99 from cumulative histogram buckets, and
+   per-domain pool utilization from the [parallel.task_ns{domain=N}]
+   busy-time series. *)
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Server = struct
+  type t = {
+    sock : Unix.file_descr;
+    port : int;
+    mutable running : bool;
+    mutable thread : Thread.t option;
+  }
+
+  let http_response ~status ~content_type body =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n\
+       %s"
+      status content_type (String.length body) body
+
+  let metrics_body () =
+    Obs.Snapshot.to_prometheus ~help:(Obs.help_index ())
+      (Obs.Snapshot.capture ())
+
+  let handle fd =
+    (* Only the request line matters; 4KB is plenty for it. *)
+    let buf = Bytes.create 4096 in
+    let n = try Unix.read fd buf 0 4096 with _ -> 0 in
+    let req = Bytes.sub_string buf 0 (max 0 n) in
+    let target =
+      match String.split_on_char '\r' req with
+      | line :: _ -> (
+          match String.split_on_char ' ' line with
+          | meth :: path :: _ when String.uppercase_ascii meth = "GET" ->
+              Some path
+          | _ -> None)
+      | [] -> None
+    in
+    let resp =
+      match target with
+      | Some path
+        when path = "/metrics" || String.starts_with ~prefix:"/metrics?" path
+        ->
+          http_response ~status:"200 OK"
+            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+            (metrics_body ())
+      | Some _ ->
+          http_response ~status:"404 Not Found" ~content_type:"text/plain"
+            "not found\n"
+      | None ->
+          http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+            "bad request\n"
+    in
+    (try
+       let len = String.length resp in
+       let rec put o =
+         if o < len then put (o + Unix.write_substring fd resp o (len - o))
+       in
+       put 0
+     with _ -> ());
+    try Unix.close fd with _ -> ()
+
+  (* Connections are served sequentially in the one background thread:
+     the consumers are a scraper and a watch loop, each polling every
+     few hundred milliseconds at most. *)
+  let accept_loop t =
+    while t.running do
+      match Unix.accept t.sock with
+      | fd, _ -> if t.running then handle fd else ( try Unix.close fd with _ -> ())
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          t.running <- false
+      | exception _ -> if t.running then Thread.yield ()
+    done
+
+  let start ?(host = "127.0.0.1") ~port () =
+    match
+      let addr = Unix.inet_addr_of_string host in
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt sock Unix.SO_REUSEADDR true;
+         Unix.bind sock (Unix.ADDR_INET (addr, port));
+         Unix.listen sock 16
+       with e ->
+         (try Unix.close sock with _ -> ());
+         raise e);
+      let port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (sock, port)
+    with
+    | exception e -> Error (Printexc.to_string e)
+    | sock, port ->
+        let t = { sock; port; running = true; thread = None } in
+        t.thread <- Some (Thread.create accept_loop t);
+        Ok t
+
+  let port t = t.port
+
+  let stop t =
+    if t.running then begin
+      t.running <- false;
+      (* Wake the blocked accept with a throwaway connection so the
+         loop observes [running = false] and exits. *)
+      (try
+         let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+         Fun.protect
+           ~finally:(fun () -> try Unix.close c with _ -> ())
+           (fun () ->
+             Unix.connect c (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port)))
+       with _ -> ());
+      Option.iter Thread.join t.thread;
+      try Unix.close t.sock with _ -> ()
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scrape                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Scrape = struct
+  type sample = {
+    metric : string;
+    labels : (string * string) list;
+    value : float;
+  }
+
+  type t = { types : (string * string) list; samples : sample list }
+
+  (* Split "name{labels} value" at the closing brace (label values may
+     contain spaces and escaped quotes), or at the first space for
+     label-free samples. *)
+  let split_sample line =
+    match String.index_opt line '{' with
+    | None -> (
+        match String.index_opt line ' ' with
+        | None -> None
+        | Some i ->
+            Some
+              ( String.sub line 0 i,
+                String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1)) ))
+    | Some b -> (
+        let n = String.length line in
+        let rec close i inq =
+          if i >= n then None
+          else
+            match line.[i] with
+            | '\\' when inq -> close (i + 2) inq
+            | '"' -> close (i + 1) (not inq)
+            | '}' when not inq -> Some i
+            | _ -> close (i + 1) inq
+        in
+        match close (b + 1) false with
+        | None -> None
+        | Some e ->
+            Some
+              ( String.sub line 0 (e + 1),
+                String.trim (String.sub line (e + 1) (n - e - 1)) ))
+
+  let parse_value s =
+    (* Drop an optional trailing timestamp. *)
+    let s =
+      match String.index_opt s ' ' with
+      | Some i -> String.sub s 0 i
+      | None -> s
+    in
+    match s with
+    | "+Inf" -> Some infinity
+    | "-Inf" -> Some neg_infinity
+    | "NaN" -> Some (Float.of_string "nan")
+    | s -> float_of_string_opt s
+
+  let parse text =
+    let err = ref None in
+    let types = ref [] in
+    let samples = ref [] in
+    List.iteri
+      (fun ln line ->
+        if !err = None then
+          let line = String.trim line in
+          if line = "" then ()
+          else if String.length line > 0 && line.[0] = '#' then begin
+            match String.split_on_char ' ' line with
+            | "#" :: "TYPE" :: name :: typ :: _ ->
+                types := (name, typ) :: !types
+            | _ -> () (* HELP, UNIT, EOF, arbitrary comments *)
+          end
+          else
+            match split_sample line with
+            | None ->
+                err := Some (Printf.sprintf "line %d: not a sample: %s"
+                               (ln + 1) line)
+            | Some (name, v) -> (
+                match parse_value v with
+                | None ->
+                    err :=
+                      Some
+                        (Printf.sprintf "line %d: bad value %S" (ln + 1) v)
+                | Some value ->
+                    (* The label syntax matches the registry's own
+                       full-name encoding, so the parser is shared. *)
+                    let metric, labels = Obs.Labels.parse name in
+                    samples := { metric; labels; value } :: !samples))
+      (String.split_on_char '\n' text);
+    match !err with
+    | Some e -> Error e
+    | None -> Ok { types = List.rev !types; samples = List.rev !samples }
+
+  let fetch ?(host = "127.0.0.1") ~port path =
+    match
+      let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with _ -> ())
+        (fun () ->
+          Unix.connect sock addr;
+          let req =
+            Printf.sprintf
+              "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" path
+              host
+          in
+          ignore (Unix.write_substring sock req 0 (String.length req));
+          let buf = Buffer.create 8192 in
+          let chunk = Bytes.create 8192 in
+          let rec drain () =
+            let n = Unix.read sock chunk 0 8192 in
+            if n > 0 then begin
+              Buffer.add_subbytes buf chunk 0 n;
+              drain ()
+            end
+          in
+          drain ();
+          Buffer.contents buf)
+    with
+    | exception e -> Error (Printexc.to_string e)
+    | resp -> (
+        let header_end =
+          let n = String.length resp in
+          let rec find i =
+            if i + 4 > n then None
+            else if String.sub resp i 4 = "\r\n\r\n" then Some (i + 4)
+            else find (i + 1)
+          in
+          find 0
+        in
+        match header_end with
+        | None -> Error "malformed HTTP response (no header terminator)"
+        | Some body_at -> (
+            let body =
+              String.sub resp body_at (String.length resp - body_at)
+            in
+            match String.split_on_char ' ' resp with
+            | _ :: "200" :: _ -> Ok body
+            | _ :: code :: _ -> Error (Printf.sprintf "HTTP %s" code)
+            | _ -> Error "malformed HTTP status line"))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Top                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Top = struct
+  type hist = {
+    count : float;
+    sum_ns : float;
+    buckets : (float * float) list; (* (upper_bound, cumulative), sorted *)
+  }
+
+  type snap = {
+    at : float; (* seconds, caller's clock *)
+    counters : (string * float) list; (* series name -> total *)
+    gauges : (string * float) list;
+    hists : (string * hist) list;
+  }
+
+  let empty_hist = { count = 0.; sum_ns = 0.; buckets = [] }
+
+  let of_scrape ~at (sc : Scrape.t) =
+    let series base labels = base ^ Obs.Labels.encode labels in
+    let counters = ref [] in
+    let gauges = ref [] in
+    let htbl : (string, hist) Hashtbl.t = Hashtbl.create 32 in
+    let hist_update key f =
+      Hashtbl.replace htbl key
+        (f (Option.value ~default:empty_hist (Hashtbl.find_opt htbl key)))
+    in
+    let histogram_family metric suffix =
+      if String.ends_with ~suffix metric then
+        let f =
+          String.sub metric 0 (String.length metric - String.length suffix)
+        in
+        if List.assoc_opt f sc.Scrape.types = Some "histogram" then Some f
+        else None
+      else None
+    in
+    List.iter
+      (fun { Scrape.metric; labels; value } ->
+        match List.assoc_opt metric sc.Scrape.types with
+        | Some "counter" -> counters := (series metric labels, value) :: !counters
+        | Some "gauge" -> gauges := (series metric labels, value) :: !gauges
+        | _ -> (
+            match histogram_family metric "_bucket" with
+            | Some f ->
+                let bound =
+                  match List.assoc_opt "le" labels with
+                  | Some "+Inf" -> infinity
+                  | Some s -> Option.value ~default:0. (float_of_string_opt s)
+                  | None -> 0.
+                in
+                hist_update
+                  (series f (List.remove_assoc "le" labels))
+                  (fun h -> { h with buckets = (bound, value) :: h.buckets })
+            | None -> (
+                match histogram_family metric "_sum" with
+                | Some f ->
+                    hist_update (series f labels) (fun h ->
+                        { h with sum_ns = value })
+                | None -> (
+                    match histogram_family metric "_count" with
+                    | Some f ->
+                        hist_update (series f labels) (fun h ->
+                            { h with count = value })
+                    | None -> () (* untyped or unknown sample: skip *)))))
+      sc.Scrape.samples;
+    let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+    let hists =
+      Hashtbl.fold
+        (fun k h acc ->
+          (k, { h with buckets = List.sort compare h.buckets }) :: acc)
+        htbl []
+      |> by_name
+    in
+    { at; counters = by_name !counters; gauges = by_name !gauges; hists }
+
+  (* Upper bound of the bucket containing quantile [q] of the
+     cumulative distribution; the +Inf overflow bucket is clamped to
+     the last finite bound so the estimate stays printable. *)
+  let quantile q (h : hist) =
+    if h.count <= 0. then 0.
+    else
+      let target = q *. h.count in
+      let rec go last = function
+        | [] -> last
+        | (b, cum) :: rest ->
+            let last = if b = infinity then last else b in
+            if cum >= target then last else go last rest
+      in
+      go 0. h.buckets
+
+  let pp_ns ns =
+    if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.1fms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.1fus" (ns /. 1e3)
+    else Printf.sprintf "%.0fns" ns
+
+  let pp_float v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.2f" v
+
+  (* Per-domain utilization over the window: busy ns from the
+     [parallel.task_ns] sum delta divided by window wall ns. *)
+  let utilization ~prev ~cur =
+    let dt_ns = Float.max 1. ((cur.at -. prev.at) *. 1e9) in
+    List.filter_map
+      (fun (name, (h : hist)) ->
+        let base, labels = Obs.Labels.parse name in
+        match (base, List.assoc_opt "domain" labels) with
+        | "clarify_parallel_task_ns", Some d ->
+            let before =
+              match List.assoc_opt name prev.hists with
+              | Some p -> p.sum_ns
+              | None -> 0.
+            in
+            Some (d, Float.min 1. (Float.max 0. ((h.sum_ns -. before) /. dt_ns)))
+        | _ -> None)
+      cur.hists
+
+  let render ~prev ~cur =
+    let b = Buffer.create 2048 in
+    let dt = Float.max 1e-9 (cur.at -. prev.at) in
+    Printf.bprintf b
+      "clarify top — window %.1fs — %d counters, %d gauges, %d histograms\n"
+      dt
+      (List.length cur.counters)
+      (List.length cur.gauges)
+      (List.length cur.hists);
+    (* Counters by windowed rate. *)
+    let rates =
+      List.map
+        (fun (name, total) ->
+          let before =
+            Option.value ~default:0. (List.assoc_opt name prev.counters)
+          in
+          (name, (total -. before) /. dt, total))
+        cur.counters
+      |> List.sort (fun (_, ra, ta) (_, rb, tb) ->
+             match compare rb ra with 0 -> compare tb ta | c -> c)
+    in
+    if rates <> [] then begin
+      Printf.bprintf b "\n%-58s %12s %12s\n" "COUNTER" "rate/s" "total";
+      List.iteri
+        (fun i (name, rate, total) ->
+          if i < 14 then
+            Printf.bprintf b "%-58s %12.1f %12.0f\n" name rate total)
+        rates
+    end;
+    (* Histograms by windowed observation count. *)
+    let hrows =
+      List.map
+        (fun (name, (h : hist)) ->
+          let before =
+            match List.assoc_opt name prev.hists with
+            | Some p -> p.count
+            | None -> 0.
+          in
+          (name, h, (h.count -. before) /. dt))
+        cur.hists
+      |> List.sort (fun (_, (a : hist), ra) (_, b, rb) ->
+             match compare rb ra with 0 -> compare b.count a.count | c -> c)
+    in
+    if hrows <> [] then begin
+      Printf.bprintf b "\n%-50s %8s %9s %9s %9s\n" "HISTOGRAM" "obs/s" "p50"
+        "p99" "n";
+      List.iteri
+        (fun i (name, h, rate) ->
+          if i < 10 then
+            Printf.bprintf b "%-50s %8.1f %9s %9s %9.0f\n" name rate
+              (pp_ns (quantile 0.50 h))
+              (pp_ns (quantile 0.99 h))
+              h.count)
+        hrows
+    end;
+    (match utilization ~prev ~cur with
+    | [] -> ()
+    | util ->
+        Printf.bprintf b "\nPOOL UTILIZATION (busy fraction per domain)\n";
+        List.iter
+          (fun (d, u) ->
+            let width = 32 in
+            let full = int_of_float (u *. float_of_int width) in
+            Printf.bprintf b "  domain %-3s [%s%s] %3.0f%%\n" d
+              (String.make full '#')
+              (String.make (width - full) '.')
+              (u *. 100.))
+          (List.sort compare util));
+    if cur.gauges <> [] then begin
+      Printf.bprintf b "\n%-58s %12s\n" "GAUGE" "value";
+      List.iteri
+        (fun i (name, v) ->
+          if i < 16 then Printf.bprintf b "%-58s %12s\n" name (pp_float v))
+        cur.gauges
+    end;
+    Buffer.contents b
+end

@@ -1,0 +1,95 @@
+(** Pull-based live metrics: the [/metrics] HTTP endpoint, its scrape
+    client, and the [clarify top] dashboard renderer.
+
+    The server thread shares its domain's runtime lock with the main
+    thread (systhreads within one domain never run simultaneously), so
+    serving a scrape mid-run reads the registry exactly as safely as
+    any same-domain snapshot; shards of still-running worker domains
+    merge as racy-but-never-torn live reads (see [Obs]). *)
+
+(** A minimal HTTP/1.x server answering [GET /metrics] with the
+    Prometheus text rendering of a fresh [Obs.Snapshot.capture], from
+    one background thread. Anything else gets a 404. *)
+module Server : sig
+  type t
+
+  val start :
+    ?host:string -> port:int -> unit -> (t, string) result
+  (** Bind [host] (an IP literal, default ["127.0.0.1"]) on [port]
+      (0 picks a free port; see {!port}) and start serving. [Error]
+      carries the bind/listen failure, e.g. an address already in
+      use. *)
+
+  val port : t -> int
+  (** The bound port — useful with [port:0]. *)
+
+  val metrics_body : unit -> string
+  (** The exposition text a scrape would receive right now. *)
+
+  val stop : t -> unit
+  (** Stop accepting, wake and join the serving thread, close the
+      socket. Idempotent. *)
+end
+
+(** A one-shot HTTP GET client and a parser for the Prometheus text
+    format — enough to scrape {!Server} (or any exposition endpoint)
+    without an HTTP dependency. *)
+module Scrape : sig
+  type sample = {
+    metric : string; (* sample name, e.g. clarify_pipeline_runs_total *)
+    labels : (string * string) list;
+    value : float;
+  }
+
+  type t = {
+    types : (string * string) list; (* family name -> TYPE, in order *)
+    samples : sample list; (* in exposition order *)
+  }
+
+  val parse : string -> (t, string) result
+  (** Parse exposition text: [# TYPE] lines into [types], sample lines
+      into [samples] ([+Inf]/[-Inf]/[NaN] and trailing timestamps
+      handled), other comments skipped. Fails on the first line that is
+      neither blank, comment nor sample. *)
+
+  val fetch : ?host:string -> port:int -> string -> (string, string) result
+  (** [fetch ~port path] GETs [path] and returns the response body of a
+      200, [Error] otherwise. [host] must be an IP literal. *)
+end
+
+(** Two scrapes -> a terminal dashboard. *)
+module Top : sig
+  type hist = {
+    count : float;
+    sum_ns : float;
+    buckets : (float * float) list; (* (upper_bound, cumulative) sorted *)
+  }
+
+  type snap = {
+    at : float; (* seconds, caller's clock *)
+    counters : (string * float) list; (* series name -> running total *)
+    gauges : (string * float) list;
+    hists : (string * hist) list;
+  }
+
+  val of_scrape : at:float -> Scrape.t -> snap
+  (** Regroup a parsed scrape by family type: counter and gauge samples
+      keyed by [name{labels}], histogram [_bucket]/[_sum]/[_count]
+      samples reassembled per series (the [le] label folded into
+      bucket bounds). *)
+
+  val quantile : float -> hist -> float
+  (** Upper bound of the bucket containing the given quantile of the
+      cumulative distribution; the overflow bucket clamps to the last
+      finite bound. 0 for an empty histogram. *)
+
+  val utilization : prev:snap -> cur:snap -> (string * float) list
+  (** Busy fraction per worker domain over the window, from the
+      [clarify_parallel_task_ns{domain=N}] sum deltas: (domain label,
+      fraction in [0,1]). *)
+
+  val render : prev:snap -> cur:snap -> string
+  (** The dashboard: counter rates over the window, histogram p50/p99
+      and observation rates, per-domain utilization bars, gauges. Plain
+      text (no escape codes); one screenful for typical registries. *)
+end

@@ -52,6 +52,7 @@ type worker_metrics = {
   tasks : Obs.Counter.t; (* parallel.tasks{domain=N} *)
   task_ns : Obs.Histogram.t; (* parallel.task_ns{domain=N} *)
   queue_wait_ns : Obs.Histogram.t; (* parallel.queue_wait_ns{domain=N} *)
+  busy : Obs.Gauge.t; (* parallel.worker.busy{domain=N} *)
   bdd_nodes : Obs.Counter.t; (* bdd.nodes_allocated{domain=N} *)
   cache_hits : Obs.Counter.t; (* bdd.compile_cache.hits{domain=N} *)
   cache_misses : Obs.Counter.t;
@@ -61,8 +62,11 @@ let worker_metrics i =
   let l = [ ("domain", string_of_int i) ] in
   {
     tasks = Obs.Counter.labeled "parallel.tasks" l ~help:"tasks run per worker domain";
-    task_ns = Obs.Histogram.labeled "parallel.task_ns" l;
+    task_ns = Obs.Histogram.labeled "parallel.task_ns" l
+      ~help:"per-task wall time per worker domain";
     queue_wait_ns = Obs.Histogram.labeled "parallel.queue_wait_ns" l;
+    busy = Obs.Gauge.labeled "parallel.worker.busy" l
+      ~help:"1 while this worker domain is running batch chunks";
     bdd_nodes = Obs.Counter.labeled "bdd.nodes_allocated" l;
     cache_hits = Obs.Counter.labeled "bdd.compile_cache.hits" l;
     cache_misses = Obs.Counter.labeled "bdd.compile_cache.misses" l;
@@ -70,6 +74,34 @@ let worker_metrics i =
 
 let batches = lazy (Obs.Counter.make "parallel.batches")
 let spawned = lazy (Obs.Counter.make "parallel.domains_spawned")
+
+(* Live pool occupancy for scrapes. [pool_domains]/[active_workers]
+   are pushed at batch boundaries; the chunk-queue depth is pulled by a
+   collector from whatever batch is in flight, so a /metrics scrape
+   during a long sweep sees the backlog drain. One batch runs at a
+   time (the pool is driven from the submitting domain), so a single
+   current-batch cell is enough; the [Atomic] makes the serving
+   thread's read well-defined if it races a batch boundary. *)
+let pool_domains =
+  lazy
+    (Obs.Gauge.make "parallel.pool.domains"
+       ~help:"configured worker domains of the last batch's pool")
+
+let active_workers =
+  lazy
+    (Obs.Gauge.make "parallel.pool.active_workers"
+       ~help:"worker domains currently inside a batch")
+
+let current_batch : (int * int Atomic.t) option Atomic.t = Atomic.make None
+
+let () =
+  ignore
+    (Obs.Gauge.collector "parallel.queue.depth"
+       ~help:"unclaimed chunks in the in-flight batch" (fun () ->
+         match Atomic.get current_batch with
+         | None -> 0.
+         | Some (chunks, next) ->
+             float_of_int (max 0 (chunks - Atomic.get next))))
 
 (* Count BDD work into this worker's own labeled series. The hooks go
    on the worker's domain-local manager; worker 0 is the submitting
@@ -160,23 +192,36 @@ let map_chunked ?chunks_per_domain pool ~f items =
       let instrumented () =
         match m with
         | Some m ->
-            with_worker_hooks m (fun () ->
-                (* Root span per worker: a separate thread lane in the
-                   Chrome-trace export of any recording session. *)
-                Obs.with_span (Printf.sprintf "domain%d" w) run_chunks)
+            Obs.Gauge.set m.busy 1.;
+            Fun.protect
+              ~finally:(fun () -> Obs.Gauge.set m.busy 0.)
+              (fun () ->
+                with_worker_hooks m (fun () ->
+                    (* Root span per worker: a separate thread lane in
+                       the Chrome-trace export of any recording
+                       session. *)
+                    Obs.with_span (Printf.sprintf "domain%d" w) run_chunks))
         | None -> run_chunks ()
       in
       instrumented ()
     in
     if Obs.enabled () then begin
       Obs.Counter.incr (Lazy.force batches);
-      Obs.Counter.incr ~by:(workers - 1) (Lazy.force spawned)
+      Obs.Counter.incr ~by:(workers - 1) (Lazy.force spawned);
+      Obs.Gauge.set (Lazy.force pool_domains) (float_of_int pool.domains);
+      Obs.Gauge.set (Lazy.force active_workers) (float_of_int workers);
+      Atomic.set current_batch (Some (chunks, next_chunk))
     end;
     let ds =
       List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
     in
     Fun.protect
-      ~finally:(fun () -> List.iter Domain.join ds)
+      ~finally:(fun () ->
+        List.iter Domain.join ds;
+        if Obs.enabled () then begin
+          Atomic.set current_batch None;
+          Obs.Gauge.set (Lazy.force active_workers) 0.
+        end)
       (fun () -> worker 0);
     (match
        Array.to_seq failures |> Seq.filter_map Fun.id |> Seq.uncons

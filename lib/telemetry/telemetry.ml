@@ -317,6 +317,7 @@ module Bench = struct
   (* The diff is computed over a flat metric namespace so that adding a
      new metric class never changes the comparison logic:
        exp.<experiment>.counter.<name>
+       exp.<experiment>.gauge.<name>      (informational, never regresses)
        exp.<experiment>.hist.<span path>.mean_ns
        bench.<name>.ns_per_run *)
   let flatten t =
@@ -327,6 +328,9 @@ module Bench = struct
             (Printf.sprintf "exp.%s.counter.%s" ename n, float_of_int v))
           e.snapshot.Obs.Snapshot.counters
         @ List.map
+            (fun (n, v) -> (Printf.sprintf "exp.%s.gauge.%s" ename n, v))
+            e.snapshot.Obs.Snapshot.gauges
+        @ List.map
             (fun (n, h) ->
               ( Printf.sprintf "exp.%s.hist.%s.mean_ns" ename n,
                 Obs.Snapshot.mean_ns h ))
@@ -335,6 +339,16 @@ module Bench = struct
     @ List.map
         (fun (n, ns) -> (Printf.sprintf "bench.%s.ns_per_run" n, ns))
         t.benchmarks
+
+  (* Gauges are point-in-time ambient state (GC words, BDD manager
+     sizes, pool occupancy), not reproducible work counts: they ride
+     along in the flat namespace for visibility but never regress a
+     diff. *)
+  let informational metric =
+    let sub = ".gauge." in
+    let n = String.length metric and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub metric i m = sub || at (i + 1)) in
+    at 0
 
   type delta = {
     metric : string;
@@ -364,7 +378,7 @@ module Bench = struct
                 old_value = Some o;
                 new_value = Some n;
                 change = c;
-                regressed = c > threshold;
+                regressed = c > threshold && not (informational name);
               }
           | None ->
               {

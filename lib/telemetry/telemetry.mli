@@ -117,8 +117,11 @@ module Bench : sig
   val load_file : string -> (t, string) result
 
   (** One compared metric. Metrics live in a flat namespace:
-      [exp.<E>.counter.<name>], [exp.<E>.hist.<path>.mean_ns],
-      [bench.<name>.ns_per_run]. *)
+      [exp.<E>.counter.<name>], [exp.<E>.gauge.<name>],
+      [exp.<E>.hist.<path>.mean_ns], [bench.<name>.ns_per_run].
+      Gauge entries are informational — point-in-time ambient state
+      (GC words, BDD manager sizes) rides along for visibility but
+      never regresses a diff. *)
   type delta = {
     metric : string;
     old_value : float option; (* [None]: only in the new snapshot *)

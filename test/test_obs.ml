@@ -101,7 +101,10 @@ let test_sinks =
     (String.length text > 0
     && String.length text >= String.length "sinked");
   let jbuf = Buffer.create 128 in
-  Obs.set_sink (Obs.json_sink jbuf);
+  (* json_sink is deprecated (unbounded Buffer) but not removed; this
+     is its one remaining use, kept as coverage until deletion. *)
+  let[@alert "-deprecated"] deprecated_sink = Obs.json_sink jbuf in
+  Obs.set_sink deprecated_sink;
   Obs.with_span "jsonned" (fun () -> ());
   Obs.set_sink Obs.silent;
   match Json.parse (String.trim (Buffer.contents jbuf)) with
@@ -221,8 +224,12 @@ let test_labeled_counters =
     (Obs.Counter.labeled "test.lab" [ ("phase", "sync"); ("router", "R1") ]
     == c);
   check_bool "find_labeled resolves the series" true
-    (Obs.Counter.find_labeled "test.lab" [ ("router", "R1"); ("phase", "sync") ]
-    = Some c);
+    (match
+       Obs.Counter.find_labeled "test.lab"
+         [ ("router", "R1"); ("phase", "sync") ]
+     with
+    | Some c' -> c' == c
+    | None -> false);
   check_bool "other label sets are distinct series" true
     (Obs.Counter.labeled "test.lab" [ ("router", "R2"); ("phase", "sync") ]
     != c);
@@ -254,7 +261,7 @@ let test_label_escaping =
   let c = Obs.Counter.labeled "test.esc" kvs in
   Obs.Counter.incr c;
   check_bool "registered under the escaped name" true
-    (Obs.Counter.find name = Some c)
+    (match Obs.Counter.find name with Some c' -> c' == c | None -> false)
 
 (* Labeled series flow through snapshots as ordinary metrics with
    richer names, and the JSON round-trip preserves them — including a
@@ -408,6 +415,299 @@ let test_snapshot_json =
        Json.to_int);
   let spans = Option.bind (Json.member "spans" j) Json.to_list in
   check_int "span in snapshot" 1 (List.length (Option.get spans))
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_float = Alcotest.(check (float 0.))
+
+let test_gauge_basics =
+  with_obs @@ fun () ->
+  let g = Obs.Gauge.make "test.g.depth" in
+  check_float "starts at zero" 0. (Obs.Gauge.value g);
+  Obs.Gauge.set g 4.5;
+  check_float "set" 4.5 (Obs.Gauge.value g);
+  check_bool "make is idempotent" true (Obs.Gauge.make "test.g.depth" == g);
+  let tick = ref 0. in
+  let c = Obs.Gauge.collector "test.g.tick" (fun () -> !tick) in
+  tick := 7.;
+  check_float "collector samples at read" 7. (Obs.Gauge.value c);
+  let flaky_up = ref true in
+  let f =
+    Obs.Gauge.collector "test.g.flaky" (fun () ->
+        if !flaky_up then 3. else failwith "down")
+  in
+  check_float "collector while healthy" 3. (Obs.Gauge.value f);
+  flaky_up := false;
+  check_float "failing collector keeps last good sample" 3. (Obs.Gauge.value f);
+  (* Reset zeroes pushed gauges but keeps collector registrations. *)
+  Obs.reset ();
+  check_float "reset zeroes pushed" 0. (Obs.Gauge.value g);
+  check_float "reset keeps collectors" 7. (Obs.Gauge.value c);
+  Obs.disable ();
+  Obs.Gauge.set g 9.;
+  check_float "disabled set is a no-op" 0. (Obs.Gauge.value g)
+
+let test_gauge_sample_all_and_snapshot =
+  with_obs @@ fun () ->
+  Obs.Gauge.set (Obs.Gauge.make "test.g.a") 1.5;
+  let all = Obs.Gauge.sample_all () in
+  check_bool "sample_all sees the pushed gauge" true
+    (List.assoc_opt "test.g.a" all = Some 1.5);
+  check_bool "built-in GC collectors are registered" true
+    (List.mem_assoc "runtime.gc.minor_collections" all);
+  check_bool "live heap words are sampled" true
+    (match List.assoc_opt "runtime.gc.live_words" all with
+    | Some v -> v > 0.
+    | None -> false);
+  let snap = Obs.Snapshot.capture () in
+  check_bool "snapshot carries gauges" true
+    (List.assoc_opt "test.g.a" snap.Obs.Snapshot.gauges = Some 1.5);
+  (match
+     Result.bind
+       (Json.parse (Json.to_string (Obs.Snapshot.to_json snap)))
+       Obs.Snapshot.of_json
+   with
+  | Error m -> Alcotest.failf "gauge snapshot does not round-trip: %s" m
+  | Ok snap' ->
+      check_bool "gauge values survive the JSON round-trip" true
+        (snap'.Obs.Snapshot.gauges = snap.Obs.Snapshot.gauges));
+  (* Snapshots written before gauges existed still load. *)
+  match
+    Obs.Snapshot.of_json (Json.parse_exn {|{"counters": {}, "histograms": {}}|})
+  with
+  | Error m -> Alcotest.failf "pre-gauge snapshot rejected: %s" m
+  | Ok s ->
+      check_int "missing gauges key loads empty" 0
+        (List.length s.Obs.Snapshot.gauges)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded recording and the cardinality guard                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The sharded hot path must merge losslessly: four domains hammering
+   the same counter and histogram, no lock anywhere, exact totals after
+   the domains are joined. *)
+let test_sharded_exactness_across_domains =
+  with_obs @@ fun () ->
+  let c = Obs.Counter.make "test.shard.counter" in
+  let h = Obs.Histogram.make "test.shard.hist" in
+  let per_domain = 1000 in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Counter.incr c;
+              Obs.Histogram.observe_ns h (float_of_int i)
+            done))
+  in
+  List.iter Domain.join ds;
+  Obs.Counter.incr c;
+  check_int "no increment lost across 4 domains" ((4 * per_domain) + 1)
+    (Obs.Counter.value c);
+  check_int "histogram count exact" (4 * per_domain) (Obs.Histogram.count h);
+  let cum = Obs.Histogram.buckets h in
+  check_int "bucket totals exact" (4 * per_domain)
+    (snd (List.nth cum (List.length cum - 1)))
+
+(* Two domains racing to register the same (base, labels) must receive
+   the same series — the lost-update variant would silently split the
+   count across two registry entries. *)
+let test_labeled_registration_race =
+  with_obs @@ fun () ->
+  let per_domain = 500 in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let c = Obs.Counter.labeled "test.race" [ ("k", "v") ] in
+            for _ = 1 to per_domain do
+              Obs.Counter.incr c
+            done;
+            c))
+  in
+  let series = List.map Domain.join ds in
+  (match series with
+  | first :: rest ->
+      List.iter
+        (fun c -> check_bool "all domains got the same series" true (c == first))
+        rest
+  | [] -> assert false);
+  match Obs.Counter.find_labeled "test.race" [ ("k", "v") ] with
+  | None -> Alcotest.fail "raced series not registered"
+  | Some c ->
+      check_int "one series holds every increment" (4 * per_domain)
+        (Obs.Counter.value c)
+
+let test_cardinality_guard =
+  with_obs @@ fun () ->
+  let old = Obs.series_limit () in
+  Fun.protect ~finally:(fun () -> Obs.set_series_limit old) @@ fun () ->
+  Obs.set_series_limit 2;
+  let c1 = Obs.Counter.labeled "test.card" [ ("k", "a") ] in
+  let c2 = Obs.Counter.labeled "test.card" [ ("k", "b") ] in
+  let c3 = Obs.Counter.labeled "test.card" [ ("k", "c") ] in
+  let c4 = Obs.Counter.labeled "test.card" [ ("k", "d") ] in
+  check_bool "within budget: distinct series" true (c1 != c2);
+  check_bool "beyond budget: the overflow sink" true
+    (Obs.Counter.labels c3 = Obs.overflow_labels);
+  check_bool "every overflow registration shares the sink" true (c3 == c4);
+  check_bool "budgeted sets still resolve" true
+    (Obs.Counter.labeled "test.card" [ ("k", "a") ] == c1);
+  Obs.Counter.incr ~by:5 c3;
+  (match Obs.Counter.find_labeled "test.card" Obs.overflow_labels with
+  | Some s ->
+      check_bool "sink addressable explicitly" true (s == c3);
+      check_int "sink absorbs overflow increments" 5 (Obs.Counter.value s)
+  | None -> Alcotest.fail "overflow sink not registered");
+  (* The budget is per base name, and gauges share the guard. *)
+  check_bool "other bases unaffected" true
+    (Obs.Counter.labels (Obs.Counter.labeled "test.card2" [ ("k", "c") ])
+    <> Obs.overflow_labels);
+  let g3 =
+    List.map (fun v -> Obs.Gauge.labeled "test.cardg" [ ("k", v) ]) [ "a"; "b"; "c" ]
+    |> fun l -> List.nth l 2
+  in
+  check_bool "gauge overflow collapses too" true
+    (Obs.Gauge.labels g3 = Obs.overflow_labels)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact-text golden over a hand-built snapshot: family grouping and
+   ordering (counters, then gauges, then histograms, bases sorted),
+   label escaping, the [_total] suffix, [+Inf] bucket bound, HELP
+   wiring, and the trailing [# EOF]. *)
+let test_prometheus_golden () =
+  let labeled =
+    Obs.Labels.full_name "p.calls" [ ("q", {|say "hi"|}); ("r", {|a\b|}) ]
+  in
+  let snap =
+    {
+      Obs.Snapshot.counters = [ ("a.z", 1); ("p.calls", 2); (labeled, 3) ];
+      gauges =
+        [
+          ("g.depth", 4.5);
+          (Obs.Labels.full_name "g.util" [ ("domain", "0") ], 1.);
+        ];
+      histograms =
+        [
+          ( "h.lat",
+            {
+              Obs.Snapshot.count = 2;
+              sum_ns = 2600.5;
+              max_ns = 2000.;
+              buckets = [ (1000., 1); (infinity, 2) ];
+            } );
+        ];
+    }
+  in
+  let expected =
+    String.concat "\n"
+      [
+        {|# TYPE clarify_a_z_total counter|};
+        {|clarify_a_z_total 1|};
+        {|# HELP clarify_p_calls_total demo calls|};
+        {|# TYPE clarify_p_calls_total counter|};
+        {|clarify_p_calls_total 2|};
+        {|clarify_p_calls_total{q="say \"hi\"",r="a\\b"} 3|};
+        {|# TYPE clarify_g_depth gauge|};
+        {|clarify_g_depth 4.5|};
+        {|# TYPE clarify_g_util gauge|};
+        {|clarify_g_util{domain="0"} 1|};
+        {|# TYPE clarify_h_lat histogram|};
+        {|clarify_h_lat_bucket{le="1000"} 1|};
+        {|clarify_h_lat_bucket{le="+Inf"} 2|};
+        {|clarify_h_lat_sum 2600.5|};
+        {|clarify_h_lat_count 2|};
+        {|# EOF|};
+        "";
+      ]
+  in
+  Alcotest.(check string)
+    "exposition text" expected
+    (Obs.Snapshot.to_prometheus ~help:[ ("p.calls", "demo calls") ] snap)
+
+(* A captured snapshot's exposition parses back, and the parsed samples
+   agree with the snapshot's own values — the sanity loop behind
+   `clarify top`. *)
+let test_prometheus_scrape_roundtrip =
+  with_obs @@ fun () ->
+  Obs.Counter.incr ~by:7 (Obs.Counter.make "test.prt.calls");
+  Obs.Counter.incr ~by:3
+    (Obs.Counter.labeled "test.prt.calls" [ ("endpoint", "x") ]);
+  let h = Obs.Histogram.make "test.prt.lat" in
+  List.iter (Obs.Histogram.observe_ns h) [ 500.; 2e10 ];
+  let snap = Obs.Snapshot.capture () in
+  let text = Obs.Snapshot.to_prometheus ~help:(Obs.help_index ()) snap in
+  match Obs_serve.Scrape.parse text with
+  | Error m -> Alcotest.failf "exposition does not parse: %s" m
+  | Ok scrape ->
+      let value metric labels =
+        match
+          List.find_opt
+            (fun s ->
+              s.Obs_serve.Scrape.metric = metric
+              && s.Obs_serve.Scrape.labels = labels)
+            scrape.Obs_serve.Scrape.samples
+        with
+        | Some s -> s.Obs_serve.Scrape.value
+        | None -> Alcotest.failf "sample %s missing from scrape" metric
+      in
+      check_float "plain counter value" 7.
+        (value "clarify_test_prt_calls_total" []);
+      check_float "labeled counter value" 3.
+        (value "clarify_test_prt_calls_total" [ ("endpoint", "x") ]);
+      check_float "histogram count" 2. (value "clarify_test_prt_lat_count" []);
+      check_float "overflow bucket" 2.
+        (value "clarify_test_prt_lat_bucket" [ ("le", "+Inf") ]);
+      check_float "histogram sum" (2e10 +. 500.)
+        (value "clarify_test_prt_lat_sum" []);
+      Alcotest.(check (option string))
+        "counter TYPE declared" (Some "counter")
+        (List.assoc_opt "clarify_test_prt_calls_total"
+           scrape.Obs_serve.Scrape.types);
+      Alcotest.(check (option string))
+        "histogram TYPE declared" (Some "histogram")
+        (List.assoc_opt "clarify_test_prt_lat" scrape.Obs_serve.Scrape.types);
+      (* Every snapshot counter has a corresponding parsed sample. *)
+      check_bool "scrape covers the snapshot" true
+        (List.length scrape.Obs_serve.Scrape.samples
+        >= List.length snap.Obs.Snapshot.counters)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_metrics_server_smoke =
+  with_obs @@ fun () ->
+  Obs.Counter.incr ~by:2 (Obs.Counter.make "test.srv.hits");
+  match Obs_serve.Server.start ~port:0 () with
+  | Error m -> Alcotest.failf "server did not start: %s" m
+  | Ok server ->
+      Fun.protect ~finally:(fun () -> Obs_serve.Server.stop server)
+      @@ fun () ->
+      let port = Obs_serve.Server.port server in
+      check_bool "picked a real port" true (port > 0);
+      (match Obs_serve.Scrape.fetch ~port "/metrics" with
+      | Error m -> Alcotest.failf "fetch failed: %s" m
+      | Ok body -> (
+          check_bool "body carries the counter" true
+            (contains body "clarify_test_srv_hits_total 2");
+          check_bool "body carries a gauge family" true
+            (contains body "# TYPE clarify_runtime_gc_minor_collections gauge");
+          match Obs_serve.Scrape.parse body with
+          | Error m -> Alcotest.failf "served text does not parse: %s" m
+          | Ok scrape ->
+              check_bool "samples served" true
+                (scrape.Obs_serve.Scrape.samples <> [])));
+      (match Obs_serve.Scrape.fetch ~port "/nope" with
+      | Ok _ -> Alcotest.fail "unknown path should not answer 200"
+      | Error _ -> ());
+      (* stop is idempotent: the Fun.protect finalizer stops again. *)
+      Obs_serve.Server.stop server
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline integration                                               *)
@@ -619,6 +919,27 @@ let () =
             test_reset_determinism;
           Alcotest.test_case "jsonl sink partial write" `Quick
             test_jsonl_sink_partial_write;
+        ] );
+      ( "gauges",
+        [
+          Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
+          Alcotest.test_case "sample_all and snapshot" `Quick
+            test_gauge_sample_all_and_snapshot;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "exact across domains" `Quick
+            test_sharded_exactness_across_domains;
+          Alcotest.test_case "labeled registration race" `Quick
+            test_labeled_registration_race;
+          Alcotest.test_case "cardinality guard" `Quick test_cardinality_guard;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "golden text" `Quick test_prometheus_golden;
+          Alcotest.test_case "scrape round-trip" `Quick
+            test_prometheus_scrape_roundtrip;
+          Alcotest.test_case "metrics server" `Quick test_metrics_server_smoke;
         ] );
       ( "pipeline",
         [
