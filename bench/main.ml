@@ -561,6 +561,50 @@ let run_obs_overhead () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Fleet scaling: per-router synthesis cost must stay flat            *)
+(* ------------------------------------------------------------------ *)
+
+(* E5 at 64 and 256 routers with the configured pool. Per-router wall
+   must not grow with fleet size: the BDD manager is scratch per
+   router and the analytics fold is constant-memory, so there is no
+   shared state to congest. CI holds per-router@256 <= 1.25x
+   per-router@64 (min-of-3 each). *)
+let run_fleet_scaling () =
+  Format.printf "=== Fleet scaling: per-router cost vs fleet size ===@.";
+  let min_of = 3 in
+  let time routers =
+    let best = ref infinity in
+    let questions = ref 0 in
+    for _ = 1 to min_of do
+      let r, ns =
+        wall_ns (fun () -> Evaluation.E5_fleet.run ~pool ~routers ())
+      in
+      questions :=
+        List.fold_left
+          (fun a (x : Evaluation.E5_fleet.router_result) -> a + x.questions)
+          0 r.Evaluation.E5_fleet.results;
+      best := Float.min !best ns
+    done;
+    (!best, !questions)
+  in
+  let t64, q64 = time 64 in
+  let t256, q256 = time 256 in
+  let per64 = t64 /. 64. and per256 = t256 /. 256. in
+  Format.printf
+    "e5 fat-tree  64 routers %8.1f ms (%6.2f ms/router, %d questions)@."
+    (t64 /. 1e6) (per64 /. 1e6) q64;
+  Format.printf
+    "e5 fat-tree 256 routers %8.1f ms (%6.2f ms/router, %d questions)@."
+    (t256 /. 1e6) (per256 /. 1e6) q256;
+  Format.printf "per-router growth 64 -> 256: %.2fx@.@." (per256 /. per64);
+  [
+    ("fleet/e5-64", t64);
+    ("fleet/e5-256", t256);
+    ("fleet/per-router-64", per64);
+    ("fleet/per-router-256", per256);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -750,10 +794,11 @@ let () =
   let batch_timings = run_batch_comparison () in
   let parallel_timings = run_parallel_comparison () in
   let obs_timings = run_obs_overhead () in
+  let fleet_timings = run_fleet_scaling () in
   let timings = run_benchmarks () in
   Option.iter
     (fun path ->
       write_bench_json path
         (timings @ disambig_timings @ batch_timings @ parallel_timings
-       @ obs_timings))
+       @ obs_timings @ fleet_timings))
     json_out

@@ -472,8 +472,10 @@ let replay_cmd =
 (* Experiments (shared by `clarify eval` and `clarify obs serve`)      *)
 (* ------------------------------------------------------------------ *)
 
-(* e4 manages its own per-router logs; e1 records as one session. *)
-let run_experiments ?record_dir ?(scale = 1.0) ~pool fmt which =
+(* e4 and e5 manage their own per-router logs; e1 records as one
+   session. *)
+let run_experiments ?record_dir ?(scale = 1.0) ?(routers = 64)
+    ?(profile = Netgen.Fat_tree) ?(simulate = false) ~pool fmt which =
   let record_session name f =
     match record_dir with
     | None -> f ()
@@ -500,19 +502,33 @@ let run_experiments ?record_dir ?(scale = 1.0) ~pool fmt which =
         (campus ~scale ~pool ()))
   in
   let e4 () = Evaluation.E4_lightyear.(print fmt (run ?record_dir ~pool ())) in
+  let e5 () =
+    Evaluation.E5_fleet.(
+      print fmt (run ?record_dir ~pool ~simulate ~profile ~routers ()))
+  in
   match which with
   | `E1 -> e1 ()
   | `E2 -> e2 ()
   | `E3 -> e3 ()
   | `E4 -> e4 ()
+  | `E5 -> e5 ()
   | `All ->
+      (* e5 scales with --routers, so it is opted into explicitly
+         rather than riding along with the fixed-size experiments. *)
       e1 ();
       e2 ();
       e3 ();
       e4 ()
 
 let experiment_enum =
-  [ ("e1", `E1); ("e2", `E2); ("e3", `E3); ("e4", `E4); ("all", `All) ]
+  [
+    ("e1", `E1);
+    ("e2", `E2);
+    ("e3", `E3);
+    ("e4", `E4);
+    ("e5", `E5);
+    ("all", `All);
+  ]
 
 let obs_cmd =
   (* Plain strings, not Arg.file: a missing snapshot must exit 2 as the
@@ -633,7 +649,7 @@ let obs_cmd =
           let pool = Parallel.Pool.create ?domains:jobs () in
           (match which with
           | `Idle -> ()
-          | (`E1 | `E2 | `E3 | `E4 | `All) as w ->
+          | (`E1 | `E2 | `E3 | `E4 | `E5 | `All) as w ->
               run_experiments ~pool Format.std_formatter w);
           if linger || which = `Idle then begin
             Printf.eprintf "experiment done; still serving (Ctrl-C to stop)\n%!";
@@ -694,7 +710,17 @@ let top_cmd =
       & info [ "samples"; "n" ] ~docv:"N"
           ~doc:"Render N frames, then exit (default: until interrupted).")
   in
-  let run port host interval samples =
+  let fleet =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "Prepend a fleet pane built from the e5 fleet gauges: router \
+             progress bar, pending/running/done counts, stragglers, \
+             per-router wall p50/p99 with completion rate and ETA, and \
+             fleet-wide question/token/cost totals.")
+  in
+  let run port host interval samples fleet =
     let scrape () =
       match Obs_serve.Scrape.fetch ~host ~port "/metrics" with
       | Error e -> Error e
@@ -732,7 +758,16 @@ let top_cmd =
             else loop prev rendered (failures + 1)
         | Ok cur ->
             if clear then print_string "\x1b[2J\x1b[H";
-            print_string (Obs_serve.Top.render ~prev ~cur);
+            (* Token pricing lives in the LLM layer; obs_serve takes it
+               as a closure so it never depends on that library. *)
+            let cost_of_tokens ~prompt ~completion =
+              Some
+                (Llm.Tokens.cost
+                   ~prompt_tokens:(int_of_float prompt)
+                   ~completion_tokens:(int_of_float completion))
+            in
+            print_string
+              (Obs_serve.Top.render ~fleet ~cost_of_tokens ~prev ~cur ());
             flush stdout;
             loop cur (rendered + 1) 0
       end
@@ -752,7 +787,7 @@ let top_cmd =
            Cmd.Exit.info 1
              ~doc:"the first scrape failed, or five in a row did.";
          ])
-    Term.(const run $ port $ host $ interval $ samples)
+    Term.(const run $ port $ host $ interval $ samples $ fleet)
 
 (* ------------------------------------------------------------------ *)
 (* clarify trace                                                      *)
@@ -778,22 +813,24 @@ let trace_cmd =
           ~doc:"Write the trace JSON here instead of standard output.")
   in
   let export log output =
-    match Analytics.Session.load_file ~tolerant:true log with
-    | Error m ->
-        prerr_endline ("error: cannot load " ^ log ^ ": " ^ m);
-        exit 2
-    | Ok session ->
-        let trace =
-          Analytics.Trace.of_events ~process:session.Analytics.Session.name
-            session.Analytics.Session.events
-        in
-        let text = Json.to_string ~indent:1 trace ^ "\n" in
-        (match output with
-        | None -> print_string text
-        | Some path ->
-            let oc = open_out path in
-            output_string oc text;
-            close_out oc)
+    (* Streamed: one trace event written per log line, so a fleet-sized
+       log never has to fit in memory. *)
+    let write oc =
+      let process =
+        Filename.remove_extension (Filename.basename log)
+      in
+      let w = Analytics.Trace.Writer.create ~process oc in
+      match Analytics.Stream.iter_file log (Analytics.Trace.Writer.event w) with
+      | Error m ->
+          prerr_endline ("error: cannot load " ^ m);
+          exit 2
+      | Ok _ -> Analytics.Trace.Writer.close w
+    in
+    match output with
+    | None -> write stdout
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc)
   in
   let export_cmd =
     Cmd.v
@@ -836,28 +873,298 @@ let report_cmd =
             "Markdown output only: print just the Figure-4 table, without \
              the LLM usage section.")
   in
-  let run paths format figure4 =
-    match Analytics.Session.load ~tolerant:true paths with
-    | Error m ->
-        prerr_endline ("error: " ^ m);
-        exit 2
-    | Ok sessions ->
-        let report = Analytics.Report.of_sessions sessions in
-        print_string
-          (match format with
-          | `Md when figure4 -> Analytics.Report.figure4_markdown report
-          | `Md -> Analytics.Report.to_markdown report
-          | `Json ->
-              Json.to_string ~indent:2 (Analytics.Report.to_json report) ^ "\n"
-          | `Csv -> Analytics.Report.to_csv report)
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow"; "f" ]
+          ~doc:
+            "Tail-follow one directory of live logs and re-render the \
+             report every $(b,--interval) seconds, folding only the bytes \
+             appended since the previous frame (constant memory per log). \
+             Watches for new *.jsonl files on every frame, so a fleet run \
+             can be followed from before its first router starts.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval"; "i" ] ~docv:"SECONDS"
+          ~doc:"Seconds between $(b,--follow) frames.")
+  in
+  let frames =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "frames" ] ~docv:"N"
+          ~doc:
+            "With $(b,--follow): render N frames, then exit (default: \
+             until interrupted).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the one-shot fold (one log per task). \
+             Defaults to $(b,CLARIFY_JOBS), or 1. Output is byte-identical \
+             at every value.")
+  in
+  let run paths format figure4 follow interval frames jobs =
+    let print_report report =
+      print_string
+        (match format with
+        | `Md when figure4 -> Analytics.Report.figure4_markdown report
+        | `Md -> Analytics.Report.to_markdown report
+        | `Json ->
+            Json.to_string ~indent:2 (Analytics.Report.to_json report) ^ "\n"
+        | `Csv -> Analytics.Report.to_csv report)
+    in
+    if follow then begin
+      let dir =
+        match paths with
+        | [ dir ] when Sys.file_exists dir && Sys.is_directory dir -> dir
+        | _ ->
+            prerr_endline "error: --follow takes exactly one directory";
+            exit 2
+      in
+      let d = Analytics.Stream.open_dir dir in
+      let clear = Unix.isatty Unix.stdout in
+      let rec loop n =
+        ignore (Analytics.Stream.poll d);
+        if clear then print_string "\x1b[2J\x1b[H";
+        print_report (Analytics.Stream.report_of_dir d);
+        List.iter
+          (fun f ->
+            match Analytics.Stream.file_error f with
+            | Some e ->
+                Printf.eprintf "warn: %s: %s\n%!"
+                  (Analytics.Stream.file_path f) e
+            | None -> ())
+          (Analytics.Stream.files d);
+        flush stdout;
+        if match frames with Some k -> n + 1 < k | None -> true then begin
+          Unix.sleepf interval;
+          loop (n + 1)
+        end
+      in
+      loop 0
+    end
+    else
+      (* One-shot: the same streaming fold, sharded across a pool (one
+         log per task); merge order is input order, so the output is
+         byte-identical at every pool size — and to --follow's final
+         frame over the same (complete) logs. *)
+      let pool = Parallel.Pool.create ?domains:jobs () in
+      match Analytics.Stream.report_paths ~pool paths with
+      | Error m ->
+          prerr_endline ("error: " ^ m);
+          exit 2
+      | Ok report -> print_report report
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Aggregate recorded session logs into per-router statistics \
           (the paper's Figure 4: stanzas, questions, retries, LLM calls, \
-          token totals) as Markdown, JSON or CSV.")
-    Term.(const run $ paths $ format $ figure4)
+          token totals) as Markdown, JSON or CSV — one-shot over complete \
+          logs, or live with $(b,--follow) while a fleet is still \
+          running.")
+    Term.(
+      const run $ paths $ format $ figure4 $ follow $ interval $ frames
+      $ jobs)
+
+(* ------------------------------------------------------------------ *)
+(* clarify fleet                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "Record directory of a $(b,clarify eval e5 --record-dir) run: \
+             holds fleet.json and one e5_ROUTER.jsonl log per router.")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow"; "f" ]
+          ~doc:
+            "Keep re-rendering every $(b,--interval) seconds as the logs \
+             grow (Ctrl-C to stop).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval"; "i" ] ~docv:"SECONDS"
+          ~doc:"Seconds between $(b,--follow) frames.")
+  in
+  let frames =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "frames" ] ~docv:"N"
+          ~doc:
+            "With $(b,--follow): render N frames, then exit (default: \
+             until interrupted).")
+  in
+  let pp_ms ns = Printf.sprintf "%.1fms" (ns /. 1e6) in
+  let percentile sorted p =
+    match Array.length sorted with
+    | 0 -> 0.
+    | n ->
+        let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+        sorted.(max 0 (min (n - 1) idx))
+  in
+  let status dir follow interval frames =
+    let manifest_path = Filename.concat dir "fleet.json" in
+    let manifest =
+      match
+        if Sys.file_exists manifest_path then read_file manifest_path
+        else (
+          Printf.eprintf
+            "error: %s: no fleet.json manifest (is this a clarify eval e5 \
+             --record-dir directory?)\n"
+            dir;
+          exit 2)
+      with
+      | text -> (
+          match Json.parse text with
+          | Ok j -> j
+          | Error m ->
+              Printf.eprintf "error: %s: %s\n" manifest_path m;
+              exit 2)
+    in
+    let str name j = Option.bind (Json.member name j) Json.to_str in
+    let int name j = Option.bind (Json.member name j) Json.to_int in
+    let prefix = Option.value ~default:"e5_" (str "log_prefix" manifest) in
+    let profile = Option.value ~default:"?" (str "profile" manifest) in
+    let k = Option.value ~default:0 (int "k" manifest) in
+    let pods = Option.value ~default:0 (int "pods" manifest) in
+    let nodes =
+      match Option.bind (Json.member "nodes" manifest) Json.to_list with
+      | Some l ->
+          List.filter_map
+            (fun n ->
+              match (str "router" n, str "role" n, int "steps" n) with
+              | Some router, Some role, Some steps -> Some (router, role, steps)
+              | _ -> None)
+            l
+      | None -> []
+    in
+    if nodes = [] then begin
+      Printf.eprintf "error: %s: manifest lists no routers\n" manifest_path;
+      exit 2
+    end;
+    let d = Analytics.Stream.open_dir dir in
+    let render () =
+      ignore (Analytics.Stream.poll d);
+      let by_name =
+        List.map
+          (fun f -> (Analytics.Stream.file_name f, f))
+          (Analytics.Stream.files d)
+      in
+      let b = Buffer.create 4096 in
+      Printf.bprintf b "fleet %s — %s, %d routers (k=%d, pods=%d)\n\n" dir
+        profile (List.length nodes) k pods;
+      Printf.bprintf b "%-12s %-12s %-8s %9s %5s %8s %10s %10s\n" "ROUTER"
+        "ROLE" "PHASE" "STANZAS" "Q" "TOKENS" "COST" "WALL";
+      let pending = ref 0
+      and running = ref 0
+      and done_ = ref 0
+      and errors = ref 0 in
+      let walls = ref [] in
+      let questions = ref 0
+      and tokens = ref 0
+      and cost = ref 0. in
+      List.iter
+        (fun (router, role, steps) ->
+          match List.assoc_opt (prefix ^ router) by_name with
+          | None ->
+              incr pending;
+              Printf.bprintf b "%-12s %-12s %-8s %5d/%-3d %5s %8s %10s %10s\n"
+                router role "pending" 0 steps "-" "-" "-" "-"
+          | Some f ->
+              let stats =
+                Analytics.Report.Acc.finish ~router
+                  (Analytics.Stream.file_acc f)
+              in
+              let open Analytics.Report in
+              let phase, wall =
+                match Analytics.Stream.file_error f with
+                | Some _ ->
+                    incr errors;
+                    ("error", "-")
+                | None -> (
+                    match stats.fleet with
+                    | Some fl when fl.completed ->
+                        incr done_;
+                        walls := fl.wall_ns :: !walls;
+                        ("done", pp_ms fl.wall_ns)
+                    | _ ->
+                        incr running;
+                        ("running", "-"))
+              in
+              let toks = stats.prompt_tokens + stats.completion_tokens in
+              questions := !questions + stats.questions;
+              tokens := !tokens + toks;
+              cost := !cost +. stats.cost_usd;
+              Printf.bprintf b
+                "%-12s %-12s %-8s %5d/%-3d %5d %8d %10s %10s\n" router role
+                phase stats.stanzas steps stats.questions toks
+                (Printf.sprintf "$%.4f" stats.cost_usd)
+                wall)
+        nodes;
+      Printf.bprintf b "\npending %d  running %d  done %d/%d%s\n" !pending
+        !running !done_ (List.length nodes)
+        (if !errors > 0 then Printf.sprintf "  errors %d" !errors else "");
+      (if !walls <> [] then
+         let arr = Array.of_list !walls in
+         let () = Array.sort compare arr in
+         Printf.bprintf b
+           "router wall (done routers): p50 %s  p99 %s  max %s\n"
+           (pp_ms (percentile arr 50.))
+           (pp_ms (percentile arr 99.))
+           (pp_ms (percentile arr 100.)));
+      Printf.bprintf b "questions %d  tokens %d (~$%.4f)\n" !questions !tokens
+        !cost;
+      Buffer.contents b
+    in
+    let clear = follow && Unix.isatty Unix.stdout in
+    let rec loop n =
+      if clear then print_string "\x1b[2J\x1b[H";
+      print_string (render ());
+      flush stdout;
+      if follow && match frames with Some f -> n + 1 < f | None -> true
+      then begin
+        Unix.sleepf interval;
+        loop (n + 1)
+      end
+    in
+    loop 0
+  in
+  let status_cmd =
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:
+           "Per-router fleet progress from a $(b,clarify eval e5) record \
+            directory: phase (pending/running/done), stanzas placed vs \
+            planned, questions, token usage and wall time per router, with \
+            straggler percentiles — live with $(b,--follow). Reads the \
+            fleet.json manifest, so routers whose logs do not exist yet \
+            show as pending."
+         ~exits:
+           [
+             Cmd.Exit.info 0 ~doc:"status rendered.";
+             Cmd.Exit.info 2 ~doc:"the manifest is missing or malformed.";
+           ])
+      Term.(const status $ dir_arg $ follow $ interval $ frames)
+  in
+  Cmd.group
+    (Cmd.info "fleet" ~doc:"Watch fleet-scale (e5) synthesis runs.")
+    [ status_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* clarify audit                                                      *)
@@ -957,7 +1264,11 @@ let eval_cmd =
     Arg.(
       value
       & pos 0 (enum experiment_enum) `All
-      & info [] ~docv:"EXPERIMENT" ~doc:"One of e1, e2, e3, e4, all.")
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "One of e1, e2, e3, e4, e5, all. $(b,all) covers the paper's \
+             fixed-size experiments (e1-e4); the e5 fleet scales with \
+             $(b,--routers), so it is requested explicitly.")
   in
   let scale =
     Arg.(
@@ -973,8 +1284,39 @@ let eval_cmd =
           ~doc:
             "Record session logs into $(docv) (created if missing): one \
              JSONL file per experiment session (e1.jsonl, e4_M.jsonl, \
-             e4_R1.jsonl, e4_R2.jsonl) that $(b,clarify report) aggregates \
-             and $(b,clarify trace export) visualizes.")
+             e4_R1.jsonl, e4_R2.jsonl; e5 writes fleet.json plus one \
+             e5_ROUTER.jsonl per router) that $(b,clarify report) \
+             aggregates, $(b,clarify fleet status) watches and \
+             $(b,clarify trace export) visualizes.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt
+          (enum [ ("fat-tree", Netgen.Fat_tree); ("wan", Netgen.Wan) ])
+          Netgen.Fat_tree
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:
+            "Topology profile for the e5 fleet: $(b,fat-tree) (data-center \
+             Clos) or $(b,wan) (Abilene-style backbone with attached \
+             sites).")
+  in
+  let routers =
+    Arg.(
+      value & opt int 64
+      & info [ "routers" ] ~docv:"N"
+          ~doc:
+            "Fleet size for e5: the number of internal routers to generate \
+             and synthesize policy for.")
+  in
+  let simulate =
+    Arg.(
+      value & flag
+      & info [ "simulate" ]
+          ~doc:
+            "e5 only: after synthesis, install every router's configuration \
+             into the generated topology, run the BGP simulation to \
+             convergence and print the network-wide policy checks.")
   in
   let jobs =
     Arg.(
@@ -987,7 +1329,7 @@ let eval_cmd =
              1 (serial). Results are identical at every value; only \
              wall-clock changes.")
   in
-  let run which scale record_dir jobs obs =
+  let run which scale record_dir jobs profile routers simulate obs =
     with_obs obs @@ fun () ->
     let pool = Parallel.Pool.create ?domains:jobs () in
     (match record_dir with
@@ -997,11 +1339,14 @@ let eval_cmd =
         (* Recorded sessions carry their timing tree (span events). *)
         Obs.enable ();
         Obs.add_sink (Telemetry.span_sink ()));
-    run_experiments ?record_dir ~scale ~pool Format.std_formatter which
+    run_experiments ?record_dir ~scale ~profile ~routers ~simulate ~pool
+      Format.std_formatter which
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Regenerate the paper's experiments.")
-    Term.(const run $ which $ scale $ record_dir $ jobs $ obs_term)
+    Term.(
+      const run $ which $ scale $ record_dir $ jobs $ profile $ routers
+      $ simulate $ obs_term)
 
 let () =
   let doc = "LLM-based incremental network-configuration synthesis with intent disambiguation" in
@@ -1016,6 +1361,7 @@ let () =
             top_cmd;
             trace_cmd;
             report_cmd;
+            fleet_cmd;
             audit_cmd;
             verify_cmd;
             eval_cmd;

@@ -9,6 +9,13 @@ module E = Telemetry.Event
 
 type phase = { phase : string; total_ns : float; count : int }
 
+type fleet_info = {
+  role : string; (* netgen role recorded by the E5 fleet_router event *)
+  steps_planned : int;
+  completed : bool; (* a fleet_router_done event was seen *)
+  wall_ns : float; (* from fleet_router_done; 0 until completed *)
+}
+
 type router_stats = {
   router : string;
   sessions : int; (* session_start events *)
@@ -32,6 +39,7 @@ type router_stats = {
   batch_fast_path : int; (* batch items placed without recompiling *)
   batch_questions_saved : int; (* batch_cache_hit events *)
   gauges : (string * float) list; (* last "gauges" event; JSON only *)
+  fleet : fleet_info option; (* E5 fleet runs only; JSON only *)
 }
 
 type t = { routers : router_stats list }
@@ -51,162 +59,368 @@ let phase_of_span e =
       Some (List.nth segs (List.length segs - 1))
   | _ -> None
 
-let stats_of_events ~router events =
-  let count k = List.length (List.filter (fun e -> e.E.kind = k) events) in
-  let sum_int k field =
-    List.fold_left
-      (fun acc e ->
-        if e.E.kind = k then
-          acc + Option.value ~default:0 (E.int_field field e)
-        else acc)
-      0 events
-  in
-  let targets =
-    List.filter_map
-      (fun e ->
-        if e.E.kind = "session_start" then E.str_field "target" e else None)
-      events
-    |> List.sort_uniq String.compare
-  in
-  let retries =
-    List.length
-      (List.filter
-         (fun e ->
-           e.E.kind = "verify" && E.str_field "verdict" e <> Some "verified")
-         events)
-  in
-  let prompt_tokens =
-    sum_int "llm_classify" "prompt_tokens"
-    + sum_int "llm_synthesize" "prompt_tokens"
-    + sum_int "llm_spec" "prompt_tokens"
-  in
-  let completion_tokens =
-    sum_int "llm_classify" "completion_tokens"
-    + sum_int "llm_synthesize" "completion_tokens"
-    + sum_int "llm_spec" "completion_tokens"
-  in
-  (* Wall time inside boundary discovery, summed over every
-     find_boundaries span regardless of depth (the disambiguators emit
-     one per sweep). Like the phase timings, nondeterministic, so
-     JSON-only. *)
-  let boundary_ns =
-    List.fold_left
-      (fun acc e ->
-        if e.E.kind <> "span" then acc
-        else
-          match (E.str_field "path" e, E.field "duration_ns" e) with
-          | Some path, Some (Json.Float f)
-            when String.ends_with ~suffix:"find_boundaries" path ->
-              acc +. f
-          | Some path, Some (Json.Int i)
-            when String.ends_with ~suffix:"find_boundaries" path ->
-              acc +. float_of_int i
-          | _ -> acc)
-      0. events
-  in
-  let phases =
-    List.fold_left
-      (fun acc e ->
-        if e.E.kind <> "span" then acc
-        else
-          match (phase_of_span e, E.field "duration_ns" e) with
-          | Some name, Some ((Json.Float _ | Json.Int _) as jd) ->
-              let d =
-                match jd with
-                | Json.Float f -> f
-                | Json.Int i -> float_of_int i
-                | _ -> 0.
-              in
-              let cur =
-                Option.value ~default:{ phase = name; total_ns = 0.; count = 0 }
-                  (List.assoc_opt name acc)
-              in
-              (name,
-               { cur with total_ns = cur.total_ns +. d; count = cur.count + 1 })
-              :: List.remove_assoc name acc
-          | _ -> acc)
-      [] events
-    |> List.map snd
-    |> List.sort (fun a b -> String.compare a.phase b.phase)
-  in
-  let batch_sessions =
-    List.length
-      (List.filter
-         (fun e ->
-           e.E.kind = "session_start"
-           && E.str_field "pipeline" e = Some "batch")
-         events)
-  in
-  let batch_fast_path =
-    List.length
-      (List.filter
-         (fun e ->
-           e.E.kind = "batch_item"
-           && E.field "fast_path" e = Some (Json.Bool true))
-         events)
-  in
-  (* Runtime state sampled when the session closed; the last gauges
-     event wins when several sessions merge into one router row. Like
-     the phase timings, nondeterministic, so JSON-only. *)
-  let gauges =
-    List.fold_left
-      (fun acc e ->
-        if e.E.kind <> "gauges" then acc
-        else
-          List.filter_map
-            (fun (n, v) ->
-              match v with
-              | Json.Float f -> Some (n, f)
-              | Json.Int i -> Some (n, float_of_int i)
-              | _ -> None)
-            e.E.fields)
-      [] events
-  in
-  {
-    router;
-    sessions = count "session_start";
-    route_maps = List.length targets;
-    stanzas = count "placement";
-    questions = count "question";
-    probes = count "probe";
-    boundaries = sum_int "placement" "boundaries";
-    retries;
-    classify_calls = count "llm_classify";
-    synthesize_calls = count "llm_synthesize";
-    spec_calls = count "llm_spec";
-    prompt_tokens;
-    completion_tokens;
-    cost_usd = Llm.Tokens.cost ~prompt_tokens ~completion_tokens;
-    phases;
-    boundary_ns;
-    batch_sessions;
-    batch_intents = sum_int "batch_plan" "intents";
-    batch_conflict_pairs = sum_int "batch_plan" "conflict_pairs";
-    batch_fast_path;
-    batch_questions_saved = count "batch_cache_hit";
-    gauges;
+(* ------------------------------------------------------------------ *)
+(* The incremental accumulator: everything in router_stats, folded one
+   event at a time in constant space. [add] consumes events in log
+   order; [merge] combines two accumulators whose event ranges are
+   ordered left-before-right, and is associative, so a pooled fold over
+   file shards finishes byte-identically to a serial fold. Streaming
+   (Stream) and batch (of_sessions) reports share this fold, which is
+   what makes them byte-for-byte interchangeable.                      *)
+(* ------------------------------------------------------------------ *)
+
+module Acc = struct
+  type t = {
+    events : int;
+    sessions : int;
+    targets : string list; (* sorted, deduplicated *)
+    stanzas : int;
+    questions : int;
+    probes : int;
+    boundaries : int;
+    retries : int;
+    classify : int;
+    synthesize : int;
+    spec : int;
+    prompt_tokens : int;
+    completion_tokens : int;
+    phases : (string * phase) list; (* keyed assoc, order irrelevant *)
+    boundary_ns : float;
+    batch_sessions : int;
+    batch_intents : int;
+    batch_conflict_pairs : int;
+    batch_fast_path : int;
+    batch_questions_saved : int;
+    gauges : (string * float) list;
+    gauges_seen : bool; (* so merge can make the LAST gauges event win *)
+    ctx_router : string option; (* first ctx "router" label *)
+    fleet_role : string option; (* E5 fleet_router event *)
+    fleet_steps : int;
+    fleet_done : bool;
+    fleet_wall_ns : float;
+    last_ts_ns : float;
+    last_kind : string option;
   }
 
-(* Sessions for the same router (one log per policy step, say) merge
-   into one row; rows sort by router name so output order never depends
-   on argument or readdir order. *)
-let of_sessions sessions =
+  let empty =
+    {
+      events = 0;
+      sessions = 0;
+      targets = [];
+      stanzas = 0;
+      questions = 0;
+      probes = 0;
+      boundaries = 0;
+      retries = 0;
+      classify = 0;
+      synthesize = 0;
+      spec = 0;
+      prompt_tokens = 0;
+      completion_tokens = 0;
+      phases = [];
+      boundary_ns = 0.;
+      batch_sessions = 0;
+      batch_intents = 0;
+      batch_conflict_pairs = 0;
+      batch_fast_path = 0;
+      batch_questions_saved = 0;
+      gauges = [];
+      gauges_seen = false;
+      ctx_router = None;
+      fleet_role = None;
+      fleet_steps = 0;
+      fleet_done = false;
+      fleet_wall_ns = 0.;
+      last_ts_ns = 0.;
+      last_kind = None;
+    }
+
+  let duration_ns e =
+    match E.field "duration_ns" e with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+
+  let insert_target targets t =
+    (* Sorted insertion keeps the set small (distinct route-maps per
+       router) and the representation canonical for merge. *)
+    let rec go = function
+      | [] -> [ t ]
+      | x :: rest as l ->
+          let c = String.compare t x in
+          if c < 0 then t :: l else if c = 0 then l else x :: go rest
+    in
+    go targets
+
+  let int_field f e = Option.value ~default:0 (E.int_field f e)
+
+  let add acc e =
+    let acc =
+      {
+        acc with
+        events = acc.events + 1;
+        last_ts_ns = Float.max acc.last_ts_ns e.E.ts_ns;
+        last_kind = Some e.E.kind;
+        ctx_router =
+          (match acc.ctx_router with
+          | Some _ as r -> r
+          | None -> List.assoc_opt "router" e.E.ctx);
+      }
+    in
+    match e.E.kind with
+    | "session_start" ->
+        let acc =
+          match E.str_field "target" e with
+          | Some t -> { acc with targets = insert_target acc.targets t }
+          | None -> acc
+        in
+        let batch =
+          if E.str_field "pipeline" e = Some "batch" then 1 else 0
+        in
+        {
+          acc with
+          sessions = acc.sessions + 1;
+          batch_sessions = acc.batch_sessions + batch;
+        }
+    | "placement" ->
+        {
+          acc with
+          stanzas = acc.stanzas + 1;
+          boundaries = acc.boundaries + int_field "boundaries" e;
+        }
+    | "question" -> { acc with questions = acc.questions + 1 }
+    | "probe" -> { acc with probes = acc.probes + 1 }
+    | "verify" ->
+        if E.str_field "verdict" e <> Some "verified" then
+          { acc with retries = acc.retries + 1 }
+        else acc
+    | "llm_classify" ->
+        {
+          acc with
+          classify = acc.classify + 1;
+          prompt_tokens = acc.prompt_tokens + int_field "prompt_tokens" e;
+          completion_tokens =
+            acc.completion_tokens + int_field "completion_tokens" e;
+        }
+    | "llm_synthesize" ->
+        {
+          acc with
+          synthesize = acc.synthesize + 1;
+          prompt_tokens = acc.prompt_tokens + int_field "prompt_tokens" e;
+          completion_tokens =
+            acc.completion_tokens + int_field "completion_tokens" e;
+        }
+    | "llm_spec" ->
+        {
+          acc with
+          spec = acc.spec + 1;
+          prompt_tokens = acc.prompt_tokens + int_field "prompt_tokens" e;
+          completion_tokens =
+            acc.completion_tokens + int_field "completion_tokens" e;
+        }
+    | "span" ->
+        let acc =
+          match (E.str_field "path" e, duration_ns e) with
+          | Some path, Some d
+            when String.ends_with ~suffix:"find_boundaries" path ->
+              { acc with boundary_ns = acc.boundary_ns +. d }
+          | _ -> acc
+        in
+        (match (phase_of_span e, duration_ns e) with
+        | Some name, Some d ->
+            let cur =
+              Option.value
+                ~default:{ phase = name; total_ns = 0.; count = 0 }
+                (List.assoc_opt name acc.phases)
+            in
+            {
+              acc with
+              phases =
+                ( name,
+                  {
+                    cur with
+                    total_ns = cur.total_ns +. d;
+                    count = cur.count + 1;
+                  } )
+                :: List.remove_assoc name acc.phases;
+            }
+        | _ -> acc)
+    | "batch_plan" ->
+        {
+          acc with
+          batch_intents = acc.batch_intents + int_field "intents" e;
+          batch_conflict_pairs =
+            acc.batch_conflict_pairs + int_field "conflict_pairs" e;
+        }
+    | "batch_item" ->
+        if E.field "fast_path" e = Some (Json.Bool true) then
+          { acc with batch_fast_path = acc.batch_fast_path + 1 }
+        else acc
+    | "batch_cache_hit" ->
+        { acc with batch_questions_saved = acc.batch_questions_saved + 1 }
+    | "gauges" ->
+        (* Runtime state sampled when the session closed; the last
+           gauges event wins when several sessions merge into one
+           router row. JSON-only, like the phase timings. *)
+        {
+          acc with
+          gauges_seen = true;
+          gauges =
+            List.filter_map
+              (fun (n, v) ->
+                match v with
+                | Json.Float f -> Some (n, f)
+                | Json.Int i -> Some (n, float_of_int i)
+                | _ -> None)
+              e.E.fields;
+        }
+    | "fleet_router" ->
+        {
+          acc with
+          fleet_role = Some (Option.value ~default:"" (E.str_field "role" e));
+          fleet_steps = int_field "steps" e;
+        }
+    | "fleet_router_done" ->
+        let wall =
+          match E.field "wall_ns" e with
+          | Some (Json.Float f) -> f
+          | Some (Json.Int i) -> float_of_int i
+          | _ -> 0.
+        in
+        { acc with fleet_done = true; fleet_wall_ns = wall }
+    | _ -> acc
+
+  (* [merge a b] where a's events precede b's. *)
+  let merge a b =
+    let merge_phases pa pb =
+      List.fold_left
+        (fun acc (name, (p : phase)) ->
+          let cur =
+            Option.value ~default:{ phase = name; total_ns = 0.; count = 0 }
+              (List.assoc_opt name acc)
+          in
+          ( name,
+            {
+              cur with
+              total_ns = cur.total_ns +. p.total_ns;
+              count = cur.count + p.count;
+            } )
+          :: List.remove_assoc name acc)
+        pa pb
+    in
+    let merge_targets ta tb = List.fold_left insert_target ta tb in
+    {
+      events = a.events + b.events;
+      sessions = a.sessions + b.sessions;
+      targets = merge_targets a.targets b.targets;
+      stanzas = a.stanzas + b.stanzas;
+      questions = a.questions + b.questions;
+      probes = a.probes + b.probes;
+      boundaries = a.boundaries + b.boundaries;
+      retries = a.retries + b.retries;
+      classify = a.classify + b.classify;
+      synthesize = a.synthesize + b.synthesize;
+      spec = a.spec + b.spec;
+      prompt_tokens = a.prompt_tokens + b.prompt_tokens;
+      completion_tokens = a.completion_tokens + b.completion_tokens;
+      phases = merge_phases a.phases b.phases;
+      boundary_ns = a.boundary_ns +. b.boundary_ns;
+      batch_sessions = a.batch_sessions + b.batch_sessions;
+      batch_intents = a.batch_intents + b.batch_intents;
+      batch_conflict_pairs = a.batch_conflict_pairs + b.batch_conflict_pairs;
+      batch_fast_path = a.batch_fast_path + b.batch_fast_path;
+      batch_questions_saved =
+        a.batch_questions_saved + b.batch_questions_saved;
+      gauges = (if b.gauges_seen then b.gauges else a.gauges);
+      gauges_seen = a.gauges_seen || b.gauges_seen;
+      ctx_router = (match a.ctx_router with Some _ -> a.ctx_router | None -> b.ctx_router);
+      fleet_role = (match a.fleet_role with Some _ -> a.fleet_role | None -> b.fleet_role);
+      fleet_steps = max a.fleet_steps b.fleet_steps;
+      fleet_done = a.fleet_done || b.fleet_done;
+      fleet_wall_ns = Float.max a.fleet_wall_ns b.fleet_wall_ns;
+      last_ts_ns = Float.max a.last_ts_ns b.last_ts_ns;
+      last_kind = (match b.last_kind with Some _ -> b.last_kind | None -> a.last_kind);
+    }
+
+  let router_label acc = acc.ctx_router
+  let events acc = acc.events
+  let last_ts_ns acc = acc.last_ts_ns
+  let last_kind acc = acc.last_kind
+  let questions acc = acc.questions
+  let stanzas acc = acc.stanzas
+
+  let finish ~router acc =
+    {
+      router;
+      sessions = acc.sessions;
+      route_maps = List.length acc.targets;
+      stanzas = acc.stanzas;
+      questions = acc.questions;
+      probes = acc.probes;
+      boundaries = acc.boundaries;
+      retries = acc.retries;
+      classify_calls = acc.classify;
+      synthesize_calls = acc.synthesize;
+      spec_calls = acc.spec;
+      prompt_tokens = acc.prompt_tokens;
+      completion_tokens = acc.completion_tokens;
+      cost_usd =
+        Llm.Tokens.cost ~prompt_tokens:acc.prompt_tokens
+          ~completion_tokens:acc.completion_tokens;
+      phases =
+        List.map snd acc.phases
+        |> List.sort (fun a b -> String.compare a.phase b.phase);
+      boundary_ns = acc.boundary_ns;
+      batch_sessions = acc.batch_sessions;
+      batch_intents = acc.batch_intents;
+      batch_conflict_pairs = acc.batch_conflict_pairs;
+      batch_fast_path = acc.batch_fast_path;
+      batch_questions_saved = acc.batch_questions_saved;
+      gauges = acc.gauges;
+      fleet =
+        (match acc.fleet_role with
+        | None -> None
+        | Some role ->
+            Some
+              {
+                role;
+                steps_planned = acc.fleet_steps;
+                completed = acc.fleet_done;
+                wall_ns = acc.fleet_wall_ns;
+              });
+    }
+
+  let of_events events = List.fold_left add empty events
+end
+
+(* Accumulators for the same router (one log per policy step, say)
+   merge into one row in input order; rows sort by router name so
+   output order never depends on argument or readdir order. *)
+let of_accs named =
+  let order = ref [] in
   let groups = Hashtbl.create 8 in
   List.iter
-    (fun s ->
-      let r = Session.router s in
-      let prev = Option.value ~default:[] (Hashtbl.find_opt groups r) in
-      Hashtbl.replace groups r (prev @ [ s ]))
-    sessions;
+    (fun (fallback, acc) ->
+      let r = Option.value ~default:fallback (Acc.router_label acc) in
+      (match Hashtbl.find_opt groups r with
+      | None ->
+          order := r :: !order;
+          Hashtbl.replace groups r acc
+      | Some prev -> Hashtbl.replace groups r (Acc.merge prev acc)))
+    named;
   let routers =
-    Hashtbl.fold
-      (fun router ss acc ->
-        let events = List.concat_map (fun s -> s.Session.events) ss in
-        stats_of_events ~router events :: acc)
-      groups []
+    List.rev_map
+      (fun router -> Acc.finish ~router (Hashtbl.find groups router))
+      !order
     |> List.sort (fun a b -> String.compare a.router b.router)
   in
   { routers }
+
+let of_sessions sessions =
+  of_accs
+    (List.map
+       (fun s -> (s.Session.name, Acc.of_events s.Session.events))
+       sessions)
 
 (* ------------------------------------------------------------------ *)
 (* Renderings                                                         *)
@@ -325,6 +539,17 @@ let to_json t =
                    ( "gauges",
                      Json.Obj
                        (List.map (fun (n, v) -> (n, Json.Float v)) s.gauges) );
+                   ( "fleet",
+                     match s.fleet with
+                     | None -> Json.Null
+                     | Some f ->
+                         Json.Obj
+                           [
+                             ("role", Json.String f.role);
+                             ("steps_planned", Json.Int f.steps_planned);
+                             ("completed", Json.Bool f.completed);
+                             ("wall_ns", Json.Float f.wall_ns);
+                           ] );
                    ( "phases",
                      Json.List
                        (List.map

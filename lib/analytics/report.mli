@@ -8,6 +8,13 @@
 
 type phase = { phase : string; total_ns : float; count : int }
 
+type fleet_info = {
+  role : string; (* netgen role recorded by the E5 fleet_router event *)
+  steps_planned : int;
+  completed : bool; (* a fleet_router_done event was seen *)
+  wall_ns : float; (* from fleet_router_done; 0 until completed *)
+}
+
 type router_stats = {
   router : string;
   sessions : int; (* session_start events *)
@@ -44,12 +51,48 @@ type router_stats = {
       (* the last "gauges" event of the router's sessions: point-in-time
          runtime state (GC pressure, BDD manager sizes, pool occupancy)
          sampled when the session closed; JSON rendering only *)
+  fleet : fleet_info option;
+      (* per-router progress from an E5 fleet run (fleet_router /
+         fleet_router_done events); JSON rendering only *)
 }
 
 type t = { routers : router_stats list }
 
+(** The incremental per-router accumulator behind every report.
+
+    [add] folds one event in constant space; [merge a b] combines two
+    accumulators whose event ranges are ordered a-before-b and is
+    associative, so a pooled fold over file shards finishes
+    byte-identically to a serial fold. {!of_sessions} and the streaming
+    reader ({!Stream}) both go through this fold, which is what makes
+    batch and streaming reports byte-for-byte interchangeable. *)
+module Acc : sig
+  type t
+
+  val empty : t
+  val add : t -> Telemetry.Event.t -> t
+  val merge : t -> t -> t
+  val of_events : Telemetry.Event.t list -> t
+
+  val finish : router:string -> t -> router_stats
+
+  val router_label : t -> string option
+  (** First ctx ["router"] label seen, as in {!Session.router}. *)
+
+  val events : t -> int
+  val last_ts_ns : t -> float (* 0. before any event *)
+  val last_kind : t -> string option
+  val questions : t -> int
+  val stanzas : t -> int
+end
+
 val llm_calls : router_stats -> int
 (** classify + synthesize + spec. *)
+
+val of_accs : (string * Acc.t) list -> t
+(** [(fallback_name, acc)] per log, in log order; accumulators resolve
+    to {!Acc.router_label}[ | fallback] and merge per router in input
+    order. Rows are sorted by router name. *)
 
 val of_sessions : Session.t list -> t
 (** Sessions with the same {!Session.router} merge into one row; rows

@@ -16,6 +16,12 @@ val load_file : ?tolerant:bool -> string -> (t, string) result
     truncated or malformed (a crashed or still-running recorder) by
     dropping that line; garbage anywhere earlier is still an error. *)
 
+val expand_paths : string list -> string list
+(** Expand arguments into log files: a directory contributes its
+    [*.jsonl] files sorted by name (so downstream reports are
+    byte-stable regardless of filesystem readdir order), anything else
+    passes through unchanged. *)
+
 val load : ?tolerant:bool -> string list -> (t list, string) result
 (** Load several logs. A directory argument contributes its [*.jsonl]
     files in name order; anything else is taken as a log file. *)

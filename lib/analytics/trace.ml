@@ -148,6 +148,60 @@ let of_events ?(process = "clarify") events =
   in
   wrap lanes body
 
+(* Streaming export: one trace event written per recorded event, so a
+   multi-gigabyte fleet log never has to fit in memory. Metadata events
+   are interleaved at first sight of each lane instead of collected up
+   front — position inside traceEvents is irrelevant to the format. *)
+module Writer = struct
+  type t = {
+    oc : out_channel;
+    process : string;
+    lanes : lanes;
+    mutable first : bool;
+    mutable closed : bool;
+  }
+
+  let create ?(process = "clarify") oc =
+    let w = { oc; process; lanes = new_lanes (); first = true; closed = false } in
+    output_string oc "{\"traceEvents\": [\n";
+    w
+
+  let emit w j =
+    if not w.first then output_string w.oc ",\n";
+    w.first <- false;
+    output_string w.oc "  ";
+    output_string w.oc (Json.to_string j)
+
+  let drain_meta w =
+    let meta = List.rev w.lanes.meta in
+    w.lanes.meta <- [];
+    List.iter (emit w) meta
+
+  let event w e =
+    let proc =
+      Option.value ~default:w.process (List.assoc_opt "router" e.E.ctx)
+    in
+    let j =
+      if e.E.kind = "span" then span_event w.lanes ~proc e
+      else Some (instant_event w.lanes ~proc e)
+    in
+    (* The lane lookup above may have minted new pid/tid metadata;
+       write it before the event that needed it. *)
+    match j with
+    | None -> ()
+    | Some j ->
+        drain_meta w;
+        emit w j
+
+  let close w =
+    if not w.closed then begin
+      w.closed <- true;
+      drain_meta w;
+      output_string w.oc "\n], \"displayTimeUnit\": \"ms\"}\n";
+      flush w.oc
+    end
+end
+
 (* Live spans (Obs.spans ()) export the same way without a recording. *)
 let of_spans ?(process = "clarify") spans =
   let lanes = new_lanes () in

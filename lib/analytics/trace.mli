@@ -18,3 +18,17 @@ val of_events : ?process:string -> Telemetry.Event.t list -> Json.t
 
 val of_spans : ?process:string -> Obs.Span.t list -> Json.t
 (** Export a live span buffer ([Obs.spans ()]) without a recording. *)
+
+(** Streaming export: events are written as they are fed, so a log
+    never has to fit in memory (pair with {!Stream.iter_file}). The
+    emitted JSON is semantically identical to {!of_events}, with lane
+    metadata interleaved at first sight instead of collected first. *)
+module Writer : sig
+  type t
+
+  val create : ?process:string -> out_channel -> t
+  (** Writes the traceEvents header immediately. *)
+
+  val event : t -> Telemetry.Event.t -> unit
+  val close : t -> unit (* writes the footer; idempotent *)
+end

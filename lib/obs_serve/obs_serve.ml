@@ -398,7 +398,72 @@ module Top = struct
         | _ -> None)
       cur.hists
 
-  let render ~prev ~cur =
+  let gauge snap name = Option.value ~default:0. (List.assoc_opt name snap.gauges)
+
+  (* Sum a counter family across all its labelled series. Prometheus
+     counter sample names carry the [_total] suffix, so that is part of
+     the family name here. *)
+  let family_total snap family =
+    List.fold_left
+      (fun acc (name, v) ->
+        let base, _ = Obs.Labels.parse name in
+        if base = family then acc +. v else acc)
+      0. snap.counters
+
+  (* The fleet pane: router progress from the fleet.* gauges an E5 run
+     maintains, with completion rate and straggler-tail latency. Token
+     pricing lives in the LLM layer, which this library must not depend
+     on — the caller passes it in as a closure. *)
+  let fleet_pane ?cost_of_tokens ~prev ~cur b =
+    let pending = gauge cur "clarify_fleet_routers_pending" in
+    let running = gauge cur "clarify_fleet_routers_running" in
+    let done_ = gauge cur "clarify_fleet_routers_done" in
+    let total = pending +. running +. done_ in
+    if total <= 0. then
+      Printf.bprintf b
+        "\nFLEET        no fleet run visible (fleet.* gauges are zero)\n"
+    else begin
+      let dt = Float.max 1e-9 (cur.at -. prev.at) in
+      let done_before = gauge prev "clarify_fleet_routers_done" in
+      (* Same reset-clamp as the counter table: a fresh run restarts the
+         done gauge at zero. *)
+      let rate = Float.max 0. ((done_ -. done_before) /. dt) in
+      let frac = Float.min 1. (done_ /. total) in
+      let width = 32 in
+      let full = int_of_float (frac *. float_of_int width) in
+      Printf.bprintf b "\nFLEET        [%s%s] %.0f/%.0f routers (%.0f%%)\n"
+        (String.make full '#')
+        (String.make (width - full) '.')
+        done_ total (frac *. 100.);
+      Printf.bprintf b
+        "  pending %-6.0f running %-6.0f done %-6.0f stragglers %.0f\n"
+        pending running done_
+        (gauge cur "clarify_fleet_stragglers");
+      (match List.assoc_opt "clarify_fleet_router_ns" cur.hists with
+      | Some h when h.count > 0. ->
+          Printf.bprintf b "  router wall p50 %s  p99 %s  done %.1f/s%s\n"
+            (pp_ns (quantile 0.50 h))
+            (pp_ns (quantile 0.99 h))
+            rate
+            (if rate > 0. && pending +. running > 0. then
+               Printf.sprintf "  eta %.0fs" ((pending +. running) /. rate)
+             else "")
+      | _ -> ());
+      let questions = family_total cur "clarify_disambiguator_questions_total" in
+      let prompt = family_total cur "clarify_llm_tokens_prompt_total" in
+      let completion = family_total cur "clarify_llm_tokens_completion_total" in
+      if questions > 0. || prompt +. completion > 0. then
+        Printf.bprintf b "  questions %.0f  tokens %.0f prompt / %.0f completion%s\n"
+          questions prompt completion
+          (match cost_of_tokens with
+          | Some f -> (
+              match f ~prompt ~completion with
+              | Some usd -> Printf.sprintf "  ~$%.4f" usd
+              | None -> "")
+          | None -> "")
+    end
+
+  let render ?(fleet = false) ?cost_of_tokens ~prev ~cur () =
     let b = Buffer.create 2048 in
     let dt = Float.max 1e-9 (cur.at -. prev.at) in
     Printf.bprintf b
@@ -407,6 +472,7 @@ module Top = struct
       (List.length cur.counters)
       (List.length cur.gauges)
       (List.length cur.hists);
+    if fleet then fleet_pane ?cost_of_tokens ~prev ~cur b;
     (* Counters by windowed rate. *)
     let rates =
       List.map
@@ -414,7 +480,9 @@ module Top = struct
           let before =
             Option.value ~default:0. (List.assoc_opt name prev.counters)
           in
-          (name, (total -. before) /. dt, total))
+          (* A restarted process resets its counters; a negative delta
+             would render as a nonsense negative rate, so clamp to 0. *)
+          (name, Float.max 0. ((total -. before) /. dt), total))
         cur.counters
       |> List.sort (fun (_, ra, ta) (_, rb, tb) ->
              match compare rb ra with 0 -> compare tb ta | c -> c)
@@ -436,7 +504,7 @@ module Top = struct
             | Some p -> p.count
             | None -> 0.
           in
-          (name, h, (h.count -. before) /. dt))
+          (name, h, Float.max 0. ((h.count -. before) /. dt)))
         cur.hists
       |> List.sort (fun (_, (a : hist), ra) (_, b, rb) ->
              match compare rb ra with 0 -> compare b.count a.count | c -> c)

@@ -88,8 +88,28 @@ module Top : sig
       [clarify_parallel_task_ns{domain=N}] sum deltas: (domain label,
       fraction in [0,1]). *)
 
-  val render : prev:snap -> cur:snap -> string
+  val render :
+    ?fleet:bool ->
+    ?cost_of_tokens:
+      (prompt:float -> completion:float -> float option) ->
+    prev:snap ->
+    cur:snap ->
+    unit ->
+    string
   (** The dashboard: counter rates over the window, histogram p50/p99
-      and observation rates, per-domain utilization bars, gauges. Plain
-      text (no escape codes); one screenful for typical registries. *)
+      and observation rates, per-domain utilization bars, gauges. All
+      windowed rates clamp negative deltas to zero, so a counter reset
+      between scrapes (process restart, new run) renders as a stalled
+      rate rather than a negative one. Plain text (no escape codes);
+      one screenful for typical registries.
+
+      [fleet] prepends a fleet pane built from the
+      [clarify_fleet_routers_{pending,running,done}] and
+      [clarify_fleet_stragglers] gauges and the
+      [clarify_fleet_router_ns] histogram an E5 run maintains: a router
+      progress bar, completion rate with an ETA, straggler count, wall
+      p50/p99, and fleet-wide question/token totals. [cost_of_tokens]
+      maps the token totals to an estimated price — passed in as a
+      closure because pricing lives in the LLM layer, on which this
+      library does not depend. *)
 end

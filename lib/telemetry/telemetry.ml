@@ -91,6 +91,24 @@ end
 
 type recorder = { write : Event.t -> unit; t0 : float; mutable seq : int }
 
+(* Process-wide recording volume, visible as built-in gauge collectors
+   (telemetry.log.events / telemetry.log.bytes) so log growth shows up
+   in `clarify top` and /metrics during long fleet runs. Events counts
+   every recorded event (memory recorders included); bytes counts what
+   channel recorders actually wrote, across all domains. *)
+let recorded_events = Atomic.make 0
+let recorded_bytes = Atomic.make 0
+
+let () =
+  ignore
+    (Obs.Gauge.collector "telemetry.log.events"
+       ~help:"events recorded by telemetry recorders since process start"
+       (fun () -> float_of_int (Atomic.get recorded_events)));
+  ignore
+    (Obs.Gauge.collector "telemetry.log.bytes"
+       ~help:"bytes written to telemetry channel recorders since process start"
+       (fun () -> float_of_int (Atomic.get recorded_bytes)))
+
 (* The installed recorder and the ambient context are domain-local:
    each worker domain records to its own log (or not at all) without
    clobbering the recorder of the main domain or of sibling workers —
@@ -134,6 +152,7 @@ let emit ~kind fields =
         }
       in
       r.seq <- r.seq + 1;
+      Atomic.incr recorded_events;
       r.write e
 
 let channel_recorder oc =
@@ -142,9 +161,11 @@ let channel_recorder oc =
     t0 = Obs.now ();
     write =
       (fun e ->
-        output_string oc (Json.to_string ~indent:0 (Event.to_json e));
+        let line = Json.to_string ~indent:0 (Event.to_json e) in
+        output_string oc line;
         output_char oc '\n';
-        flush oc);
+        flush oc;
+        ignore (Atomic.fetch_and_add recorded_bytes (String.length line + 1)));
   }
 
 let record_to_channel oc = current () := Some (channel_recorder oc)
