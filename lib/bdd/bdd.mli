@@ -3,29 +3,73 @@
     Variables are non-negative integers ordered by their index: smaller
     indices appear closer to the root. All BDDs built through one
     manager are maximally shared, so structural equality coincides with
-    physical equality and is O(1) via {!equal}.
+    handle equality and is O(1) via {!equal}.
 
-    {b Managers and domains.} All mutable state (the unique table, the
+    {b Representation.} A BDD value is an integer handle into its
+    manager's node store. The default store is an {e arena}: nodes are
+    int-packed (var, lo, hi) triples in a flat growable bigarray,
+    hash-consed through open-addressing tables that never allocate on
+    the probe path, with bounded generation-tagged operation memos
+    ([CLARIFY_BDD_MEMO_BOUND], default 2{^20} entries per memo). Setting
+    [CLARIFY_BOXED_BDD=1] (or [Manager.create ~boxed:true]) selects the
+    historical boxed-record store instead — slower, but kept as a
+    byte-equal differential oracle.
+
+    {b Managers and domains.} All mutable state (the node store, the
     operation memo tables, the compilation cache, the hooks) lives in a
     {!Manager.t}. The module-level operations act on a {e domain-local}
     default manager — one per [Domain], allocated lazily — so every
     domain owns an isolated, race-free BDD universe and parallel
     workers never contend on the allocation path. Node identity is
     manager-relative: never mix BDDs built by different managers (or by
-    the same manager across a {!Manager.reset}) in one operation. *)
+    the same manager across a {!Manager.reset}) in one operation.
+
+    {b Base and delta managers.} {!Manager.freeze} turns a manager into
+    a read-only base; {!Manager.create_delta} layers a private writable
+    manager on top of a frozen base. A delta resolves handles, unique
+    lookups and {!cached} probes through base-then-delta fall-through
+    and allocates only in its own arena, so many worker domains can
+    share one compiled base (corpus, partition, prefix encodings)
+    without recompiling it per domain and without synchronization —
+    the base is immutable after the freeze. Handles built by the base
+    are valid in every one of its deltas. *)
 
 type t
 
-(** The mutable BDD universe: unique table, id allocator, memo tables,
-    compilation cache and observability hooks. *)
+(** The mutable BDD universe: node store, memo tables, compilation
+    cache and observability hooks. *)
 module Manager : sig
   type bdd = t
   type t
 
-  val create : unit -> t
+  val create : ?boxed:bool -> ?memo_bound:int -> unit -> t
+  (** [create ()] makes a fresh root manager. [boxed] selects the
+      historical boxed-record oracle store (default: the int-packed
+      arena, unless the [CLARIFY_BOXED_BDD] environment variable is
+      truthy). [memo_bound] caps each operation-memo table at that many
+      entries (rounded up to a power of two, min 16); when a bounded
+      memo fills up it is evicted wholesale by a generation bump
+      instead of growing. Default: [CLARIFY_BDD_MEMO_BOUND] or 2{^20}. *)
 
   val current : unit -> t
   (** The calling domain's default manager (created on first use). *)
+
+  val freeze : t -> unit
+  (** Make the manager read-only: any operation that would allocate a
+      fresh node afterwards raises [Invalid_argument]. Required before
+      {!create_delta}; freezing is what makes sharing the manager
+      across domains race-free. *)
+
+  val frozen : t -> bool
+
+  val create_delta : t -> t
+  (** [create_delta base] is a private writable manager layered on the
+      frozen root manager [base]: node and compilation-cache lookups
+      fall through [base] first, fresh allocations go only to the
+      delta, and [base]'s handles remain valid (and equal) in the
+      delta. The delta inherits [base]'s store flavour and memo bound.
+      @raise Invalid_argument if [base] is not frozen, or is itself a
+      delta. *)
 
   val clear_caches : t -> unit
   (** Drop the operation memo tables only; hash-consed nodes and the
@@ -35,23 +79,40 @@ module Manager : sig
   (** Full reset: unique table, id allocator, memo tables and the
       compilation cache. Invalidates {e every} BDD the manager has
       built — only call between independent analyses when none of
-      their results is still live. Bounds memory across large corpus
-      sweeps, which {!val:clear_caches} alone cannot (it keeps the
-      unique table). *)
+      their results is still live. On a delta this rewinds to the base
+      boundary and leaves the shared base untouched. Bounds memory
+      across large corpus sweeps, which {!val:clear_caches} alone
+      cannot (it keeps the unique table).
+      @raise Invalid_argument on a frozen manager. *)
 
   type stats = {
-    nodes : int; (* live entries in the unique table *)
-    next_id : int; (* next fresh node id (2 after a reset) *)
+    nodes : int; (* live entries in the own unique table *)
+    next_id : int; (* next fresh node handle *)
     neg_memo : int;
     and_memo : int;
+    or_memo : int; (* 0 in the boxed oracle (disj has no own memo) *)
     xor_memo : int;
     restrict_memo : int;
-    cache_entries : int; (* compilation-cache entries *)
+    cache_entries : int; (* own compilation-cache entries *)
     cache_hits : int; (* compilation-cache hits since creation *)
     cache_misses : int;
+    boxed : bool; (* true when this manager uses the oracle store *)
+    base_nodes : int; (* nodes inherited from a frozen base *)
+    arena_capacity : int; (* own node-store capacity (0 when boxed) *)
+    uniq_slots : int; (* own unique-table slots (0 when boxed) *)
+    uniq_lookups : int; (* unique-table lookups since creation *)
+    uniq_probes : int; (* slots inspected across those lookups *)
+    memo_evictions : int; (* generation bumps forced by the memo bound *)
   }
 
   val stats : t -> stats
+
+  val boxed_env : string
+  (** ["CLARIFY_BOXED_BDD"] — truthy values ("1", "true", "yes", "on")
+      make {!create} default to the boxed oracle store. *)
+
+  val memo_bound_env : string
+  (** ["CLARIFY_BDD_MEMO_BOUND"] — default per-memo entry bound. *)
 end
 
 val manager : unit -> Manager.t
@@ -61,7 +122,8 @@ val with_manager : Manager.t -> (unit -> 'a) -> 'a
 (** [with_manager m f] runs [f] with [m] installed as the calling
     domain's default manager, restoring the previous one afterwards
     (also on raise). BDDs built inside [f] belong to [m] and must not
-    escape into operations under another manager. *)
+    escape into operations under another manager (base handles inside
+    one of the base's deltas excepted). *)
 
 val zero : t
 (** The constant false. *)
@@ -78,14 +140,21 @@ val nvar : int -> t
 
 val neg : t -> t
 val conj : t -> t -> t
+
 val disj : t -> t -> t
+(** Direct recursive disjunction with its own memo table (the boxed
+    oracle keeps the historical [neg (conj (neg a) (neg b))] detour). *)
+
 val xor : t -> t -> t
 val imp : t -> t -> t
 val iff : t -> t -> t
 val ite : t -> t -> t -> t
 
 val conj_list : t list -> t
+(** Conjunction of a list, short-circuiting on {!zero}. *)
+
 val disj_list : t list -> t
+(** Disjunction of a list, short-circuiting on {!one}. *)
 
 val exists : int list -> t -> t
 (** Existentially quantify the given variables. *)
@@ -108,7 +177,9 @@ val cached : key:string -> (unit -> t) -> t
     manager: return the BDD memoized under [key], or run [f], store
     its result and return it. Keys must canonically encode the whole
     source object being compiled (two different objects must never
-    render to the same key). Hit/miss totals appear in
+    render to the same key). On a delta manager the probe falls
+    through to the frozen base's cache first, so work compiled in the
+    base is reused without reallocation. Hit/miss totals appear in
     {!Manager.stats} and fire {!set_cache_hook}. *)
 
 val any_sat : t -> (int * bool) list

@@ -20,12 +20,9 @@ let check_const t n =
 
 let eq_const t n =
   check_const t n;
-  let acc = ref Bdd.one in
-  for i = width t - 1 downto 0 do
-    let lit = if bit_of_const t n i then Bdd.var t.(i) else Bdd.nvar t.(i) in
-    acc := Bdd.conj lit !acc
-  done;
-  !acc
+  Bdd.conj_list
+    (List.init (width t) (fun i ->
+         if bit_of_const t n i then Bdd.var t.(i) else Bdd.nvar t.(i)))
 
 let le_const t n =
   check_const t n;
@@ -55,14 +52,9 @@ let in_range t lo hi =
 let prefix_match t ~value ~len =
   check_const t value;
   if len < 0 || len > width t then invalid_arg "Bvec.prefix_match";
-  let acc = ref Bdd.one in
-  for i = len - 1 downto 0 do
-    let lit =
-      if bit_of_const t value i then Bdd.var t.(i) else Bdd.nvar t.(i)
-    in
-    acc := Bdd.conj lit !acc
-  done;
-  !acc
+  Bdd.conj_list
+    (List.init len (fun i ->
+         if bit_of_const t value i then Bdd.var t.(i) else Bdd.nvar t.(i)))
 
 let decode t assignment =
   let value = ref 0 in

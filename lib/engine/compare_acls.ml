@@ -122,9 +122,33 @@ let adjacent_insertions ?naive ?pool ~(target : Config.Acl.t)
   let result =
     match pool with
     | Some pool when Parallel.Pool.domains pool > 1 && n > 1 ->
-        List.concat
-          (Parallel.Pool.map_chunked ~chunks_per_domain:1 pool ~f:run_chunk
-             (position_chunks ~domains:(Parallel.Pool.domains pool) n))
+        let chunks =
+          position_chunks ~domains:(Parallel.Pool.domains pool) n
+        in
+        if naive then
+          List.concat
+            (Parallel.Pool.map_chunked ~chunks_per_domain:1 pool ~f:run_chunk
+               chunks)
+        else begin
+          (* Execute the target's partition (and compile the new rule's
+             match) once into a frozen base; workers walk their slices
+             under private deltas instead of re-executing per domain. *)
+          let base = Bdd.Manager.create () in
+          let cells =
+            Bdd.with_manager base (fun () ->
+                Obs.Counter.incr Metrics.adjacent_contexts;
+                let cells = Array.of_list (Ps.exec target) in
+                ignore (Ps.of_rule rule);
+                cells)
+          in
+          Bdd.Manager.freeze base;
+          Obs.Counter.incr ~by:(max 0 (n - 1)) Metrics.adjacent_prefix_reuse;
+          List.concat
+            (Parallel.Pool.map_chunked ~chunks_per_domain:1 ~bdd_base:base
+               pool
+               ~f:(fun slice -> cell_boundaries cells rule slice)
+               chunks)
+        end
     | _ -> if n = 0 then [] else run_chunk (0, n)
   in
   Obs.Histogram.observe_ns Metrics.boundary_ns ((Obs.now () -. t0) *. 1e9);
@@ -196,12 +220,27 @@ let batch_insertions ?pool ~(target : Config.Acl.t) rules =
       match pool with
       | Some pool when Parallel.Pool.domains pool > 1 && ncand > 1 ->
           let d = Parallel.Pool.domains pool in
+          (* Execute the partition and compile every candidate's match
+             once into a frozen base shared by all workers. *)
+          let base = Bdd.Manager.create () in
+          let cells =
+            Bdd.with_manager base (fun () ->
+                Obs.Counter.incr Metrics.adjacent_contexts;
+                let cells = Array.of_list (Ps.exec target) in
+                Array.iter (fun r -> ignore (Ps.of_rule r)) candidates;
+                cells)
+          in
+          Bdd.Manager.freeze base;
           let bres =
-            Parallel.Pool.map_chunked pool ~f:bounds_task
+            Parallel.Pool.map_chunked ~bdd_base:base pool
+              ~f:(fun ks ->
+                List.map
+                  (fun k -> (k, cell_boundaries cells candidates.(k) (0, n)))
+                  ks)
               (chunk_list ~domains:d (List.init ncand Fun.id))
           in
           let pres =
-            Parallel.Pool.map_chunked pool ~f:pairs_task
+            Parallel.Pool.map_chunked ~bdd_base:base pool ~f:pairs_task
               (chunk_list ~domains:d all_pairs)
           in
           (List.concat bres, List.concat pres)

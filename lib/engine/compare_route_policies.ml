@@ -240,9 +240,44 @@ let adjacent_insertions ?naive ?pool ~db ~(target : Config.Route_map.t)
   let result =
     match pool with
     | Some pool when Parallel.Pool.domains pool > 1 && n > 1 ->
-        List.concat
-          (Parallel.Pool.map_chunked ~chunks_per_domain:1 pool ~f:run_chunk
-             (position_chunks ~domains:(Parallel.Pool.domains pool) n))
+        let chunks =
+          position_chunks ~domains:(Parallel.Pool.domains pool) n
+        in
+        if naive then
+          List.concat
+            (Parallel.Pool.map_chunked ~chunks_per_domain:1 pool ~f:run_chunk
+               chunks)
+        else begin
+          (* Compile the shared context and first-match partition once
+             into a fresh base manager, freeze it, and let every worker
+             walk its slice under a private delta — the base's nodes
+             and compile cache are shared read-only, so nothing is
+             recompiled per domain. *)
+          let base = Bdd.Manager.create () in
+          let ctx, cells =
+            Bdd.with_manager base (fun () ->
+                Obs.Counter.incr Metrics.adjacent_contexts;
+                let ctx =
+                  context ~db_a:db ~db_b:db
+                    (Config.Route_map.insert_at target 0 stanza)
+                    target
+                in
+                let cells = Array.of_list (Ctx.exec ctx db target) in
+                (* Pre-compile the candidate's match condition too, so
+                   deltas resolve it from the base instead of each
+                   rebuilding it. *)
+                ignore (Ctx.of_stanza ctx db stanza);
+                (ctx, cells))
+          in
+          Bdd.Manager.freeze base;
+          Obs.Counter.incr ~by:(max 0 (n - 1)) Metrics.adjacent_prefix_reuse;
+          List.concat
+            (Parallel.Pool.map_chunked ~chunks_per_domain:1 ~bdd_base:base
+               pool
+               ~f:(fun slice ->
+                 cell_boundaries (Ctx.fork ctx) cells ~db ~target stanza slice)
+               chunks)
+        end
     | _ -> if n = 0 then [] else run_chunk (0, n)
   in
   Obs.Histogram.observe_ns Metrics.boundary_ns ((Obs.now () -. t0) *. 1e9);
@@ -306,14 +341,6 @@ let batch_insertions ?pool ~db ~(target : Config.Route_map.t) stanzas =
       Obs.Counter.incr Metrics.adjacent_contexts;
       Ctx.create [ (db, [ scope_map; target ]) ]
     in
-    let bounds_task ks =
-      let ctx = make_ctx () in
-      let cells = Array.of_list (Ctx.exec ctx db target) in
-      List.map
-        (fun k ->
-          (k, cell_boundaries ctx cells ~db ~target candidates.(k) (0, n)))
-        ks
-    in
     let classify_pair ctx (i, j) =
       let si = candidates.(i) and sj = candidates.(j) in
       let region =
@@ -360,10 +387,6 @@ let batch_insertions ?pool ~db ~(target : Config.Route_map.t) stanzas =
                       stanza_b = Some sj.Config.Route_map.seq;
                     } )
     in
-    let pairs_task ps =
-      let ctx = make_ctx () in
-      List.map (classify_pair ctx) ps
-    in
     let all_pairs =
       List.concat
         (List.init ncand (fun i ->
@@ -373,12 +396,38 @@ let batch_insertions ?pool ~db ~(target : Config.Route_map.t) stanzas =
       match pool with
       | Some pool when Parallel.Pool.domains pool > 1 && ncand > 1 ->
           let d = Parallel.Pool.domains pool in
+          (* One shared compilation for the whole batch: context,
+             first-match partition and every candidate's match
+             condition live in a frozen base; workers fork the context
+             (private feasibility state) and layer private deltas. *)
+          let base = Bdd.Manager.create () in
+          let ctx, cells =
+            Bdd.with_manager base (fun () ->
+                let ctx = make_ctx () in
+                let cells = Array.of_list (Ctx.exec ctx db target) in
+                Array.iter
+                  (fun s -> ignore (Ctx.of_stanza ctx db s))
+                  candidates;
+                (ctx, cells))
+          in
+          Bdd.Manager.freeze base;
           let bres =
-            Parallel.Pool.map_chunked pool ~f:bounds_task
+            Parallel.Pool.map_chunked ~bdd_base:base pool
+              ~f:(fun ks ->
+                let ctx = Ctx.fork ctx in
+                List.map
+                  (fun k ->
+                    ( k,
+                      cell_boundaries ctx cells ~db ~target candidates.(k)
+                        (0, n) ))
+                  ks)
               (chunk_list ~domains:d (List.init ncand Fun.id))
           in
           let pres =
-            Parallel.Pool.map_chunked pool ~f:pairs_task
+            Parallel.Pool.map_chunked ~bdd_base:base pool
+              ~f:(fun ps ->
+                let ctx = Ctx.fork ctx in
+                List.map (classify_pair ctx) ps)
               (chunk_list ~domains:d all_pairs)
           in
           (List.concat bres, List.concat pres)

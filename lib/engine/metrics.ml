@@ -108,9 +108,39 @@ let manager_memo =
       let s = manager_stats () in
       float_of_int
         (s.Symbdd.Bdd.Manager.neg_memo + s.Symbdd.Bdd.Manager.and_memo
-       + s.Symbdd.Bdd.Manager.xor_memo + s.Symbdd.Bdd.Manager.restrict_memo))
+       + s.Symbdd.Bdd.Manager.or_memo + s.Symbdd.Bdd.Manager.xor_memo
+       + s.Symbdd.Bdd.Manager.restrict_memo))
 
 let manager_cache_entries =
   Obs.Gauge.collector "bdd.manager.cache_entries"
     ~help:"entries in this domain's symbolic compilation cache" (fun () ->
       float_of_int (manager_stats ()).Symbdd.Bdd.Manager.cache_entries)
+
+let manager_arena_occupancy =
+  Obs.Gauge.collector "bdd.manager.arena_occupancy"
+    ~help:
+      "fraction of this domain's arena node-store capacity in use (0 under \
+       the boxed oracle store)" (fun () ->
+      let s = manager_stats () in
+      if s.Symbdd.Bdd.Manager.arena_capacity = 0 then 0.
+      else
+        float_of_int s.Symbdd.Bdd.Manager.nodes
+        /. float_of_int s.Symbdd.Bdd.Manager.arena_capacity)
+
+let manager_probe_length =
+  Obs.Gauge.collector "bdd.manager.uniq_probe_len"
+    ~help:
+      "mean open-addressing probe length per unique-table lookup in this \
+       domain's arena" (fun () ->
+      let s = manager_stats () in
+      if s.Symbdd.Bdd.Manager.uniq_lookups = 0 then 0.
+      else
+        float_of_int s.Symbdd.Bdd.Manager.uniq_probes
+        /. float_of_int s.Symbdd.Bdd.Manager.uniq_lookups)
+
+let manager_memo_evictions =
+  Obs.Gauge.collector "bdd.manager.memo_evictions"
+    ~help:
+      "generation-tag evictions forced by the bounded BDD operation memos \
+       (CLARIFY_BDD_MEMO_BOUND)" (fun () ->
+      float_of_int (manager_stats ()).Symbdd.Bdd.Manager.memo_evictions)

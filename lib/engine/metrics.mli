@@ -50,3 +50,15 @@ val manager_memo : Obs.Gauge.t
 
 val manager_cache_entries : Obs.Gauge.t
 (** Entries in the sampling domain's symbolic compilation cache. *)
+
+val manager_arena_occupancy : Obs.Gauge.t
+(** Fraction of the sampling domain's arena node-store capacity in use
+    (0 under the boxed oracle store). *)
+
+val manager_probe_length : Obs.Gauge.t
+(** Mean open-addressing probe length per unique-table lookup in the
+    sampling domain's arena. *)
+
+val manager_memo_evictions : Obs.Gauge.t
+(** Generation-tag evictions forced by the bounded BDD operation memos
+    ([CLARIFY_BDD_MEMO_BOUND]). *)

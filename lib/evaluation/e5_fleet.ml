@@ -159,16 +159,24 @@ let with_router_recording ~record_dir ~(plan : Netgen.Policy.plan) f =
                     (Obs.Gauge.sample_all ()));
               (r, wall_ns)))
 
-let build_router ?record_dir (plan : Netgen.Policy.plan) =
+let build_router ?record_dir ?bdd_base (plan : Netgen.Policy.plan) =
   let open Netgen.Policy in
   router_started plan.router;
   let (result : router_result), wall_ns =
         with_router_recording ~record_dir ~plan @@ fun () ->
         let t0 = Unix.gettimeofday () in
         (* A scratch manager per router bounds BDD memory by the
-           largest single router, not the fleet. *)
+           largest single router, not the fleet. When the run supplies
+           a frozen base (the prewarmed shared prefix ranges), the
+           scratch manager is a delta layered on it, so the shared
+           structure is compiled once per run instead of per router. *)
+        let manager =
+          match bdd_base with
+          | Some base -> Symbdd.Bdd.Manager.create_delta base
+          | None -> Symbdd.Bdd.Manager.create ()
+        in
         let db, questions, llm =
-          Symbdd.Bdd.with_manager (Symbdd.Bdd.Manager.create ()) @@ fun () ->
+          Symbdd.Bdd.with_manager manager @@ fun () ->
           let llm = Llm.Mock_llm.create () in
           let questions = ref 0 in
           let db =
@@ -270,9 +278,17 @@ let run ?record_dir ?(pool = Parallel.Pool.serial) ?(simulate = false)
   let plans = Netgen.Policy.compile net in
   reset_fleet ~routers:(List.length plans);
   Option.iter (fun dir -> write_manifest ~dir net plans) record_dir;
+  (* Every plan's intents reference the same handful of prefix ranges;
+     compile them once into a frozen base shared by all routers. *)
+  let bdd_base = Symbdd.Bdd.Manager.create () in
+  Symbdd.Bdd.with_manager bdd_base (fun () ->
+      List.iter
+        (fun r -> ignore (Symbolic.Route_ctx.of_prefix_range r))
+        (Netgen.Policy.shared_ranges ()));
+  Symbdd.Bdd.Manager.freeze bdd_base;
   let results =
     Parallel.Pool.map_chunked ~chunks_per_domain:4 pool
-      ~f:(fun plan -> build_router ?record_dir plan)
+      ~f:(fun plan -> build_router ?record_dir ~bdd_base plan)
       plans
   in
   let simulation =

@@ -294,6 +294,12 @@ module Policy = struct
     Netaddr.Prefix_range.make reserved_prefix ~ge:None ~le:(Some 32)
 
   let service_range = Netaddr.Prefix_range.exact service_prefix
+
+  (* Every plan's intents reference the same handful of prefix ranges;
+     fleet runs prewarm their symbolic encodings into a shared frozen
+     BDD base so per-router deltas never recompile them. *)
+  let shared_ranges () = bogon_ranges @ [ reserved_range; service_range ]
+
   let deny_bogons = I.route_map_intent ~prefixes:bogon_ranges Config.Action.Deny
 
   let deny_reserved =

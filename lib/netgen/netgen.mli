@@ -77,6 +77,12 @@ module Policy : sig
     reference : Config.Database.t; (* ground truth for the oracle *)
   }
 
+  val shared_ranges : unit -> Netaddr.Prefix_range.t list
+  (** The prefix ranges every plan's intents reference (bogons,
+      reserved space, service prefix) — what a fleet run prewarms into
+      a shared frozen BDD base so per-router deltas never recompile
+      them. *)
+
   val compile : t -> plan list
   (** One plan per internal router, in generation order. Core,
       aggregation and backbone routers get 4 steps; edge and site

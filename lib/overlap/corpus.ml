@@ -16,11 +16,12 @@ let default_threshold = 20
 let reset_period = 512
 
 (* Per-domain count of analyses since that domain's last manager reset.
-   A full [Manager.reset] every [reset_period] analyses bounds memory
-   across very large corpora — the unique table itself is dropped, not
-   just the operation memos, so node count cannot grow without bound.
-   Safe because sweeps run under a scratch manager (below) and no BDD
-   outlives a single [analyze] call. *)
+   A [Manager.reset] every [reset_period] analyses bounds memory across
+   very large corpora — the unique table itself is dropped, not just
+   the operation memos, so node count cannot grow without bound. Safe
+   because sweeps run under a scratch delta manager (below) and no BDD
+   outlives a single [analyze] call; on a delta the reset rewinds to
+   the base boundary, so the shared prewarmed compilation survives. *)
 let analyzed_since_reset : int ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref 0)
 
@@ -31,28 +32,44 @@ let bounded analyze x =
     Symbdd.Bdd.Manager.reset (Symbdd.Bdd.manager ());
   analyze x
 
-(* Run one corpus sweep, optionally across a pool. The whole sweep runs
-   under a fresh scratch manager, so (a) periodic full resets can never
-   invalidate a BDD the caller holds, and (b) the calling domain's
-   default manager is not bloated by sweep-sized unique tables. Spawned
-   worker domains get their own fresh managers for free. [progress]
-   fires only on the serial path: parallel completion order is
-   nondeterministic, and per-index callbacks from worker domains would
-   race. *)
-let sweep ?(pool = Parallel.Pool.serial) ?progress ~f items =
-  Symbdd.Bdd.with_manager (Symbdd.Bdd.Manager.create ()) (fun () ->
-      match progress with
-      | Some p when Parallel.Pool.domains pool <= 1 ->
+(* Run one corpus sweep, optionally across a pool. [prewarm] compiles
+   whatever the sweep's analyses share (distinct ACL rules, prefix
+   lists) into a fresh base manager, which is then frozen; the serial
+   path and every pool worker run under private deltas layered on it,
+   so the shared structure is compiled once per sweep instead of once
+   per domain, and the caller's default manager is not bloated by
+   sweep-sized unique tables. [progress] fires only on the serial
+   path: parallel completion order is nondeterministic, and per-index
+   callbacks from worker domains would race. *)
+let sweep ?(pool = Parallel.Pool.serial) ?progress ?prewarm ~f items =
+  let base = Symbdd.Bdd.Manager.create () in
+  (match prewarm with
+  | Some warm -> Symbdd.Bdd.with_manager base warm
+  | None -> ());
+  Symbdd.Bdd.Manager.freeze base;
+  match progress with
+  | Some p when Parallel.Pool.domains pool <= 1 ->
+      Symbdd.Bdd.with_manager
+        (Symbdd.Bdd.Manager.create_delta base)
+        (fun () ->
           List.mapi
             (fun i x ->
               p i;
               bounded f x)
-            items
-      | _ -> Parallel.Pool.map_chunked pool ~f:(bounded f) items)
+            items)
+  | _ -> Parallel.Pool.map_chunked ~bdd_base:base pool ~f:(bounded f) items
 
 let summarize_acls ?(threshold = default_threshold) ?pool ?progress
     (acls : Config.Acl.t list) =
-  let stats = sweep ?pool ?progress ~f:Acl_overlap.analyze acls in
+  let prewarm () =
+    List.iter
+      (fun (acl : Config.Acl.t) ->
+        List.iter
+          (fun r -> ignore (Symbolic.Packet_space.of_rule r))
+          acl.Config.Acl.rules)
+      acls
+  in
+  let stats = sweep ?pool ?progress ~prewarm ~f:Acl_overlap.analyze acls in
   let count f = List.length (List.filter f stats) in
   {
     total = List.length stats;
@@ -76,7 +93,12 @@ type route_map_summary = {
 
 let summarize_route_maps ?(threshold = default_threshold) ?pool db
     (rms : Config.Route_map.t list) =
-  let stats = sweep ?pool ~f:(Route_map_overlap.analyze db) rms in
+  let prewarm () =
+    Config.Database.Smap.iter
+      (fun _ pl -> ignore (Symbolic.Route_ctx.of_prefix_list pl))
+      db.Config.Database.prefix_lists
+  in
+  let stats = sweep ?pool ~prewarm ~f:(Route_map_overlap.analyze db) rms in
   {
     rm_total = List.length stats;
     rm_with_overlaps =

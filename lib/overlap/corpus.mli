@@ -22,13 +22,14 @@ val summarize_acls :
   Config.Acl.t list ->
   acl_summary
 (** Per-ACL analyses are independent, so a [pool] of N domains analyzes
-    N ACLs concurrently (each domain in its own BDD manager); results
-    are aggregated in input order, so the summary is identical at every
-    pool size. The sweep runs under a scratch manager that is fully
-    reset periodically, bounding memory on very large corpora without
-    touching any BDD the caller holds. [progress] fires only on the
-    serial path (pool absent or of one domain): parallel completion
-    order is nondeterministic. *)
+    N ACLs concurrently; results are aggregated in input order, so the
+    summary is identical at every pool size. Every distinct rule in the
+    corpus is compiled once into a shared frozen base manager, and each
+    domain analyzes under a private delta layered on it (no per-domain
+    recompilation). Deltas are reset periodically, bounding memory on
+    very large corpora without touching the shared base or any BDD the
+    caller holds. [progress] fires only on the serial path (pool absent
+    or of one domain): parallel completion order is nondeterministic. *)
 
 type route_map_summary = {
   rm_total : int;

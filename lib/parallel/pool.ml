@@ -135,12 +135,23 @@ let chunk_bounds ~n ~chunks i =
   let len = base + if i < rem then 1 else 0 in
   (start, len)
 
-let map_chunked ?chunks_per_domain pool ~f items =
+(* Run [f] under a private delta manager layered on a frozen base, so
+   tasks resolve shared compiled structure (nodes, compile cache) from
+   the base and allocate only in their own delta. *)
+let with_base_delta bdd_base f =
+  match bdd_base with
+  | None -> f ()
+  | Some base ->
+      Symbdd.Bdd.with_manager (Symbdd.Bdd.Manager.create_delta base) f
+
+let map_chunked ?chunks_per_domain ?bdd_base pool ~f items =
   let n = List.length items in
   if n = 0 then []
   else if pool.domains <= 1 || n = 1 then
-    (* Serial fallback: no domains, no instrumentation difference. *)
-    List.map f items
+    (* Serial fallback: no domains, no instrumentation difference. The
+       base delta still applies so tasks see the same manager layering
+       regardless of pool size. *)
+    with_base_delta bdd_base (fun () -> List.map f items)
   else begin
     let workers = min pool.domains n in
     let chunks =
@@ -203,7 +214,9 @@ let map_chunked ?chunks_per_domain pool ~f items =
                     Obs.with_span (Printf.sprintf "domain%d" w) run_chunks))
         | None -> run_chunks ()
       in
-      instrumented ()
+      (* Install the worker's private delta (if a base was supplied)
+         before the hooks, so the hooks land on the delta manager. *)
+      with_base_delta bdd_base instrumented
     in
     if Obs.enabled () then begin
       Obs.Counter.incr (Lazy.force batches);

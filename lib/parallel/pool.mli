@@ -10,7 +10,9 @@
     default manager of {!Symbdd.Bdd}), so tasks may freely build BDDs —
     but must return only plain data (stats records, databases), never
     BDD values: node identity is manager-relative and worker managers
-    die with their domain. *)
+    die with their domain. The exception is the [?bdd_base] mode of
+    {!map_chunked}: handles built by the frozen base manager are valid
+    in every worker's delta, so tasks may capture and use them. *)
 
 type t
 
@@ -29,12 +31,26 @@ val domains : t -> int
 val serial : t
 (** A pool of one domain; [map_chunked serial ~f] is [List.map f]. *)
 
-val map_chunked : ?chunks_per_domain:int -> t -> f:('a -> 'b) -> 'a list -> 'b list
+val map_chunked :
+  ?chunks_per_domain:int ->
+  ?bdd_base:Symbdd.Bdd.Manager.t ->
+  t ->
+  f:('a -> 'b) ->
+  'a list ->
+  'b list
 (** [map_chunked pool ~f items] applies [f] to every item across the
     pool's domains and returns the results in input order. Items are
     partitioned into contiguous chunks ([chunks_per_domain] per worker,
     default 1; raise it for uneven workloads so stragglers
     load-balance) claimed dynamically from a shared atomic counter.
+
+    [?bdd_base] must be a {e frozen} root manager
+    ({!Symbdd.Bdd.Manager.freeze}): every worker — including the serial
+    fallback taken when the pool has one domain or the batch one item —
+    runs its tasks under a private {!Symbdd.Bdd.Manager.create_delta}
+    layered on it. Tasks then reuse everything compiled into the base
+    (nodes, symbolic compilation cache) instead of recompiling it per
+    domain, and may safely capture BDD handles built by the base.
 
     While observability is enabled, each worker runs under a root span
     [domainN] (a separate thread lane in the Chrome-trace export) and

@@ -175,6 +175,12 @@ let create ?(extra_communities = []) ?(extra_comm_regexes = [])
     combo_table = Hashtbl.create 16;
   }
 
+(* A private copy for a worker that shares the immutable universe but
+   owns the mutable feasibility state ([blocked], [combo_table]), so
+   concurrent workers layered on one compiled context never race. *)
+let fork ctx =
+  { ctx with combo_table = Hashtbl.copy ctx.combo_table }
+
 (** Routes representable in this context: prefix length at most 32. *)
 let valid _ctx = Bvec.le_const pfx_len 32
 
