@@ -351,7 +351,9 @@ let run_bdd_microbench () =
       B.Manager.freeze base;
       wall_ns (fun () ->
           List.fold_left ( + ) 0
-            (Parallel.Pool.map_chunked ~bdd_base:base pool
+            (* Single conjunctions are far below task-bookkeeping cost,
+               so batch them 64 per stealable task. *)
+            (Parallel.Pool.map ~grain:64 ~bdd_base:base pool
                ~f:(fun (i, j) ->
                  if B.is_sat (B.conj arr.(i) arr.(j)) then 1 else 0)
                pairs))
@@ -826,6 +828,151 @@ let run_fleet_scaling () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Scheduler skew: coarse fork-join chunks vs per-item stealing       *)
+(* ------------------------------------------------------------------ *)
+
+(* 64 boundary-sweep scenarios, the first 8 at full width [w] and the
+   remaining 56 at [w/8]: under the pre-scheduler one-contiguous-
+   chunk-per-worker split (reconstructed here with a fat grain) the
+   heavy head lands on one or two workers while the rest go idle; with
+   per-item tasks the idle domains steal the heavy chunk apart. The CI
+   gate holds steal >= 2x coarse at both widths; results are asserted
+   identical to the serial sweep on every timed attempt. *)
+let run_sched_skew () =
+  if Parallel.Pool.domains pool <= 1 then []
+  else begin
+    Format.printf
+      "=== Scheduler skew: coarse chunks vs per-item stealing ===@.";
+    let nscen = 64 and heavy = 8 in
+    let timings = ref [] in
+    List.iter
+      (fun w ->
+        let scenarios =
+          List.init nscen (fun i ->
+              ablation_scenario (if i < heavy then w else w / 8))
+        in
+        let sweep (db, target, stanza) =
+          Engine.Compare_route_policies.adjacent_insertions ~naive:false ~db
+            ~target stanza
+        in
+        let serial = List.map sweep scenarios in
+        let time grain =
+          let best = ref infinity in
+          for _ = 1 to 3 do
+            let r, ns =
+              wall_ns (fun () ->
+                  Parallel.Pool.map ~grain pool ~f:sweep scenarios)
+            in
+            if r <> serial then failwith "skewed sweep differs from serial";
+            best := Float.min !best ns
+          done;
+          !best
+        in
+        let d = Parallel.Pool.domains pool in
+        let coarse = time ((nscen + d - 1) / d) in
+        let steal = time 1 in
+        Format.printf
+          "width %-4d coarse %9.2f ms  steal %9.2f ms  speedup %.2fx  (8 \
+           heavy + %d light, min of 3)@."
+          w (coarse /. 1e6) (steal /. 1e6) (coarse /. steal) (nscen - heavy);
+        timings :=
+          !timings
+          @ [
+              (Printf.sprintf "sched/skew-boundaries-w%d-coarse" w, coarse);
+              (Printf.sprintf "sched/skew-boundaries-w%d-steal" w, steal);
+            ])
+      [ 32; 128 ];
+    Format.printf "@.";
+    !timings
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fleet skew: pathological fat-tree, 5% of routers carry 10x work    *)
+(* ------------------------------------------------------------------ *)
+
+(* E5 at 256 routers with the first 13 plans replayed 10x (one pod of
+   fat edge routers). Coarse contiguous chunks serialize the heavy pod
+   behind one worker; stealing spreads it. Router configs and question
+   counts are asserted byte-identical to the serial run on every timed
+   attempt.
+
+   The straggler figure is p99/p50 of per-router *stretch*: each
+   router's build wall under the stealing pool divided by the same
+   router's wall in the serial run. Raw walls are 10x bimodal by
+   construction and per-step costs vary ~5x across roles, but a router
+   compared against itself cancels all intrinsic heterogeneity — the
+   ratio only grows when scheduling makes some routers pay (a task
+   descheduled mid-build behind a fat neighbor, contention in the
+   steal loop). CI holds the tail to <= 1.5: even the p99 router costs
+   at most 1.5x its undisturbed serial latency. *)
+let run_fleet_skew () =
+  if Parallel.Pool.domains pool <= 1 then []
+  else begin
+    Format.printf "=== Fleet skew: 5%% of routers carry 10x stanzas ===@.";
+    let routers = 256 in
+    let skew = Some (routers / 20, 10) in
+    let view (r : Evaluation.E5_fleet.result) =
+      List.map
+        (fun (x : Evaluation.E5_fleet.router_result) ->
+          (x.router, x.questions, Config.Parser.to_string x.config))
+        r.Evaluation.E5_fleet.results
+    in
+    let serial_r = Evaluation.E5_fleet.run ?skew ~routers () in
+    let serial = view serial_r in
+    let time grain =
+      let best = ref infinity and attempts = ref [] in
+      for _ = 1 to 2 do
+        let r, ns =
+          wall_ns (fun () ->
+              Evaluation.E5_fleet.run ?skew ~grain ~pool ~routers ())
+        in
+        if view r <> serial then failwith "skewed fleet differs from serial";
+        attempts := r :: !attempts;
+        best := Float.min !best ns
+      done;
+      (!best, !attempts)
+    in
+    let d = Parallel.Pool.domains pool in
+    let coarse, _ = time ((routers + d - 1) / d) in
+    let steal, steal_rs = time 1 in
+    let walls r =
+      List.map
+        (fun (x : Evaluation.E5_fleet.router_result) -> Float.max 1. x.wall_ns)
+        r.Evaluation.E5_fleet.results
+    in
+    (* Per-router minimum across the steal attempts: a router that is
+       slow in every run pays a systematic scheduling cost; a one-off
+       spike is OS noise the tail gate should not flake on. *)
+    let steal_walls =
+      List.fold_left
+        (fun acc r -> List.map2 Float.min acc (walls r))
+        (walls (List.hd steal_rs))
+        (List.tl steal_rs)
+    in
+    let stretches =
+      List.map2 (fun p s -> p /. s) steal_walls (walls serial_r)
+      |> List.sort compare |> Array.of_list
+    in
+    let pct p =
+      stretches.(min (Array.length stretches - 1)
+                   (p * Array.length stretches / 100))
+    in
+    let p50 = pct 50 and p99 = pct 99 in
+    Format.printf
+      "e5 skewed %-4d coarse %9.1f ms  steal %9.1f ms  speedup %.2fx  (min \
+       of 2)@."
+      routers (coarse /. 1e6) (steal /. 1e6) (coarse /. steal);
+    Format.printf
+      "per-router stretch vs serial: p50 %.2f  p99 %.2f  p99/p50 %.2f@.@."
+      p50 p99 (p99 /. p50);
+    [
+      ("fleet/e5-skewed-256-coarse", coarse);
+      ("fleet/e5-skewed-256", steal);
+      ("fleet/e5-skewed-p99-p50", p99 /. p50);
+    ]
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1017,10 +1164,13 @@ let () =
   let parallel_timings = run_parallel_comparison () in
   let obs_timings = run_obs_overhead () in
   let fleet_timings = run_fleet_scaling () in
+  let sched_timings = run_sched_skew () in
+  let fleet_skew_timings = run_fleet_skew () in
   let timings = run_benchmarks () in
   Option.iter
     (fun path ->
       write_bench_json path
         (timings @ bdd_timings @ disambig_timings @ batch_timings
-       @ parallel_timings @ obs_timings @ fleet_timings))
+       @ parallel_timings @ obs_timings @ fleet_timings @ sched_timings
+       @ fleet_skew_timings))
     json_out

@@ -190,7 +190,7 @@ let report_paths ?pool paths =
         (* Accumulators are plain data, so per-file folds shard across
            domains; merge order below is input order, and Acc.merge is
            associative, so the result is pool-size independent. *)
-        Parallel.Pool.map_chunked pool ~f:fold_file paths
+        Parallel.Pool.map pool ~f:fold_file paths
     | _ -> List.map fold_file paths
   in
   let ( let* ) r f = Result.bind r f in

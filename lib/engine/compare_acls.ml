@@ -58,13 +58,6 @@ let equal_behavior a b = first_difference a b = None
    the new rule's action differs from rule [i]'s and the region
    [cell_i.guard ∧ match(new)] is satisfiable. *)
 
-let position_chunks ~domains n =
-  let d = max 1 (min domains n) in
-  List.init d (fun c ->
-      let start = c * n / d and stop = (c + 1) * n / d in
-      (start, stop - start))
-  |> List.filter (fun (_, len) -> len > 0)
-
 let naive_chunk ~target rule (start, len) =
   let acl_at p = Config.Acl.insert_at target p rule in
   List.filter_map
@@ -122,17 +115,20 @@ let adjacent_insertions ?naive ?pool ~(target : Config.Acl.t)
   let result =
     match pool with
     | Some pool when Parallel.Pool.domains pool > 1 && n > 1 ->
-        let chunks =
-          position_chunks ~domains:(Parallel.Pool.domains pool) n
-        in
         if naive then
+          (* Position-sized tasks: each inserts the rule at one
+             boundary, so a pathological position is stolen around
+             rather than serializing a coarse chunk. *)
           List.concat
-            (Parallel.Pool.map_chunked ~chunks_per_domain:1 pool ~f:run_chunk
-               chunks)
+            (Parallel.Pool.map pool ~f:run_chunk
+               (Parallel.Pool.ranges ~grain:1 n))
         else begin
           (* Execute the target's partition (and compile the new rule's
-             match) once into a frozen base; workers walk their slices
-             under private deltas instead of re-executing per domain. *)
+             match) once into a frozen base; workers walk stealable
+             position slices under private deltas instead of
+             re-executing per domain. Slices of a few positions keep
+             per-task bookkeeping negligible while leaving plenty to
+             steal when widths are skewed. *)
           let base = Bdd.Manager.create () in
           let cells =
             Bdd.with_manager base (fun () ->
@@ -144,10 +140,9 @@ let adjacent_insertions ?naive ?pool ~(target : Config.Acl.t)
           Bdd.Manager.freeze base;
           Obs.Counter.incr ~by:(max 0 (n - 1)) Metrics.adjacent_prefix_reuse;
           List.concat
-            (Parallel.Pool.map_chunked ~chunks_per_domain:1 ~bdd_base:base
-               pool
+            (Parallel.Pool.map ~bdd_base:base pool
                ~f:(fun slice -> cell_boundaries cells rule slice)
-               chunks)
+               (Parallel.Pool.ranges ~grain:8 n))
         end
     | _ -> if n = 0 then [] else run_chunk (0, n)
   in
@@ -167,15 +162,6 @@ type batch_sweep = {
   overlaps : (int * int) list;
   conflicts : (int * int * difference) list;
 }
-
-let chunk_list ~domains items =
-  let arr = Array.of_list items in
-  let n = Array.length arr in
-  let d = max 1 (min domains n) in
-  List.init d (fun c ->
-      let start = c * n / d and stop = (c + 1) * n / d in
-      Array.to_list (Array.sub arr start (stop - start)))
-  |> List.filter (fun l -> l <> [])
 
 let batch_insertions ?pool ~(target : Config.Acl.t) rules =
   let candidates = Array.of_list rules in
@@ -210,7 +196,6 @@ let batch_insertions ?pool ~(target : Config.Acl.t) rules =
                   rule_b = Some rj.Config.Acl.seq;
                 } )
     in
-    let pairs_task ps = List.map classify_pair ps in
     let all_pairs =
       List.concat
         (List.init ncand (fun i ->
@@ -219,9 +204,10 @@ let batch_insertions ?pool ~(target : Config.Acl.t) rules =
     let bounds, pairs =
       match pool with
       | Some pool when Parallel.Pool.domains pool > 1 && ncand > 1 ->
-          let d = Parallel.Pool.domains pool in
           (* Execute the partition and compile every candidate's match
-             once into a frozen base shared by all workers. *)
+             once into a frozen base shared by all workers. One task
+             per candidate sweep (coarse), pairs a few at a time (each
+             is just a conjunction plus a witness extraction). *)
           let base = Bdd.Manager.create () in
           let cells =
             Bdd.with_manager base (fun () ->
@@ -231,21 +217,18 @@ let batch_insertions ?pool ~(target : Config.Acl.t) rules =
                 cells)
           in
           Bdd.Manager.freeze base;
-          let bres =
-            Parallel.Pool.map_chunked ~bdd_base:base pool
-              ~f:(fun ks ->
-                List.map
-                  (fun k -> (k, cell_boundaries cells candidates.(k) (0, n)))
-                  ks)
-              (chunk_list ~domains:d (List.init ncand Fun.id))
+          let bounds =
+            Parallel.Pool.map ~bdd_base:base pool
+              ~f:(fun k -> (k, cell_boundaries cells candidates.(k) (0, n)))
+              (List.init ncand Fun.id)
           in
-          let pres =
-            Parallel.Pool.map_chunked ~bdd_base:base pool ~f:pairs_task
-              (chunk_list ~domains:d all_pairs)
+          let pairs =
+            Parallel.Pool.map ~grain:4 ~bdd_base:base pool ~f:classify_pair
+              all_pairs
           in
-          (List.concat bres, List.concat pres)
+          (bounds, pairs)
       | _ ->
-          (bounds_task (List.init ncand Fun.id), pairs_task all_pairs)
+          (bounds_task (List.init ncand Fun.id), List.map classify_pair all_pairs)
     in
     Obs.Counter.incr
       ~by:(max 0 ((ncand * max 1 n) - 1))

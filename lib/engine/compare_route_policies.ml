@@ -152,15 +152,6 @@ let equal_behavior ~db_a ~db_b rm_a rm_b =
    below mirrors [compare] exactly so that witnesses are byte-identical
    to the naive per-position sweep. *)
 
-(* Contiguous slices of [0..n-1], one per worker, so each parallel
-   chunk compiles its own context once and walks its slice. *)
-let position_chunks ~domains n =
-  let d = max 1 (min domains n) in
-  List.init d (fun c ->
-      let start = c * n / d and stop = (c + 1) * n / d in
-      (start, stop - start))
-  |> List.filter (fun (_, len) -> len > 0)
-
 let naive_chunk ~db ~target stanza (start, len) =
   Obs.Counter.incr ~by:len Metrics.adjacent_contexts;
   let map_at p = Config.Route_map.insert_at target p stanza in
@@ -240,13 +231,12 @@ let adjacent_insertions ?naive ?pool ~db ~(target : Config.Route_map.t)
   let result =
     match pool with
     | Some pool when Parallel.Pool.domains pool > 1 && n > 1 ->
-        let chunks =
-          position_chunks ~domains:(Parallel.Pool.domains pool) n
-        in
         if naive then
+          (* One position per task: a pathological insertion point gets
+             stolen around instead of serializing a coarse chunk. *)
           List.concat
-            (Parallel.Pool.map_chunked ~chunks_per_domain:1 pool ~f:run_chunk
-               chunks)
+            (Parallel.Pool.map pool ~f:run_chunk
+               (Parallel.Pool.ranges ~grain:1 n))
         else begin
           (* Compile the shared context and first-match partition once
              into a fresh base manager, freeze it, and let every worker
@@ -271,12 +261,14 @@ let adjacent_insertions ?naive ?pool ~db ~(target : Config.Route_map.t)
           in
           Bdd.Manager.freeze base;
           Obs.Counter.incr ~by:(max 0 (n - 1)) Metrics.adjacent_prefix_reuse;
+          (* Slices of a few positions: the context fork (a hashtable
+             copy) amortizes over the slice while slices stay plentiful
+             enough to steal when stanza widths are skewed. *)
           List.concat
-            (Parallel.Pool.map_chunked ~chunks_per_domain:1 ~bdd_base:base
-               pool
+            (Parallel.Pool.map ~bdd_base:base pool
                ~f:(fun slice ->
                  cell_boundaries (Ctx.fork ctx) cells ~db ~target stanza slice)
-               chunks)
+               (Parallel.Pool.ranges ~grain:8 n))
         end
     | _ -> if n = 0 then [] else run_chunk (0, n)
   in
@@ -303,16 +295,6 @@ type batch_sweep = {
   conflicts : (int * int * difference) list;
       (* overlapping pairs whose behaviours differ, with a witness *)
 }
-
-(* Contiguous slices of a work list, one per worker. *)
-let chunk_list ~domains items =
-  let arr = Array.of_list items in
-  let n = Array.length arr in
-  let d = max 1 (min domains n) in
-  List.init d (fun c ->
-      let start = c * n / d and stop = (c + 1) * n / d in
-      Array.to_list (Array.sub arr start (stop - start)))
-  |> List.filter (fun l -> l <> [])
 
 let batch_insertions ?pool ~db ~(target : Config.Route_map.t) stanzas =
   let candidates = Array.of_list stanzas in
@@ -395,7 +377,6 @@ let batch_insertions ?pool ~db ~(target : Config.Route_map.t) stanzas =
     let bounds, pairs =
       match pool with
       | Some pool when Parallel.Pool.domains pool > 1 && ncand > 1 ->
-          let d = Parallel.Pool.domains pool in
           (* One shared compilation for the whole batch: context,
              first-match partition and every candidate's match
              condition live in a frozen base; workers fork the context
@@ -411,26 +392,24 @@ let batch_insertions ?pool ~db ~(target : Config.Route_map.t) stanzas =
                 (ctx, cells))
           in
           Bdd.Manager.freeze base;
-          let bres =
-            Parallel.Pool.map_chunked ~bdd_base:base pool
-              ~f:(fun ks ->
-                let ctx = Ctx.fork ctx in
-                List.map
-                  (fun k ->
-                    ( k,
-                      cell_boundaries ctx cells ~db ~target candidates.(k)
-                        (0, n) ))
-                  ks)
-              (chunk_list ~domains:d (List.init ncand Fun.id))
+          (* Candidate sweeps are coarse — one stealable task each;
+             pairs are cheap, so a few share a task to amortize the
+             context fork (a hashtable copy) that gives each task its
+             private feasibility state. *)
+          let bounds =
+            Parallel.Pool.map ~bdd_base:base pool
+              ~f:(fun k ->
+                ( k,
+                  cell_boundaries (Ctx.fork ctx) cells ~db ~target
+                    candidates.(k) (0, n) ))
+              (List.init ncand Fun.id)
           in
-          let pres =
-            Parallel.Pool.map_chunked ~bdd_base:base pool
-              ~f:(fun ps ->
-                let ctx = Ctx.fork ctx in
-                List.map (classify_pair ctx) ps)
-              (chunk_list ~domains:d all_pairs)
+          let pairs =
+            Parallel.Pool.map ~grain:4 ~bdd_base:base pool
+              ~f:(fun p -> classify_pair (Ctx.fork ctx) p)
+              all_pairs
           in
-          (List.concat bres, List.concat pres)
+          (bounds, pairs)
       | _ ->
           let ctx = make_ctx () in
           let cells = Array.of_list (Ctx.exec ctx db target) in

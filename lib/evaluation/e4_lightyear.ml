@@ -213,7 +213,7 @@ let run ?record_dir ?(pool = Parallel.Pool.serial) () =
     ]
   in
   let built =
-    Parallel.Pool.map_chunked pool
+    Parallel.Pool.map pool
       ~f:(fun (router, map_names, steps) ->
         build_router ?record_dir ~router ~map_names ~steps
           ~reference_db:(ref_db router) ())

@@ -272,10 +272,15 @@ let write_manifest ~dir (net : Netgen.t) (plans : Netgen.Policy.plan list) =
 (* ------------------------------------------------------------------ *)
 
 let run ?record_dir ?(pool = Parallel.Pool.serial) ?(simulate = false)
-    ?(profile = Netgen.Fat_tree) ~routers () =
+    ?(profile = Netgen.Fat_tree) ?(grain = 1) ?skew ~routers () =
   let t0 = Unix.gettimeofday () in
   let net = Netgen.generate ~profile ~routers in
   let plans = Netgen.Policy.compile net in
+  let plans =
+    match skew with
+    | None -> plans
+    | Some (heavy, factor) -> Netgen.Policy.skew ~heavy ~factor plans
+  in
   reset_fleet ~routers:(List.length plans);
   Option.iter (fun dir -> write_manifest ~dir net plans) record_dir;
   (* Every plan's intents reference the same handful of prefix ranges;
@@ -286,8 +291,13 @@ let run ?record_dir ?(pool = Parallel.Pool.serial) ?(simulate = false)
         (fun r -> ignore (Symbolic.Route_ctx.of_prefix_range r))
         (Netgen.Policy.shared_ranges ()));
   Symbdd.Bdd.Manager.freeze bdd_base;
+  (* One router per task (grain 1): a router that carries 10x the
+     stanzas delays only itself — its pod-mates get stolen by idle
+     workers, which is what keeps the fleet's p99/p50 tail flat.
+     [?grain] exists so the bench can reconstruct the coarse
+     chunked-fork-join baseline it compares against. *)
   let results =
-    Parallel.Pool.map_chunked ~chunks_per_domain:4 pool
+    Parallel.Pool.map ~grain pool
       ~f:(fun plan -> build_router ?record_dir ~bdd_base plan)
       plans
   in

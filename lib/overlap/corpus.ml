@@ -57,7 +57,7 @@ let sweep ?(pool = Parallel.Pool.serial) ?progress ?prewarm ~f items =
               p i;
               bounded f x)
             items)
-  | _ -> Parallel.Pool.map_chunked ~bdd_base:base pool ~f:(bounded f) items
+  | _ -> Parallel.Pool.map ~bdd_base:base pool ~f:(bounded f) items
 
 let summarize_acls ?(threshold = default_threshold) ?pool ?progress
     (acls : Config.Acl.t list) =

@@ -1,0 +1,78 @@
+(* Bounded Chase–Lev deque over non-negative ints.
+
+   The classic dynamic-circular-array algorithm (Chase & Lev, SPAA'05)
+   minus the growth path: the scheduler seeds every task id while the
+   deque is quiescent, so capacity is fixed for the lifetime of a batch
+   and [push] never races a concurrent resize. All cross-domain
+   ordering goes through the [top]/[bottom] Atomics; the int array
+   itself is plain because a slot is written only while it is not
+   reachable by any thief (quiescent seeding). *)
+
+type t = {
+  mutable tasks : int array;
+  mutable mask : int; (* Array.length tasks - 1, capacity is a power of two *)
+  top : int Atomic.t; (* next slot thieves claim *)
+  bottom : int Atomic.t; (* next slot the owner writes *)
+}
+
+let empty = -1
+let abort = -2
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 8
+
+let create ?(capacity = 64) () =
+  let cap = next_pow2 capacity in
+  {
+    tasks = Array.make cap empty;
+    mask = cap - 1;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let reset t ~ensure =
+  if ensure > t.mask + 1 then begin
+    let cap = next_pow2 ensure in
+    t.tasks <- Array.make cap empty;
+    t.mask <- cap - 1
+  end;
+  Atomic.set t.top 0;
+  Atomic.set t.bottom 0
+
+let push t x =
+  if x < 0 then invalid_arg "Deque.push: negative task id";
+  let b = Atomic.get t.bottom in
+  if b - Atomic.get t.top > t.mask then invalid_arg "Deque.push: full";
+  t.tasks.(b land t.mask) <- x;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* already empty: undo the reservation *)
+    Atomic.set t.bottom tp;
+    empty
+  end
+  else
+    let x = t.tasks.(b land t.mask) in
+    if b > tp then x
+    else begin
+      (* last element: race thieves for it via the CAS on top *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then x else empty
+    end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then empty
+  else
+    let x = t.tasks.(tp land t.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then x else abort

@@ -1,0 +1,58 @@
+(** A bounded Chase–Lev work-stealing deque of non-negative ints.
+
+    One {e owner} pushes and pops task ids at the bottom; any number of
+    {e thieves} steal from the top. The store is a flat int-packed
+    circular array (power-of-two capacity), so the owner's fast path is
+    two plain array operations plus sequentially-consistent loads and
+    stores of the [top]/[bottom] indices, and a steal is a single CAS
+    on [top] — no allocation anywhere.
+
+    The deque is {e bounded}: it never grows under concurrency. The
+    scheduler sizes it while the deque is quiescent ({!reset}) and
+    seeds it with one batch's task ids before workers are released, so
+    a mid-batch {!push} overflow is a scheduler bug, not a recoverable
+    condition — it raises [Invalid_argument].
+
+    Values must be [>= 0]: the negative range is reserved for the
+    {!pop}/{!steal} miss codes ({!empty} and {!abort}). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh empty deque; [capacity] (default 64) is rounded up to a
+    power of two, minimum 8. *)
+
+val empty : int
+(** [-1] — returned by {!pop} and {!steal} when no task is available. *)
+
+val abort : int
+(** [-2] — returned by {!steal} when it lost the CAS race to a
+    concurrent thief (or the owner's last-element pop); the victim may
+    still hold work, so the thief should retry rather than move on. *)
+
+val reset : t -> ensure:int -> unit
+(** Empty the deque and grow its array (never shrink) to hold at least
+    [ensure] entries. Callable only while the deque is quiescent — no
+    concurrent owner or thieves — i.e. between scheduler batches. *)
+
+val push : t -> int -> unit
+(** Owner only. Push a task id at the bottom.
+    @raise Invalid_argument on a negative id or a full deque. *)
+
+val pop : t -> int
+(** Owner only. Pop the most recently pushed id from the bottom, or
+    {!empty}. The last-element race against thieves is resolved by a
+    CAS on [top]; losing it returns {!empty}. *)
+
+val steal : t -> int
+(** Any domain. Claim the {e oldest} id from the top: the stolen task
+    is the one farthest from the owner's working end, which for
+    contiguously seeded ranges preserves locality on both sides.
+    Returns the id, or {!empty} when the deque looks empty, or
+    {!abort} when the CAS was lost. *)
+
+val size : t -> int
+(** Racy snapshot of [bottom - top], clamped to [>= 0]; exact when
+    quiescent. Used by the deque-depth gauge collector. *)
+
+val capacity : t -> int

@@ -1,27 +1,45 @@
-(** A Domain-based fork-join worker pool with deterministic ordering.
+(** A persistent work-stealing scheduler with deterministic ordering.
 
-    [map_chunked] is observationally [List.map]: results come back in
-    input order regardless of scheduling, and the first task exception
-    (by input position) is re-raised in the submitting domain. The
-    calling domain participates as worker 0; [domains - 1] fresh
-    domains are spawned per batch and joined before returning.
+    {!map} is observationally [List.map]: results come back in input
+    order regardless of the steal schedule, and the first task
+    exception (by input position) is re-raised in the submitting
+    domain. The calling domain participates as slot 0; the remaining
+    participants are {e persistent} worker domains, spawned once per
+    process (lazily, up to the largest pool used so far), parked on a
+    condition variable between batches and reused — watch
+    [parallel.domains_spawned] stay flat across a multi-batch run.
 
-    Every worker domain owns an isolated BDD universe (the domain-local
-    default manager of {!Symbdd.Bdd}), so tasks may freely build BDDs —
-    but must return only plain data (stats records, databases), never
-    BDD values: node identity is manager-relative and worker managers
-    die with their domain. The exception is the [?bdd_base] mode of
-    {!map_chunked}: handles built by the frozen base manager are valid
-    in every worker's delta, so tasks may capture and use them. *)
+    Distribution is per item group ([?grain] items per task): each
+    participant owns a bounded Chase–Lev deque seeded with a contiguous
+    share of tasks, pops locally, and steals from random victims with
+    exponential backoff when its own deque runs dry, so one straggling
+    item no longer serializes the rest of its former chunk.
+
+    Every worker domain runs under a private BDD manager, so tasks may
+    freely build BDDs — but must return only plain data (stats records,
+    databases), never BDD values. With [?bdd_base] (a frozen root
+    manager) each participant runs under a long-lived delta layered on
+    the base, cached per domain and {e reset} — rewound to the base
+    boundary, not reallocated — between batches; handles built by the
+    base are valid in every delta, so tasks may capture and use them.
+    Without a base, persistent workers run under a long-lived scratch
+    root manager, likewise reset per batch, preserving the old
+    fresh-domain guarantee that nodes never leak across batches.
+
+    Setting [CLARIFY_STEAL_STRESS=1] forces grain 1, seeds every task
+    into slot 0's deque and claims exclusively through the steal path —
+    maximal cross-worker contention under which outputs must stay
+    byte-identical to the serial run. *)
 
 type t
 
 val create : ?domains:int -> unit -> t
 (** [create ()] sizes the pool from the [CLARIFY_JOBS] environment
     variable (default 1 when unset or unparsable); [~domains] overrides
-    it. Values are clamped to at least 1. A pool of 1 domain runs
-    everything serially in the calling domain — no spawning, identical
-    behaviour to [List.map]. *)
+    it. Values are clamped to at least 1. Pools are cheap views over
+    the process-wide scheduler: creating many pools never spawns extra
+    domains beyond the largest [domains] actually used by a {!map}. A
+    pool of 1 domain runs everything serially in the calling domain. *)
 
 val default_domains : unit -> int
 (** The [CLARIFY_JOBS] value (>= 1), or 1. *)
@@ -29,38 +47,74 @@ val default_domains : unit -> int
 val domains : t -> int
 
 val serial : t
-(** A pool of one domain; [map_chunked serial ~f] is [List.map f]. *)
+(** A pool of one domain; [map serial ~f] is [List.map f]. *)
 
-val map_chunked :
-  ?chunks_per_domain:int ->
+val map :
+  ?grain:int ->
   ?bdd_base:Symbdd.Bdd.Manager.t ->
   t ->
   f:('a -> 'b) ->
   'a list ->
   'b list
-(** [map_chunked pool ~f items] applies [f] to every item across the
-    pool's domains and returns the results in input order. Items are
-    partitioned into contiguous chunks ([chunks_per_domain] per worker,
-    default 1; raise it for uneven workloads so stragglers
-    load-balance) claimed dynamically from a shared atomic counter.
+(** [map pool ~f items] applies [f] to every item across the pool's
+    domains and returns the results in input order.
+
+    [?grain] (default 1) is the number of consecutive items per
+    stealable task — a {e granularity} knob, not a balance knob:
+    balance comes from stealing. Leave it at 1 for coarse items
+    (routers, corpus sweeps); raise it only when single items are so
+    cheap that per-task bookkeeping would dominate (e.g. 64 for
+    microbenchmark-sized closures).
 
     [?bdd_base] must be a {e frozen} root manager
-    ({!Symbdd.Bdd.Manager.freeze}): every worker — including the serial
-    fallback taken when the pool has one domain or the batch one item —
-    runs its tasks under a private {!Symbdd.Bdd.Manager.create_delta}
-    layered on it. Tasks then reuse everything compiled into the base
-    (nodes, symbolic compilation cache) instead of recompiling it per
-    domain, and may safely capture BDD handles built by the base.
+    ({!Symbdd.Bdd.Manager.freeze}); see the module docs for the delta
+    lifecycle. The serial fallback (one domain, a single task, or a
+    nested call from inside a worker task — which runs inline, serial)
+    applies the same layering with a fresh delta per call.
 
-    While observability is enabled, each worker runs under a root span
-    [domainN] (a separate thread lane in the Chrome-trace export) and
-    feeds per-domain labeled series: [parallel.tasks{domain=N}],
+    While observability is enabled, each participant runs under a root
+    span [domainN] (a separate thread lane in the Chrome-trace export)
+    and feeds per-domain labeled series: [parallel.tasks{domain=N}],
     [parallel.task_ns{domain=N}], [parallel.queue_wait_ns{domain=N}],
-    plus [bdd.nodes_allocated{domain=N}] and compile-cache hit/miss
-    counters via the worker's BDD hooks. Labeled handles are acquired
-    per batch (never cached across {!Obs.reset}), and worker 0's
-    previous BDD hooks are restored when the batch completes.
+    [parallel.steals{domain=N}], [parallel.steal_failures{domain=N}],
+    [parallel.worker.idle_ns{domain=N}], plus
+    [bdd.nodes_allocated{domain=N}] and compile-cache hit/miss counters
+    via the worker's BDD hooks; [parallel.park_ns] records how long
+    workers slept between batches, and the [parallel.queue.depth]
+    collector sums the live deques of the in-flight batch. Labeled
+    handles are acquired per batch (never cached across {!Obs.reset}),
+    and slot 0's previous BDD hooks are restored when the batch
+    completes.
 
-    If any task raises, all chunks still drain, the spawned domains are
-    joined, and the exception from the smallest input position is
-    re-raised. *)
+    If any task raises, the batch still drains, and the exception from
+    the smallest input position is re-raised. *)
+
+val ranges : ?grain:int -> int -> (int * int) list
+(** [ranges ~grain n] is [n] positions cut into contiguous
+    [(start, len)] slices of at most [grain] (default 8) — the shape
+    the boundary-sweep engines feed to {!map} so that per-slice setup
+    (context forks, rule compilation) amortizes over a few positions
+    while slices stay plentiful enough to steal. *)
+
+val in_worker : unit -> bool
+(** True while the calling domain is executing inside a {!map} batch
+    (including the submitting domain's own participation). Nested
+    {!map} calls in that state run serially inline. *)
+
+val spawned_workers : unit -> int
+(** Persistent worker domains currently alive (excludes the submitting
+    domain). Flat across batches once warmed up. *)
+
+val shutdown : unit -> unit
+(** Wake and join every persistent worker domain. Registered [at_exit];
+    safe to call repeatedly, and the scheduler respawns workers on the
+    next {!map} after a manual shutdown. Must not be called from inside
+    a task. *)
+
+val steal_stress_env : string
+(** ["CLARIFY_STEAL_STRESS"]. *)
+
+val steal_stress : unit -> bool
+(** Whether the environment currently requests steal-stress mode (the
+    variable is re-read at every {!map}, so tests can toggle it with
+    [Unix.putenv]). *)

@@ -16,8 +16,8 @@ let test_sizing () =
   check_int "clamped to 1" 1 Parallel.Pool.(domains (create ~domains:0 ()));
   check_int "serial pool" 1 Parallel.Pool.(domains serial)
 
-(* map_chunked must equal List.map at every pool size, chunking, and
-   input length (empty, shorter than the pool, longer than it). *)
+(* map must equal List.map at every pool size, grain, and input length
+   (empty, shorter than the pool, longer than it). *)
 let test_ordering () =
   let f x = (x * 2) + 1 in
   List.iter
@@ -27,11 +27,11 @@ let test_ordering () =
         (fun n ->
           let items = List.init n (fun i -> i) in
           List.iter
-            (fun chunks_per_domain ->
+            (fun grain ->
               Alcotest.(check (list int))
-                (Printf.sprintf "d=%d n=%d cpd=%d" domains n chunks_per_domain)
+                (Printf.sprintf "d=%d n=%d grain=%d" domains n grain)
                 (List.map f items)
-                (Parallel.Pool.map_chunked ~chunks_per_domain pool ~f items))
+                (Parallel.Pool.map ~grain pool ~f items))
             [ 1; 3 ])
         [ 0; 1; 2; 5; 17; 64 ])
     [ 1; 2; 4 ]
@@ -43,7 +43,7 @@ let test_exception_propagation () =
   let f x = if x mod 7 = 3 then raise (Boom x) else x in
   (* The exception from the smallest failing input position wins, so
      re-raising is deterministic too. *)
-  match Parallel.Pool.map_chunked pool ~f (List.init 40 Fun.id) with
+  match Parallel.Pool.map pool ~f (List.init 40 Fun.id) with
   | _ -> Alcotest.fail "worker exception was swallowed"
   | exception Boom x -> check_int "earliest failure re-raised" 3 x
 
@@ -53,13 +53,13 @@ let test_usable_after_exception () =
   let pool = Parallel.Pool.create ~domains:2 () in
   (try
      ignore
-       (Parallel.Pool.map_chunked pool
+       (Parallel.Pool.map pool
           ~f:(fun _ -> raise (Boom 0))
           [ 1; 2; 3; 4 ])
    with Boom _ -> ());
   Alcotest.(check (list int))
     "pool survives a failed batch" [ 2; 4; 6 ]
-    (Parallel.Pool.map_chunked pool ~f:(fun x -> 2 * x) [ 1; 2; 3 ])
+    (Parallel.Pool.map pool ~f:(fun x -> 2 * x) [ 1; 2; 3 ])
 
 (* Tasks build BDDs in their own domain's manager; plain-data results
    must agree with the serial run even though the BDDs themselves are
@@ -75,7 +75,7 @@ let test_bdd_isolation () =
   let items = List.init 50 Fun.id in
   Alcotest.(check (list (float 0.0)))
     "per-domain managers agree with serial" (List.map f items)
-    (Parallel.Pool.map_chunked pool ~f items)
+    (Parallel.Pool.map pool ~f items)
 
 (* ------------------------------------------------------------------ *)
 (* Serial = parallel on the evaluation paths                          *)
@@ -195,7 +195,7 @@ let test_per_domain_series () =
   Obs.enable ();
   Obs.reset ();
   let pool = Parallel.Pool.create ~domains:2 () in
-  ignore (Parallel.Pool.map_chunked pool ~f:(fun x -> x + 1) (List.init 8 Fun.id));
+  ignore (Parallel.Pool.map pool ~f:(fun x -> x + 1) (List.init 8 Fun.id));
   let total =
     List.fold_left
       (fun acc d ->
@@ -218,7 +218,7 @@ let test_labeled_registration_race_in_pool () =
   Obs.reset ();
   let pool = Parallel.Pool.create ~domains:4 () in
   ignore
-    (Parallel.Pool.map_chunked pool
+    (Parallel.Pool.map pool
        ~f:(fun x ->
          Obs.Counter.incr
            (Obs.Counter.labeled "test.pool.race" [ ("k", "v") ]);
@@ -239,7 +239,7 @@ let test_pool_gauges_settle () =
   Obs.reset ();
   let pool = Parallel.Pool.create ~domains:2 () in
   ignore
-    (Parallel.Pool.map_chunked pool ~f:(fun x -> x * x) (List.init 16 Fun.id));
+    (Parallel.Pool.map pool ~f:(fun x -> x * x) (List.init 16 Fun.id));
   let gauge name =
     match Obs.Gauge.find name with
     | Some g -> Obs.Gauge.value g
@@ -268,7 +268,7 @@ let test_hooks_restored () =
   Obs.reset ();
   let pool = Parallel.Pool.create ~domains:2 () in
   ignore
-    (Parallel.Pool.map_chunked pool
+    (Parallel.Pool.map pool
        ~f:(fun x -> Symbdd.Bdd.sat_count ~nvars:8 (Symbdd.Bdd.var x))
        [ 0; 1; 2; 3 ]);
   let before = Obs.Counter.value Engine.Metrics.bdd_nodes in
